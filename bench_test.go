@@ -1,0 +1,238 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detector/source"
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// ---------------------------------------------------------------------
+// Experiment benchmarks: one per table/figure (E1–E9). Each iteration
+// regenerates the artifact on scaled-down sweeps; run `cmd/benchtables`
+// for the full-size tables recorded in EXPERIMENTS.md.
+// ---------------------------------------------------------------------
+
+var benchOpts = experiments.Opts{Quick: true, Seeds: 1}
+
+func BenchmarkE1SteadyStateMessages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E1SteadyStateMessages(benchOpts)
+	}
+}
+
+func BenchmarkE2ConvergenceSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E2ConvergenceSeries(benchOpts)
+	}
+}
+
+func BenchmarkE3StabilizationVsGST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E3StabilizationVsGST(benchOpts)
+	}
+}
+
+func BenchmarkE4CrashRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E4CrashRecovery(benchOpts)
+	}
+}
+
+func BenchmarkE5LinksUsed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E5LinksUsed(benchOpts)
+	}
+}
+
+func BenchmarkE6ConsensusCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E6ConsensusCost(benchOpts)
+	}
+}
+
+func BenchmarkE7RepeatedConsensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E7RepeatedConsensus(benchOpts)
+	}
+}
+
+func BenchmarkE8AssumptionMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E8AssumptionMatrix(experiments.Opts{Quick: true, Seeds: 1})
+	}
+}
+
+func BenchmarkE9Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E9Ablations(benchOpts)
+	}
+}
+
+func BenchmarkE10RelayedPaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E10RelayedPaths(benchOpts)
+	}
+}
+
+func BenchmarkE11FSourceBoundary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E11FSourceBoundary(experiments.Opts{Quick: true, Seeds: 1})
+	}
+}
+
+func BenchmarkE12PiggybackAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E12PiggybackAblation(benchOpts)
+	}
+}
+
+func BenchmarkE13PartitionHeal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E13PartitionHeal(benchOpts)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Substrate micro-benchmarks.
+// ---------------------------------------------------------------------
+
+// BenchmarkSimKernel measures raw event throughput of the discrete-event
+// kernel (schedule + fire).
+func BenchmarkSimKernel(b *testing.B) {
+	k := sim.NewKernel(1)
+	var tick func()
+	remaining := b.N
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			k.Schedule(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.Schedule(0, tick)
+	k.RunUntil(sim.TimeMax, nil)
+}
+
+// BenchmarkWireRoundTrip measures codec marshal+unmarshal of a typical
+// heartbeat.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	codec := wire.NewCodec()
+	msg := core.LeaderMsg{Epoch: 123456}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := codec.Marshal(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireVectorRoundTrip exercises the vector-carrying heartbeat of
+// the gossiped-counter detector.
+func BenchmarkWireVectorRoundTrip(b *testing.B) {
+	codec := wire.NewCodec()
+	msg := sourceAlive(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := codec.Marshal(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLeaderElection10 measures a full 10-process election to
+// quiescence on the simulator.
+func BenchmarkLeaderElection10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := scenario.Build(scenario.Config{
+			N: 10, Seed: int64(i), Algorithm: scenario.AlgoCore, Regime: scenario.RegimeAllTimely,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Run(time.Second)
+		if !sys.OmegaReport().Holds {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkSimulatedSecond40AllToAll measures simulating one virtual
+// second of the heaviest workload in the suite (n=40 all-to-all).
+func BenchmarkSimulatedSecond40AllToAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := scenario.Build(scenario.Config{
+			N: 40, Seed: 1, Algorithm: scenario.AlgoAllToAll, Regime: scenario.RegimeAllTimely,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Run(time.Second)
+	}
+	// One virtual second of n=40 all-to-all is ~156k messages.
+	b.ReportMetric(156000, "virtual-msgs/op")
+}
+
+// BenchmarkWorldMessagePath measures the end-to-end simulated send →
+// deliver path including metrics accounting.
+func BenchmarkWorldMessagePath(b *testing.B) {
+	w, err := node.NewWorld(node.WorldConfig{N: 2, Seed: 1, DefaultLink: network.Timely(time.Microsecond)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := &benchSink{}
+	w.SetAutomaton(0, sink)
+	w.SetAutomaton(1, sink)
+	w.Start()
+	env := w.Env(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Send(1, benchMsg{})
+		w.RunFor(2 * time.Microsecond)
+	}
+}
+
+type benchMsg struct{}
+
+func (benchMsg) Kind() string { return "BENCH" }
+
+type benchSink struct{ got int }
+
+func (s *benchSink) Start(node.Env)                {}
+func (s *benchSink) Deliver(node.ID, node.Message) { s.got++ }
+func (s *benchSink) Tick(string)                   {}
+
+// sourceAlive builds a counter heartbeat of the given width.
+func sourceAlive(n int) node.Message {
+	counters := make([]uint64, n)
+	for i := range counters {
+		counters[i] = uint64(i) * 7
+	}
+	return source.NewAliveMsg(counters)
+}
+
+// Example regenerating the suite (kept out of the benchmark loop).
+func ExampleRunExperiment() {
+	if err := RunExperiment(io.Discard, "E5", ExperimentOpts{Quick: true, Seeds: 1}); err != nil {
+		fmt.Println("error:", err)
+	}
+	fmt.Println("ok")
+	// Output: ok
+}

@@ -1,0 +1,189 @@
+// Command omegasim runs one leader-election scenario on the deterministic
+// simulator and reports what happened: final leaders, the Omega and
+// communication-efficiency verdicts, message accounting, and (optionally)
+// the full event trace.
+//
+// Usage examples:
+//
+//	omegasim -n 5 -algo core -regime all-et -gst 500ms -run 5s
+//	omegasim -n 5 -algo alltoall -crash 0@300ms,1@600ms -run 3s
+//	omegasim -n 4 -algo source -regime source-fairlossy -drop 0.4 -run 60s
+//	omegasim -n 3 -algo core -run 1s -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("omegasim", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 5, "number of processes")
+		seed    = fs.Int64("seed", 1, "random seed")
+		algo    = fs.String("algo", "core", "algorithm: core, core-nogrowth, core-noguard, core-noaccuse, alltoall, source")
+		regime  = fs.String("regime", "all-timely", "link regime: all-timely, all-et, source-reliable, source-fairlossy, lossy")
+		gst     = fs.Duration("gst", 0, "global stabilization time")
+		eta     = fs.Duration("eta", 10*time.Millisecond, "heartbeat period η")
+		drop    = fs.Float64("drop", 0.3, "drop probability for lossy regimes")
+		source  = fs.Int("source", 0, "◊-source process id (default n-1)")
+		runFor  = fs.Duration("run", 3*time.Second, "virtual time to simulate")
+		crashes = fs.String("crash", "", "crash plan, e.g. 0@300ms,2@1s")
+		trace   = fs.Bool("trace", false, "print the full event trace")
+		sweep   = fs.Int("sweep", 0, "run this many seeds and report aggregate verdicts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	plan, err := parseCrashes(*crashes)
+	if err != nil {
+		return err
+	}
+	if *sweep > 0 {
+		return runSweep(sweepParams{
+			n: *n, algo: *algo, regime: *regime, gst: *gst, eta: *eta,
+			drop: *drop, source: *source, runFor: *runFor, plan: plan, seeds: *sweep,
+		})
+	}
+	cfg := scenario.Config{
+		N:           *n,
+		Seed:        *seed,
+		Algorithm:   scenario.Algorithm(*algo),
+		Regime:      scenario.Regime(*regime),
+		Eta:         *eta,
+		GST:         sim.At(*gst),
+		DropProb:    *drop,
+		Source:      node.ID(*source),
+		Crashes:     plan,
+		EnableTrace: *trace,
+	}
+	sys, err := scenario.Build(cfg)
+	if err != nil {
+		return err
+	}
+	sys.Run(*runFor)
+
+	fmt.Printf("scenario: n=%d algo=%s regime=%s gst=%v seed=%d run=%v\n",
+		*n, *algo, *regime, *gst, *seed, *runFor)
+	fmt.Printf("leaders:  ")
+	for i, l := range sys.Leaders() {
+		alive := " "
+		if !sys.World.Alive(node.ID(i)) {
+			alive = "†"
+		}
+		fmt.Printf("p%d%s→p%v  ", i, alive, l)
+	}
+	fmt.Println()
+
+	rep := sys.OmegaReport()
+	if rep.Holds {
+		fmt.Printf("omega:    HOLDS — leader p%v, stabilized at %v after %d changes\n",
+			rep.Leader, rep.StabilizedAt, rep.Changes)
+	} else {
+		fmt.Printf("omega:    VIOLATED — %s\n", rep.Reason)
+	}
+
+	tail := sim.At(*runFor * 3 / 4)
+	ce := sys.CommEffReport(tail)
+	fmt.Printf("commeff:  efficient=%v quietSince=%v senders(tail)=%v links(tail)=%d msgs/η(tail)=%.1f\n",
+		ce.Efficient, ce.QuietSince, ce.Senders, ce.LinksUsed, ce.MessagesPerPeriod)
+	fmt.Printf("traffic:  %s\n", sys.World.Stats.Summary())
+	for _, kind := range sys.World.Stats.Kinds() {
+		fmt.Printf("          %-10s %d\n", kind, sys.World.Stats.KindCount(kind))
+	}
+
+	if *trace {
+		fmt.Println("\ntrace:")
+		if _, err := sys.World.Trace.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepParams carries the scenario knobs for a multi-seed sweep.
+type sweepParams struct {
+	n      int
+	algo   string
+	regime string
+	gst    time.Duration
+	eta    time.Duration
+	drop   float64
+	source int
+	runFor time.Duration
+	plan   []scenario.Crash
+	seeds  int
+}
+
+// runSweep executes the scenario across many seeds and prints aggregate
+// Omega / communication-efficiency verdicts — a quick boundary probe
+// without the full experiment harness.
+func runSweep(p sweepParams) error {
+	holds, efficient := 0, 0
+	var worstChanges int
+	for seed := 0; seed < p.seeds; seed++ {
+		sys, err := scenario.Build(scenario.Config{
+			N: p.n, Seed: int64(seed),
+			Algorithm: scenario.Algorithm(p.algo),
+			Regime:    scenario.Regime(p.regime),
+			Eta:       p.eta, GST: sim.At(p.gst), DropProb: p.drop,
+			Source: node.ID(p.source), Crashes: p.plan,
+		})
+		if err != nil {
+			return err
+		}
+		sys.Run(p.runFor)
+		rep := sys.OmegaReport()
+		if rep.Holds && rep.StabilizedAt <= sim.At(p.runFor*3/4) {
+			holds++
+			if sys.CommEffReport(sim.At(p.runFor * 3 / 4)).Efficient {
+				efficient++
+			}
+		}
+		if rep.Changes > worstChanges {
+			worstChanges = rep.Changes
+		}
+	}
+	fmt.Printf("sweep:    %d seeds × %v, n=%d algo=%s regime=%s\n",
+		p.seeds, p.runFor, p.n, p.algo, p.regime)
+	fmt.Printf("omega:    holds (with margin) in %d/%d seeds\n", holds, p.seeds)
+	fmt.Printf("commeff:  efficient in %d/%d seeds\n", efficient, p.seeds)
+	fmt.Printf("churn:    worst-case leader changes %d\n", worstChanges)
+	return nil
+}
+
+// parseCrashes parses "id@dur,id@dur" crash plans.
+func parseCrashes(s string) ([]scenario.Crash, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []scenario.Crash
+	for _, part := range strings.Split(s, ",") {
+		var id int
+		at := ""
+		if _, err := fmt.Sscanf(part, "%d@%s", &id, &at); err != nil {
+			return nil, fmt.Errorf("bad crash spec %q (want id@duration): %w", part, err)
+		}
+		d, err := time.ParseDuration(at)
+		if err != nil {
+			return nil, fmt.Errorf("bad crash time in %q: %w", part, err)
+		}
+		out = append(out, scenario.Crash{ID: node.ID(id), At: sim.At(d)})
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+// Package consensus holds the types shared by the consensus protocols in
+// this repository — the paper's leader-driven, communication-efficient
+// synod protocol (internal/consensus/synod), its repeated/replicated-log
+// form (internal/consensus/rsm), and the classic rotating-coordinator
+// baseline (internal/consensus/ct) — together with ballot arithmetic and a
+// safety checker (agreement, validity, integrity) used by tests and
+// experiments.
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Value is a proposable command. The empty string is "no value".
+type Value string
+
+// NoValue is the absence of a value.
+const NoValue Value = ""
+
+// Noop is the filler command a new leader proposes for log gaps it must
+// close before serving fresh commands (see internal/consensus/rsm).
+const Noop Value = "__noop__"
+
+// Decision records one learned outcome.
+type Decision struct {
+	// Instance is the consensus instance (always 0 for single-decree).
+	Instance int
+	// Value is the decided value.
+	Value Value
+	// At is when this process learned the decision.
+	At sim.Time
+	// By is the learning process.
+	By node.ID
+}
+
+// Recorder collects the decisions one process learns. It is safe for
+// concurrent use so live transports can observe it.
+type Recorder struct {
+	mu        sync.Mutex
+	decisions map[int]Decision
+	order     []Decision
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{decisions: make(map[int]Decision)}
+}
+
+// Record stores the first decision for an instance; later records for the
+// same instance are ignored (integrity is checked elsewhere).
+func (r *Recorder) Record(d Decision) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.decisions[d.Instance]; ok {
+		return
+	}
+	r.decisions[d.Instance] = d
+	r.order = append(r.order, d)
+}
+
+// Get returns the decision for an instance, if learned.
+func (r *Recorder) Get(instance int) (Decision, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.decisions[instance]
+	return d, ok
+}
+
+// Count returns how many instances this process has decided.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.decisions)
+}
+
+// All returns the decisions in learning order (copy).
+func (r *Recorder) All() []Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Decision, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Ballot is a totally ordered proposal number with an owner. Ballot 0 means
+// "none"; real ballots are round*n + owner + 1 so that distinct processes
+// never collide and a process can always outbid any ballot it has seen.
+type Ballot uint64
+
+// NoBallot is the absence of a ballot.
+const NoBallot Ballot = 0
+
+// MakeBallot builds the ballot of the given round owned by id in an
+// n-process system.
+func MakeBallot(round int, id node.ID, n int) Ballot {
+	return Ballot(uint64(round)*uint64(n) + uint64(id) + 1)
+}
+
+// Owner returns the process owning b in an n-process system.
+func (b Ballot) Owner(n int) node.ID {
+	if b == NoBallot {
+		return node.None
+	}
+	return node.ID((uint64(b) - 1) % uint64(n))
+}
+
+// Round returns b's round in an n-process system.
+func (b Ballot) Round(n int) int {
+	if b == NoBallot {
+		return -1
+	}
+	return int((uint64(b) - 1) / uint64(n))
+}
+
+// Next returns the smallest ballot owned by id that is strictly greater
+// than b.
+func (b Ballot) Next(id node.ID, n int) Ballot {
+	round := 0
+	if b != NoBallot {
+		// Start in b's own round: a larger owner id may already outbid
+		// b there, which keeps Next minimal.
+		round = b.Round(n)
+	}
+	for {
+		cand := MakeBallot(round, id, n)
+		if cand > b {
+			return cand
+		}
+		round++
+	}
+}
+
+// String renders the ballot.
+func (b Ballot) String() string {
+	if b == NoBallot {
+		return "⊥"
+	}
+	return fmt.Sprintf("b%d", uint64(b))
+}
+
+// Majority returns the minimum quorum size for n processes.
+func Majority(n int) int { return n/2 + 1 }
+
+// SafetyInput bundles what the safety checker needs.
+type SafetyInput struct {
+	// Recorders holds each process's learned decisions, indexed by id.
+	Recorders []*Recorder
+	// Proposed maps each instance to the set of values proposed for it
+	// (for validity). A nil map skips the validity check.
+	Proposed map[int][]Value
+	// Crashed marks processes whose missing decisions are excusable.
+	Crashed map[node.ID]sim.Time
+}
+
+// SafetyReport is the verdict of CheckSafety.
+type SafetyReport struct {
+	// Agreement: no two processes decided differently in any instance.
+	Agreement bool
+	// Validity: every decided value was proposed for its instance.
+	Validity bool
+	// TotalDecisions counts (process, instance) decisions observed.
+	TotalDecisions int
+	// Instances counts distinct decided instances.
+	Instances int
+	// Violations lists human-readable problems found.
+	Violations []string
+}
+
+// Holds reports whether all checked properties hold.
+func (r SafetyReport) Holds() bool { return r.Agreement && r.Validity }
+
+// CheckSafety verifies consensus agreement and validity across a run.
+func CheckSafety(in SafetyInput) SafetyReport {
+	rep := SafetyReport{Agreement: true, Validity: true}
+	chosen := make(map[int]Value)
+	var instances []int
+	for id, r := range in.Recorders {
+		if r == nil {
+			continue
+		}
+		for _, d := range r.All() {
+			rep.TotalDecisions++
+			prev, ok := chosen[d.Instance]
+			if !ok {
+				chosen[d.Instance] = d.Value
+				instances = append(instances, d.Instance)
+				continue
+			}
+			if prev != d.Value {
+				rep.Agreement = false
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"instance %d: p%d decided %q but %q was decided elsewhere", d.Instance, id, d.Value, prev))
+			}
+		}
+	}
+	sort.Ints(instances)
+	rep.Instances = len(instances)
+	if in.Proposed != nil {
+		for inst, v := range chosen {
+			if !contains(in.Proposed[inst], v) {
+				rep.Validity = false
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"instance %d: decided %q was never proposed", inst, v))
+			}
+		}
+	}
+	return rep
+}
+
+func contains(vs []Value, v Value) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Leadership is the view a consensus engine has of its co-located Omega
+// module. detector.Omega satisfies it.
+type Leadership interface {
+	Leader() node.ID
+}
+
+// StaticLeader is a Leadership that always returns the same process —
+// useful in unit tests.
+type StaticLeader node.ID
+
+// Leader implements Leadership.
+func (s StaticLeader) Leader() node.ID { return node.ID(s) }

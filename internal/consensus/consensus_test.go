@@ -1,0 +1,161 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/node"
+)
+
+func TestBallotArithmetic(t *testing.T) {
+	const n = 5
+	b := MakeBallot(0, 2, n)
+	if b != 3 {
+		t.Fatalf("MakeBallot(0,2,5) = %d, want 3", b)
+	}
+	if b.Owner(n) != 2 {
+		t.Fatalf("Owner = %v", b.Owner(n))
+	}
+	if b.Round(n) != 0 {
+		t.Fatalf("Round = %d", b.Round(n))
+	}
+	b2 := MakeBallot(3, 4, n)
+	if b2.Owner(n) != 4 || b2.Round(n) != 3 {
+		t.Fatalf("round 3 owner 4: got owner %v round %d", b2.Owner(n), b2.Round(n))
+	}
+	if NoBallot.Owner(n) != node.None || NoBallot.Round(n) != -1 {
+		t.Fatal("NoBallot owner/round")
+	}
+	if NoBallot.String() != "⊥" || b.String() == "" {
+		t.Fatal("String rendering")
+	}
+}
+
+func TestBallotNextProperties(t *testing.T) {
+	property := func(rawB uint64, rawID uint8, rawN uint8) bool {
+		n := int(rawN%16) + 2
+		id := node.ID(int(rawID) % n)
+		b := Ballot(rawB % 1_000_000)
+		next := b.Next(id, n)
+		if next <= b {
+			return false
+		}
+		if next.Owner(n) != id {
+			return false
+		}
+		// Minimality: the ballot one round earlier with the same owner
+		// must not also beat b.
+		if r := next.Round(n); r > 0 {
+			if prev := MakeBallot(r-1, id, n); prev > b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBallotOwnersNeverCollide(t *testing.T) {
+	const n = 7
+	seen := make(map[Ballot]node.ID)
+	for round := 0; round < 20; round++ {
+		for id := 0; id < n; id++ {
+			b := MakeBallot(round, node.ID(id), n)
+			if other, ok := seen[b]; ok {
+				t.Fatalf("ballot %v owned by both %v and %v", b, other, id)
+			}
+			seen[b] = node.ID(id)
+			if b.Owner(n) != node.ID(id) {
+				t.Fatalf("Owner(%v) = %v, want %v", b, b.Owner(n), id)
+			}
+		}
+	}
+}
+
+func TestMajority(t *testing.T) {
+	cases := map[int]int{2: 2, 3: 2, 4: 3, 5: 3, 6: 4, 7: 4}
+	for n, want := range cases {
+		if got := Majority(n); got != want {
+			t.Fatalf("Majority(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Decision{Instance: 0, Value: "a", By: 1})
+	r.Record(Decision{Instance: 0, Value: "b", By: 1}) // ignored duplicate
+	r.Record(Decision{Instance: 2, Value: "c", By: 1})
+	if r.Count() != 2 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	d, ok := r.Get(0)
+	if !ok || d.Value != "a" {
+		t.Fatalf("Get(0) = %+v,%v", d, ok)
+	}
+	if _, ok := r.Get(1); ok {
+		t.Fatal("Get(1) found a decision")
+	}
+	all := r.All()
+	if len(all) != 2 || all[0].Value != "a" || all[1].Value != "c" {
+		t.Fatalf("All = %v", all)
+	}
+}
+
+func TestCheckSafetyAgreementViolation(t *testing.T) {
+	r0, r1 := NewRecorder(), NewRecorder()
+	r0.Record(Decision{Instance: 0, Value: "x"})
+	r1.Record(Decision{Instance: 0, Value: "y"})
+	rep := CheckSafety(SafetyInput{Recorders: []*Recorder{r0, r1}})
+	if rep.Agreement || rep.Holds() {
+		t.Fatal("agreement violation not caught")
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("no violation message")
+	}
+}
+
+func TestCheckSafetyValidity(t *testing.T) {
+	r0 := NewRecorder()
+	r0.Record(Decision{Instance: 0, Value: "ghost"})
+	rep := CheckSafety(SafetyInput{
+		Recorders: []*Recorder{r0},
+		Proposed:  map[int][]Value{0: {"a", "b"}},
+	})
+	if rep.Validity {
+		t.Fatal("validity violation not caught")
+	}
+	ok := CheckSafety(SafetyInput{
+		Recorders: []*Recorder{r0},
+		Proposed:  map[int][]Value{0: {"ghost"}},
+	})
+	if !ok.Holds() {
+		t.Fatalf("valid run rejected: %v", ok.Violations)
+	}
+}
+
+func TestCheckSafetyCountsInstances(t *testing.T) {
+	r0, r1 := NewRecorder(), NewRecorder()
+	for i := 0; i < 5; i++ {
+		r0.Record(Decision{Instance: i, Value: Value(rune('a' + i))})
+		if i%2 == 0 {
+			r1.Record(Decision{Instance: i, Value: Value(rune('a' + i))})
+		}
+	}
+	rep := CheckSafety(SafetyInput{Recorders: []*Recorder{r0, r1, nil}})
+	if !rep.Holds() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Instances != 5 || rep.TotalDecisions != 8 {
+		t.Fatalf("Instances=%d TotalDecisions=%d", rep.Instances, rep.TotalDecisions)
+	}
+}
+
+func TestStaticLeader(t *testing.T) {
+	var l Leadership = StaticLeader(3)
+	if l.Leader() != 3 {
+		t.Fatal("StaticLeader")
+	}
+}

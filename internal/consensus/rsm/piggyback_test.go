@@ -1,0 +1,140 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/node"
+)
+
+// newPiggybackCluster is newCluster with the piggyback option.
+func newPiggybackCluster(t *testing.T, n int, seed int64) *cluster {
+	t.Helper()
+	w, err := node.NewWorld(node.WorldConfig{N: n, Seed: seed, DefaultLink: network.Timely(2 * ms)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &cluster{world: w, dets: make([]*core.Detector, n), nodes: make([]*Node, n)}
+	for i := 0; i < n; i++ {
+		c.dets[i] = core.New(core.WithEta(10 * ms))
+		c.nodes[i] = New(c.dets[i], Config{PiggybackDecides: true})
+		w.SetAutomaton(node.ID(i), node.Compose(c.dets[i], c.nodes[i]))
+	}
+	return c
+}
+
+func TestPiggybackDecidesConvergeWithoutDecideBroadcasts(t *testing.T) {
+	c := newPiggybackCluster(t, 5, 21)
+	c.world.Start()
+	c.world.RunFor(500 * ms)
+	// Streaming workload: each command's ACCEPT piggybacks the previous
+	// command's commit, so followers learn without DECIDE broadcasts.
+	for i := 0; i < 10; i++ {
+		c.nodes[0].Submit(consensus.Value(fmt.Sprintf("c%d", i)))
+		c.world.RunFor(30 * ms)
+	}
+	c.world.RunFor(2 * time.Second)
+	for i, s := range c.nodes {
+		if s.FirstGap() < 10 {
+			t.Fatalf("p%d decided %d instances, want 10", i, s.FirstGap())
+		}
+	}
+	c.assertPrefixAgreement(t)
+	if rep := c.safety(); !rep.Holds() {
+		t.Fatalf("safety: %v", rep.Violations)
+	}
+	// Only the idle tail needs LEARN-triggered decides: the last one or
+	// two instances per follower, far below the 10·(n−1)=40 of the
+	// broadcast scheme.
+	if got := c.world.Stats.KindCount(KindDecide); got > 12 {
+		t.Fatalf("DECIDE messages = %d, want ≤ 12 with piggybacking", got)
+	}
+}
+
+func TestPiggybackCheaperUnderLoad(t *testing.T) {
+	run := func(piggyback bool) float64 {
+		w, err := node.NewWorld(node.WorldConfig{N: 5, Seed: 22, DefaultLink: network.Timely(2 * ms)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := make([]*Node, 5)
+		for i := 0; i < 5; i++ {
+			det := core.New(core.WithEta(10 * ms))
+			nodes[i] = New(det, Config{PiggybackDecides: piggyback})
+			w.SetAutomaton(node.ID(i), node.Compose(det, nodes[i]))
+		}
+		w.Start()
+		w.RunFor(500 * ms)
+		const cmds = 30
+		for i := 0; i < cmds; i++ {
+			nodes[0].Submit(consensus.Value(fmt.Sprintf("c%d", i)))
+			w.RunFor(30 * ms) // continuous stream
+		}
+		w.RunFor(time.Second)
+		total := w.Stats.KindCount(KindAccept) + w.Stats.KindCount(KindAccepted) +
+			w.Stats.KindCount(KindDecide) + w.Stats.KindCount(KindLearn)
+		return float64(total) / cmds
+	}
+	with := run(true)
+	without := run(false)
+	if with >= without {
+		t.Fatalf("piggyback %.1f msgs/cmd >= plain %.1f", with, without)
+	}
+	// Plain ≈ 3(n-1) = 12; piggyback ≈ 2(n-1) = 8 plus idle-tail learns.
+	if without < 11 || without > 14 {
+		t.Fatalf("plain msgs/cmd = %.1f, want ≈ 12", without)
+	}
+	if with > 10.5 {
+		t.Fatalf("piggyback msgs/cmd = %.1f, want ≈ 8-10", with)
+	}
+}
+
+func TestPiggybackSafetyUnderLeaderCrash(t *testing.T) {
+	c := newPiggybackCluster(t, 5, 23)
+	c.world.Start()
+	c.world.RunFor(300 * ms)
+	for i := 0; i < 6; i++ {
+		c.nodes[0].Submit(consensus.Value(fmt.Sprintf("pre%d", i)))
+	}
+	c.world.RunFor(25 * ms)
+	c.world.Crash(0)
+	c.nodes[1].Submit("after")
+	c.world.RunFor(5 * time.Second)
+	c.assertPrefixAgreement(t)
+	if rep := c.safety(); !rep.Holds() {
+		t.Fatalf("safety: %v", rep.Violations)
+	}
+}
+
+func TestCommitUpToOnlyAppliesAtSameBallot(t *testing.T) {
+	// An acceptor holding a value from an older ballot must NOT treat it
+	// as decided when a new leader's CommitUpTo covers the instance.
+	r := New(consensus.StaticLeader(1), Config{PiggybackDecides: true})
+	env := newFakeEnv(2, 3)
+	r.Start(env)
+	oldB := consensus.MakeBallot(1, 0, 3)
+	newB := consensus.MakeBallot(5, 1, 3)
+	r.Deliver(0, AcceptMsg{B: oldB, Inst: 0, V: "old"})
+	env.drain()
+	// New leader commits instance 1 but our instance-0 entry is from the
+	// old ballot: it must stay undecided.
+	r.Deliver(1, AcceptMsg{B: newB, Inst: 1, V: "new", CommitUpTo: 1})
+	if _, ok := r.Get(0); ok {
+		t.Fatal("instance 0 decided from a stale-ballot entry")
+	}
+	// Once the same instance is re-accepted at the new ballot, a later
+	// CommitUpTo does decide it.
+	r.Deliver(1, AcceptMsg{B: newB, Inst: 0, V: "repaired", CommitUpTo: 0})
+	r.Deliver(1, AcceptMsg{B: newB, Inst: 2, V: "x", CommitUpTo: 2})
+	v, ok := r.Get(0)
+	if !ok || v != "repaired" {
+		t.Fatalf("instance 0 = %q,%v; want repaired value decided", v, ok)
+	}
+	if _, ok := r.Get(1); !ok {
+		t.Fatal("instance 1 not decided by CommitUpTo=2")
+	}
+}

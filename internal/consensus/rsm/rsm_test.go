@@ -1,0 +1,300 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+const ms = time.Millisecond
+
+type cluster struct {
+	world *node.World
+	dets  []*core.Detector
+	nodes []*Node
+}
+
+func newCluster(t *testing.T, n int, seed int64, link network.Profile) *cluster {
+	t.Helper()
+	w, err := node.NewWorld(node.WorldConfig{N: n, Seed: seed, DefaultLink: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &cluster{world: w, dets: make([]*core.Detector, n), nodes: make([]*Node, n)}
+	for i := 0; i < n; i++ {
+		c.dets[i] = core.New(core.WithEta(10 * ms))
+		c.nodes[i] = New(c.dets[i], Config{})
+		w.SetAutomaton(node.ID(i), node.Compose(c.dets[i], c.nodes[i]))
+	}
+	return c
+}
+
+func (c *cluster) safety() consensus.SafetyReport {
+	recs := make([]*consensus.Recorder, len(c.nodes))
+	for i, s := range c.nodes {
+		recs[i] = s.Recorder()
+	}
+	return consensus.CheckSafety(consensus.SafetyInput{Recorders: recs})
+}
+
+// assertPrefixAgreement verifies that all alive replicas have identical
+// decided prefixes up to the shortest FirstGap.
+func (c *cluster) assertPrefixAgreement(t *testing.T) {
+	t.Helper()
+	minGap := -1
+	for i, s := range c.nodes {
+		if !c.world.Alive(node.ID(i)) {
+			continue
+		}
+		if minGap == -1 || s.FirstGap() < minGap {
+			minGap = s.FirstGap()
+		}
+	}
+	for inst := 0; inst < minGap; inst++ {
+		var want consensus.Value
+		first := true
+		for i, s := range c.nodes {
+			if !c.world.Alive(node.ID(i)) {
+				continue
+			}
+			v, ok := s.Get(inst)
+			if !ok {
+				t.Fatalf("p%d missing decided instance %d below its gap", i, inst)
+			}
+			if first {
+				want = v
+				first = false
+			} else if v != want {
+				t.Fatalf("instance %d: p%d has %q, others %q", inst, i, v, want)
+			}
+		}
+	}
+}
+
+func TestCommandsFromLeaderGetDecidedEverywhere(t *testing.T) {
+	c := newCluster(t, 5, 1, network.Timely(2*ms))
+	c.world.Start()
+	c.world.RunFor(200 * ms) // let Omega stabilize on p0
+	for i := 0; i < 10; i++ {
+		c.nodes[0].Submit(consensus.Value(fmt.Sprintf("cmd-%d", i)))
+	}
+	c.world.RunFor(2 * time.Second)
+	for i, s := range c.nodes {
+		if s.FirstGap() < 10 {
+			t.Fatalf("p%d decided only %d instances", i, s.FirstGap())
+		}
+	}
+	c.assertPrefixAgreement(t)
+	if rep := c.safety(); !rep.Holds() {
+		t.Fatalf("safety: %v", rep.Violations)
+	}
+}
+
+func TestCommandsFromFollowersAreForwarded(t *testing.T) {
+	c := newCluster(t, 4, 2, network.Timely(2*ms))
+	c.world.Start()
+	c.world.RunFor(200 * ms)
+	for i, s := range c.nodes {
+		s.Submit(consensus.Value(fmt.Sprintf("from-p%d", i)))
+	}
+	c.world.RunFor(3 * time.Second)
+	for i, s := range c.nodes {
+		if s.FirstGap() < 4 {
+			t.Fatalf("p%d decided %d instances, want >= 4", i, s.FirstGap())
+		}
+	}
+	c.assertPrefixAgreement(t)
+	// Every submitted command must appear somewhere in the decided log.
+	decided := make(map[consensus.Value]bool)
+	for inst := 0; inst < c.nodes[0].FirstGap(); inst++ {
+		v, _ := c.nodes[0].Get(inst)
+		decided[v] = true
+	}
+	for i := range c.nodes {
+		if !decided[consensus.Value(fmt.Sprintf("from-p%d", i))] {
+			t.Fatalf("command from p%d never decided", i)
+		}
+	}
+}
+
+func TestLeaderCrashMidStream(t *testing.T) {
+	c := newCluster(t, 5, 3, network.Timely(2*ms))
+	c.world.Start()
+	c.world.RunFor(200 * ms)
+	for i := 0; i < 6; i++ {
+		c.nodes[2].Submit(consensus.Value(fmt.Sprintf("pre-%d", i)))
+	}
+	c.world.RunFor(100 * ms)
+	c.world.Crash(0) // the stable leader dies
+	c.world.RunFor(100 * ms)
+	for i := 0; i < 6; i++ {
+		c.nodes[3].Submit(consensus.Value(fmt.Sprintf("post-%d", i)))
+	}
+	c.world.RunFor(5 * time.Second)
+	c.assertPrefixAgreement(t)
+	if rep := c.safety(); !rep.Holds() {
+		t.Fatalf("safety: %v", rep.Violations)
+	}
+	// All post-crash commands must be decided at every survivor
+	// (pre-crash ones may appear duplicated — at-least-once semantics —
+	// but must not be lost if they were acked into a quorum; we assert
+	// only the post-crash ones which have a stable leader).
+	for idx := 1; idx < 5; idx++ {
+		decided := make(map[consensus.Value]bool)
+		for inst := 0; inst < c.nodes[idx].FirstGap(); inst++ {
+			v, _ := c.nodes[idx].Get(inst)
+			decided[v] = true
+		}
+		for i := 0; i < 6; i++ {
+			if !decided[consensus.Value(fmt.Sprintf("post-%d", i))] {
+				t.Fatalf("p%d missing post-crash command %d", idx, i)
+			}
+		}
+	}
+}
+
+func TestSteadyStateCostIsLinearPerCommand(t *testing.T) {
+	const n = 5
+	c := newCluster(t, n, 4, network.Timely(2*ms))
+	c.world.Start()
+	c.world.RunFor(500 * ms) // leader stable, ballot prepared
+	before := c.world.Stats.TotalSent()
+	startGap := c.nodes[0].FirstGap()
+	const cmds = 20
+	for i := 0; i < cmds; i++ {
+		c.nodes[0].Submit(consensus.Value(fmt.Sprintf("c%d", i)))
+	}
+	c.world.RunFor(2 * time.Second)
+	if got := c.nodes[0].FirstGap(); got < startGap+cmds {
+		t.Fatalf("leader decided %d new instances, want %d", got-startGap, cmds)
+	}
+	// Total new messages include Omega heartbeats (n-1 per η). Subtract
+	// consensus kinds only: Accept+Accepted+Decide should be ~3(n-1) per
+	// command with a prepared ballot.
+	perCmd := float64(c.world.Stats.KindCount(KindAccept)+
+		c.world.Stats.KindCount(KindAccepted)+
+		c.world.Stats.KindCount(KindDecide)) / cmds
+	if perCmd > 3.6*float64(n-1) {
+		t.Fatalf("consensus messages per command = %.1f, want ≈ 3(n-1) = %d", perCmd, 3*(n-1))
+	}
+	_ = before
+}
+
+func TestNoPhase1PerCommandAfterStableLeader(t *testing.T) {
+	c := newCluster(t, 4, 5, network.Timely(2*ms))
+	c.world.Start()
+	c.world.RunFor(500 * ms)
+	prepares := c.world.Stats.KindCount(KindPrepare)
+	for i := 0; i < 15; i++ {
+		c.nodes[0].Submit(consensus.Value(fmt.Sprintf("c%d", i)))
+		c.world.RunFor(50 * ms)
+	}
+	if got := c.world.Stats.KindCount(KindPrepare); got != prepares {
+		t.Fatalf("PREPAREs grew from %d to %d during steady state (phase 1 must run once)", prepares, got)
+	}
+}
+
+func TestSafetyUnderChurnManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		c := newCluster(t, 5, seed, network.Reliable(ms, 50*ms))
+		c.world.Start()
+		for i := 0; i < 8; i++ {
+			c.nodes[int(seed+int64(i))%5].Submit(consensus.Value(fmt.Sprintf("s%d-c%d", seed, i)))
+		}
+		c.world.CrashAt(node.ID(seed%5), sim.At(time.Duration(seed%7)*30*ms))
+		c.world.RunFor(20 * time.Second)
+		if rep := c.safety(); !rep.Holds() {
+			t.Fatalf("seed %d: %v", seed, rep.Violations)
+		}
+		c.assertPrefixAgreement(t)
+	}
+}
+
+func TestGapFillViaLearn(t *testing.T) {
+	c := newCluster(t, 3, 6, network.Timely(2*ms))
+	c.world.Start()
+	c.world.RunFor(200 * ms)
+	for i := 0; i < 5; i++ {
+		c.nodes[0].Submit(consensus.Value(fmt.Sprintf("c%d", i)))
+	}
+	c.world.RunFor(time.Second)
+	// Simulate a replica that missed decisions: wipe p2's view by
+	// delivering a fresh node... instead, check the learn path directly.
+	var env2 = c.world.Env(2)
+	_ = env2
+	lagger := c.nodes[2]
+	if lagger.FirstGap() < 5 {
+		t.Fatalf("p2 gap = %d before test, want 5", lagger.FirstGap())
+	}
+	// Direct unit probe of onLearn: ask p0 for instances from 0.
+	before := c.world.Stats.KindCount(KindDecide)
+	c.nodes[0].Deliver(2, LearnMsg{FirstGap: 0})
+	if got := c.world.Stats.KindCount(KindDecide); got != before+5 {
+		t.Fatalf("learn reply sent %d decides, want 5", got-before)
+	}
+}
+
+func TestNoopFillerOnLeaderChange(t *testing.T) {
+	// Force a gap: leader accepts an instance with only itself, crashes;
+	// next leader must fill with no-op or re-propose. We approximate by
+	// crashing the leader right after submissions and checking the final
+	// log has no holes below every survivor's gap.
+	c := newCluster(t, 5, 7, network.Timely(2*ms))
+	c.world.Start()
+	c.world.RunFor(300 * ms)
+	for i := 0; i < 4; i++ {
+		c.nodes[0].Submit(consensus.Value(fmt.Sprintf("c%d", i)))
+	}
+	c.world.RunFor(21 * ms) // mid-flight
+	c.world.Crash(0)
+	c.nodes[1].Submit("after")
+	c.world.RunFor(5 * time.Second)
+	c.assertPrefixAgreement(t)
+	for i := 1; i < 5; i++ {
+		gap := c.nodes[i].FirstGap()
+		for inst := 0; inst < gap; inst++ {
+			if _, ok := c.nodes[i].Get(inst); !ok {
+				t.Fatalf("p%d has a hole at %d below its gap", i, inst)
+			}
+		}
+	}
+	if rep := c.safety(); !rep.Holds() {
+		t.Fatalf("safety: %v", rep.Violations)
+	}
+}
+
+func TestIsLeaderReflectsPreparedState(t *testing.T) {
+	c := newCluster(t, 3, 8, network.Timely(2*ms))
+	c.world.Start()
+	c.world.RunFor(time.Second)
+	if !c.nodes[0].IsLeader() {
+		t.Fatal("p0 not leader after stabilization")
+	}
+	if c.nodes[1].IsLeader() || c.nodes[2].IsLeader() {
+		t.Fatal("follower claims leadership")
+	}
+}
+
+func TestHighestDecidedAndGetters(t *testing.T) {
+	c := newCluster(t, 3, 9, network.Timely(2*ms))
+	c.world.Start()
+	c.world.RunFor(200 * ms)
+	c.nodes[0].Submit("only")
+	c.world.RunFor(time.Second)
+	if c.nodes[1].HighestDecided() != 0 {
+		t.Fatalf("HighestDecided = %d", c.nodes[1].HighestDecided())
+	}
+	v, ok := c.nodes[1].Get(0)
+	if !ok || v != "only" {
+		t.Fatalf("Get(0) = %q,%v", v, ok)
+	}
+	if _, ok := c.nodes[1].Get(7); ok {
+		t.Fatal("Get(7) found a value")
+	}
+}

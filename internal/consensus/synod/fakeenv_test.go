@@ -1,0 +1,56 @@
+package synod
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// sent records one outbound message from the fake environment.
+type sent struct {
+	to  node.ID
+	msg node.Message
+}
+
+// fakeEnv is a hand-driven node.Env for unit-testing protocol logic.
+type fakeEnv struct {
+	id     node.ID
+	n      int
+	now    sim.Time
+	outbox []sent
+	timers map[string]time.Duration
+}
+
+var _ node.Env = (*fakeEnv)(nil)
+
+func newFakeEnv(id node.ID, n int) *fakeEnv {
+	return &fakeEnv{id: id, n: n, timers: make(map[string]time.Duration)}
+}
+
+func (e *fakeEnv) ID() node.ID   { return e.id }
+func (e *fakeEnv) N() int        { return e.n }
+func (e *fakeEnv) Now() sim.Time { return e.now }
+
+func (e *fakeEnv) Send(to node.ID, m node.Message) {
+	e.outbox = append(e.outbox, sent{to: to, msg: m})
+}
+
+func (e *fakeEnv) Broadcast(m node.Message) {
+	for to := 0; to < e.n; to++ {
+		if node.ID(to) != e.id {
+			e.Send(node.ID(to), m)
+		}
+	}
+}
+
+func (e *fakeEnv) SetTimer(key string, d time.Duration) { e.timers[key] = d }
+func (e *fakeEnv) StopTimer(key string)                 { delete(e.timers, key) }
+func (e *fakeEnv) Logf(format string, args ...any)      { _ = fmt.Sprintf(format, args...) }
+
+func (e *fakeEnv) drain() []sent {
+	out := e.outbox
+	e.outbox = nil
+	return out
+}

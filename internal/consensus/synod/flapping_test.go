@@ -1,0 +1,75 @@
+package synod
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// flappingOracle is a Leadership whose output rotates on every call for a
+// while before settling — a worst-case Omega that lies during the
+// unstable period. Safety must hold throughout; liveness must follow once
+// it settles.
+type flappingOracle struct {
+	n       int
+	calls   int
+	settleA int // calls after which the output settles
+	settled node.ID
+}
+
+func (f *flappingOracle) Leader() node.ID {
+	f.calls++
+	if f.calls < f.settleA {
+		return node.ID(f.calls % f.n)
+	}
+	return f.settled
+}
+
+func TestSafetyAndLivenessUnderFlappingOracle(t *testing.T) {
+	const n = 5
+	w, err := node.NewWorld(node.WorldConfig{N: n, Seed: 17, DefaultLink: network.Timely(2 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		// Every process thinks it leads every n-th drive tick during
+		// the flapping phase: dueling proposers, the synod stress case.
+		oracle := &flappingOracle{n: n, settleA: 60, settled: 2}
+		nodes[i] = New(oracle, Config{})
+		nodes[i].Propose(consensus.Value(fmt.Sprintf("v%d", i)))
+		w.SetAutomaton(node.ID(i), nodes[i])
+	}
+	w.Start()
+	w.RunUntil(sim.At(30*time.Second), func() bool {
+		for _, s := range nodes {
+			if _, ok := s.Decided(); !ok {
+				return false
+			}
+		}
+		return true
+	})
+	recs := make([]*consensus.Recorder, n)
+	var decided consensus.Value
+	for i, s := range nodes {
+		recs[i] = s.Recorder()
+		v, ok := s.Decided()
+		if !ok {
+			t.Fatalf("p%d undecided after the oracle settled", i)
+		}
+		if decided == consensus.NoValue {
+			decided = v
+		} else if v != decided {
+			t.Fatalf("p%d decided %q, others %q", i, v, decided)
+		}
+	}
+	rep := consensus.CheckSafety(consensus.SafetyInput{Recorders: recs})
+	if !rep.Agreement {
+		t.Fatalf("agreement violated under flapping oracle: %v", rep.Violations)
+	}
+}

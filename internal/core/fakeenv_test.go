@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// sent records one outbound message from the fake environment.
+type sent struct {
+	to  node.ID
+	msg node.Message
+}
+
+// fakeEnv is a hand-driven node.Env for unit-testing automaton logic
+// without a simulator: tests deliver messages and fire timers explicitly.
+type fakeEnv struct {
+	id     node.ID
+	n      int
+	now    sim.Time
+	outbox []sent
+	timers map[string]time.Duration
+}
+
+var _ node.Env = (*fakeEnv)(nil)
+
+func newFakeEnv(id node.ID, n int) *fakeEnv {
+	return &fakeEnv{id: id, n: n, timers: make(map[string]time.Duration)}
+}
+
+func (e *fakeEnv) ID() node.ID   { return e.id }
+func (e *fakeEnv) N() int        { return e.n }
+func (e *fakeEnv) Now() sim.Time { return e.now }
+func (e *fakeEnv) Send(to node.ID, m node.Message) {
+	if to == e.id {
+		panic("fakeEnv: self-send")
+	}
+	e.outbox = append(e.outbox, sent{to: to, msg: m})
+}
+func (e *fakeEnv) Broadcast(m node.Message) {
+	for to := 0; to < e.n; to++ {
+		if node.ID(to) != e.id {
+			e.Send(node.ID(to), m)
+		}
+	}
+}
+func (e *fakeEnv) SetTimer(key string, d time.Duration) { e.timers[key] = d }
+func (e *fakeEnv) StopTimer(key string)                 { delete(e.timers, key) }
+func (e *fakeEnv) Logf(format string, args ...any)      { _ = fmt.Sprintf(format, args...) }
+
+// advance moves the fake clock forward.
+func (e *fakeEnv) advance(d time.Duration) { e.now = e.now.Add(d) }
+
+// drain returns and clears the outbox.
+func (e *fakeEnv) drain() []sent {
+	out := e.outbox
+	e.outbox = nil
+	return out
+}
+
+// armed reports whether the named timer is currently set.
+func (e *fakeEnv) armed(key string) bool {
+	_, ok := e.timers[key]
+	return ok
+}

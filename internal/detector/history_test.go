@@ -1,0 +1,85 @@
+package detector
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func at(ms int) sim.Time { return sim.At(time.Duration(ms) * time.Millisecond) }
+
+func TestHistoryEmpty(t *testing.T) {
+	h := NewHistory()
+	if h.Current() != node.None {
+		t.Fatalf("Current = %v, want None", h.Current())
+	}
+	if h.NumChanges() != 0 {
+		t.Fatal("NumChanges != 0")
+	}
+	if at0, l := h.StableSince(); at0 != 0 || l != node.None {
+		t.Fatalf("StableSince = %v,%v", at0, l)
+	}
+	if h.LeaderAt(at(100)) != node.None {
+		t.Fatal("LeaderAt on empty history")
+	}
+}
+
+func TestHistoryDeduplicatesConsecutive(t *testing.T) {
+	h := NewHistory()
+	h.Record(at(1), 0)
+	h.Record(at(2), 0) // same leader: no new entry
+	h.Record(at(3), 1)
+	h.Record(at(4), 0)
+	if got := h.NumChanges(); got != 3 {
+		t.Fatalf("NumChanges = %d, want 3", got)
+	}
+	if h.Current() != 0 {
+		t.Fatalf("Current = %v", h.Current())
+	}
+}
+
+func TestHistoryLeaderAt(t *testing.T) {
+	h := NewHistory()
+	h.Record(at(10), 2)
+	h.Record(at(20), 1)
+	h.Record(at(30), 0)
+	cases := []struct {
+		t    sim.Time
+		want node.ID
+	}{
+		{at(5), node.None},
+		{at(10), 2},
+		{at(15), 2},
+		{at(20), 1},
+		{at(25), 1},
+		{at(31), 0},
+		{at(1000), 0},
+	}
+	for _, tc := range cases {
+		if got := h.LeaderAt(tc.t); got != tc.want {
+			t.Fatalf("LeaderAt(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestHistoryStableSince(t *testing.T) {
+	h := NewHistory()
+	h.Record(at(10), 2)
+	h.Record(at(25), 1)
+	atT, l := h.StableSince()
+	if atT != at(25) || l != 1 {
+		t.Fatalf("StableSince = %v,%v", atT, l)
+	}
+}
+
+func TestHistoryChangesIsCopy(t *testing.T) {
+	h := NewHistory()
+	h.Record(at(10), 2)
+	cs := h.Changes()
+	cs[0].Leader = 9
+	if h.Changes()[0].Leader != 2 {
+		t.Fatal("Changes returned aliased storage")
+	}
+}

@@ -1,0 +1,169 @@
+// Package source implements the gossiped-accusation-counter Omega of the
+// PODC 2003 companion paper ("On implementing Ω with weak reliability and
+// synchrony assumptions"), used here as the weak-assumption baseline.
+//
+// Every alive process broadcasts, every η, an ALIVE message carrying its
+// whole accusation-counter vector; counters merge by component-wise max.
+// Each process monitors every other with an adaptive timeout and bumps the
+// counter of a process that times out. The leader is argmin (counter, id).
+//
+// Compared with internal/core, this algorithm tolerates much weaker links —
+// fair-lossy everywhere, as long as one correct process is an eventually
+// timely source (its counter then stabilizes while every faulty or
+// partitioned process's counter grows without bound, and continuous gossip
+// equalizes stabilized entries) — but it is maximally expensive: all alive
+// processes broadcast forever, Θ(n²) messages per η (experiments E1, E8).
+package source
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/node"
+)
+
+// KindAlive tags the counter-carrying heartbeat.
+const KindAlive = "ALIVE-V"
+
+// AliveMsg is the periodic heartbeat carrying the sender's accusation
+// counter vector. The slice is copied at construction and must not be
+// mutated afterwards.
+type AliveMsg struct {
+	Counters []uint64
+}
+
+// Kind implements node.Message.
+func (AliveMsg) Kind() string { return KindAlive }
+
+// NewAliveMsg builds a heartbeat with a defensive copy of counters.
+func NewAliveMsg(counters []uint64) AliveMsg {
+	c := make([]uint64, len(counters))
+	copy(c, counters)
+	return AliveMsg{Counters: c}
+}
+
+const timerHeartbeat = "source/hb"
+
+func monitorKey(q node.ID) string { return fmt.Sprintf("source/mon/%d", q) }
+
+// Config parameterizes the detector. Zero values select defaults.
+type Config struct {
+	// Eta is the heartbeat period (default 10ms).
+	Eta time.Duration
+	// BaseTimeout is the initial suspicion timeout (default 3·Eta).
+	BaseTimeout time.Duration
+	// Increment is added to a process's timeout on each suspicion
+	// (default Eta).
+	Increment time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Eta <= 0 {
+		c.Eta = 10 * time.Millisecond
+	}
+	if c.BaseTimeout <= 0 {
+		c.BaseTimeout = 3 * c.Eta
+	}
+	if c.Increment <= 0 {
+		c.Increment = c.Eta
+	}
+}
+
+// Detector is the gossiped-counter Omega automaton for one process.
+type Detector struct {
+	cfg  Config
+	env  node.Env
+	me   node.ID
+	n    int
+	hist *detector.History
+
+	counter []uint64
+	timeout []time.Duration
+	leader  node.ID
+}
+
+var _ detector.Omega = (*Detector)(nil)
+
+// New returns a detector with the given configuration.
+func New(cfg Config) *Detector {
+	cfg.fill()
+	return &Detector{cfg: cfg, hist: detector.NewHistory(), leader: node.None}
+}
+
+// Leader implements detector.Omega.
+func (d *Detector) Leader() node.ID { return d.leader }
+
+// History implements detector.Omega.
+func (d *Detector) History() *detector.History { return d.hist }
+
+// Counter returns the current accusation count for q (test hook).
+func (d *Detector) Counter(q node.ID) uint64 { return d.counter[q] }
+
+// Start implements node.Automaton.
+func (d *Detector) Start(env node.Env) {
+	d.env = env
+	d.me = env.ID()
+	d.n = env.N()
+	d.counter = make([]uint64, d.n)
+	d.timeout = make([]time.Duration, d.n)
+	for q := 0; q < d.n; q++ {
+		d.timeout[q] = d.cfg.BaseTimeout
+		if node.ID(q) != d.me {
+			env.SetTimer(monitorKey(node.ID(q)), d.timeout[q])
+		}
+	}
+	d.elect()
+	env.SetTimer(timerHeartbeat, d.cfg.Eta)
+	env.Broadcast(NewAliveMsg(d.counter))
+}
+
+// Deliver implements node.Automaton.
+func (d *Detector) Deliver(from node.ID, m node.Message) {
+	alive, ok := m.(AliveMsg)
+	if !ok || len(alive.Counters) != d.n {
+		return
+	}
+	for q, c := range alive.Counters {
+		if c > d.counter[q] {
+			d.counter[q] = c
+		}
+	}
+	d.env.SetTimer(monitorKey(from), d.timeout[from])
+	d.elect()
+}
+
+// Tick implements node.Automaton.
+func (d *Detector) Tick(key string) {
+	if key == timerHeartbeat {
+		d.env.SetTimer(timerHeartbeat, d.cfg.Eta)
+		d.env.Broadcast(NewAliveMsg(d.counter))
+		return
+	}
+	var q int
+	if _, err := fmt.Sscanf(key, "source/mon/%d", &q); err != nil {
+		return
+	}
+	d.counter[q]++
+	d.timeout[q] += d.cfg.Increment
+	// Keep monitoring: with fair-lossy links the next heartbeat may be
+	// lost too, and an unmonitored process's counter would freeze.
+	d.env.SetTimer(monitorKey(node.ID(q)), d.timeout[q])
+	d.elect()
+}
+
+// elect recomputes argmin (counter, id).
+func (d *Detector) elect() {
+	best := node.ID(0)
+	for q := 1; q < d.n; q++ {
+		if d.counter[q] < d.counter[best] {
+			best = node.ID(q)
+		}
+	}
+	if best == d.leader {
+		return
+	}
+	d.leader = best
+	d.hist.Record(d.env.Now(), best)
+	d.env.Logf("leader → p%d (counter=%d)", best, d.counter[best])
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/ct"
+	"repro/internal/consensus/rsm"
+	"repro/internal/consensus/synod"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// synodKinds and ctKinds name the message kinds belonging to each
+// consensus protocol, so Omega heartbeats can be excluded from counts.
+var (
+	synodKinds = []string{
+		synod.KindPrepare, synod.KindPromise, synod.KindNack, synod.KindAccept,
+		synod.KindAccepted, synod.KindDecide, synod.KindLearn, synod.KindRequest,
+	}
+	ctKinds = []string{
+		ct.KindEstimate, ct.KindProposal, ct.KindAck, ct.KindNack, ct.KindDecide,
+	}
+	rsmKinds = []string{
+		rsm.KindRequest, rsm.KindPrepare, rsm.KindPromise, rsm.KindNack,
+		rsm.KindAccept, rsm.KindAccepted, rsm.KindDecide, rsm.KindLearn,
+	}
+)
+
+func kindTotal(w *node.World, kinds []string) uint64 {
+	var total uint64
+	for _, k := range kinds {
+		total += w.Stats.KindCount(k)
+	}
+	return total
+}
+
+// synodRun wires n processes running Omega+synod, proposes at every
+// process, and runs until all correct processes decide (or the horizon).
+// It returns the decision latency and the consensus message count.
+func synodRun(n int, seed int64, crashLeader bool) (time.Duration, uint64, bool) {
+	w, err := node.NewWorld(node.WorldConfig{N: n, Seed: seed, DefaultLink: network.Timely(2 * time.Millisecond)})
+	if err != nil {
+		panic(err)
+	}
+	nodes := make([]*synod.Node, n)
+	for i := 0; i < n; i++ {
+		det := core.New(core.WithEta(Eta))
+		nodes[i] = synod.New(det, synod.Config{})
+		nodes[i].Propose(consensus.Value(fmt.Sprintf("v%d", i)))
+		w.SetAutomaton(node.ID(i), node.Compose(det, nodes[i]))
+	}
+	w.Start()
+	if crashLeader {
+		// Crash p0 at t=0, before it can drive a ballot: the run pays
+		// the full re-election-plus-consensus price.
+		w.CrashAt(0, 0)
+	}
+	allDecided := func() bool {
+		for i, s := range nodes {
+			if !w.Alive(node.ID(i)) {
+				continue
+			}
+			if _, ok := s.Decided(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	w.RunUntil(sim.At(20*time.Second), allDecided)
+	return w.Kernel.Now().Duration(), kindTotal(w, synodKinds), allDecided()
+}
+
+// ctRun is the rotating-coordinator counterpart of synodRun.
+func ctRun(n int, seed int64, crashLeader bool) (time.Duration, uint64, bool) {
+	w, err := node.NewWorld(node.WorldConfig{N: n, Seed: seed, DefaultLink: network.Timely(2 * time.Millisecond)})
+	if err != nil {
+		panic(err)
+	}
+	nodes := make([]*ct.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = ct.New(ct.Config{})
+		nodes[i].Propose(consensus.Value(fmt.Sprintf("v%d", i)))
+		w.SetAutomaton(node.ID(i), nodes[i])
+	}
+	w.Start()
+	if crashLeader {
+		// Crash the round-0 coordinator at t=0: the run pays a failed
+		// round plus the timeout before round 1 can decide.
+		w.CrashAt(0, 0)
+	}
+	allDecided := func() bool {
+		for i, s := range nodes {
+			if !w.Alive(node.ID(i)) {
+				continue
+			}
+			if _, ok := s.Decided(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	w.RunUntil(sim.At(20*time.Second), allDecided)
+	return w.Kernel.Now().Duration(), kindTotal(w, ctKinds), allDecided()
+}
+
+// E6ConsensusCost regenerates Table 3: single-decree consensus cost — the
+// Omega-driven synod protocol against the rotating-coordinator baseline.
+// Expected shape: synod messages grow linearly in n, the baseline
+// quadratically (its decide echo alone is n(n−1)).
+func E6ConsensusCost(o Opts) Table {
+	o.fill()
+	sizes := []int{3, 5, 7, 9}
+	if o.Quick {
+		sizes = []int{3, 5}
+	}
+	t := Table{
+		ID:      "E6",
+		Title:   "single-decree consensus cost (Table 3)",
+		Note:    "all links timely, every process proposes; messages are consensus kinds only (Omega heartbeats excluded); (×) marks a leader-crash variant",
+		Columns: []string{"n", "protocol", "msgs (mean)", "latency (mean)", "decided"},
+	}
+	type proto struct {
+		name  string
+		run   func(n int, seed int64, crash bool) (time.Duration, uint64, bool)
+		crash bool
+	}
+	protos := []proto{
+		{"synod+Ω", synodRun, false},
+		{"ct-rotating", ctRun, false},
+		{"synod+Ω (×)", synodRun, true},
+		{"ct-rotating (×)", ctRun, true},
+	}
+	for _, n := range sizes {
+		for _, p := range protos {
+			var msgs, lats []float64
+			decided := 0
+			for seed := 0; seed < o.Seeds; seed++ {
+				lat, m, ok := p.run(n, int64(seed), p.crash)
+				if ok {
+					decided++
+					msgs = append(msgs, float64(m))
+					lats = append(lats, float64(lat)/float64(time.Millisecond))
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n),
+				p.name,
+				fmt.Sprintf("%.0f", mean(msgs)),
+				fmt.Sprintf("%.1fms", mean(lats)),
+				fmt.Sprintf("%d/%d", decided, o.Seeds),
+			})
+		}
+	}
+	return t
+}
+
+// E7RepeatedConsensus regenerates Figure 4: per-command message cost of
+// the replicated log over a stream of commands, with a leader crash
+// mid-stream. Expected shape: ≈3(n−1)+1 messages per command in steady
+// state, one spike at the crash (re-prepare + re-proposals), then back.
+func E7RepeatedConsensus(o Opts) Series {
+	o.fill()
+	const n = 5
+	cmds := 200
+	crashAfter := 100
+	if o.Quick {
+		cmds = 60
+		crashAfter = 30
+	}
+	w, err := node.NewWorld(node.WorldConfig{N: n, Seed: 11, DefaultLink: network.Timely(2 * time.Millisecond)})
+	if err != nil {
+		panic(err)
+	}
+	logs := make([]*rsm.Node, n)
+	for i := 0; i < n; i++ {
+		det := core.New(core.WithEta(Eta))
+		logs[i] = rsm.New(det, rsm.Config{})
+		w.SetAutomaton(node.ID(i), node.Compose(det, logs[i]))
+	}
+	w.Start()
+	w.RunFor(500 * time.Millisecond) // leader stable, ballot prepared
+
+	submitTo := 0
+	perCmd := make([]float64, 0, cmds)
+	prev := kindTotal(w, rsmKinds)
+	prevGap := logs[2].FirstGap() // p2 stays alive throughout
+	for i := 0; i < cmds; i++ {
+		if i == crashAfter {
+			w.Crash(0)
+			submitTo = 1
+		}
+		logs[submitTo].Submit(consensus.Value(fmt.Sprintf("cmd-%d", i)))
+		target := prevGap + 1
+		w.RunUntil(w.Kernel.Now().Add(5*time.Second), func() bool {
+			return logs[2].FirstGap() >= target
+		})
+		cur := kindTotal(w, rsmKinds)
+		decidedNow := logs[2].FirstGap() - prevGap
+		if decidedNow <= 0 {
+			decidedNow = 1
+		}
+		perCmd = append(perCmd, float64(cur-prev)/float64(decidedNow))
+		prev = cur
+		prevGap = logs[2].FirstGap()
+	}
+
+	const bucket = 5
+	s := Series{
+		ID:    "E7",
+		Title: fmt.Sprintf("messages per command, replicated log, n=%d (Figure 4)", n),
+		Note: fmt.Sprintf("leader crashes after command %d; steady state ≈ 3(n-1) = %d consensus messages per leader-submitted command (accepted replies shrink with the surviving cluster after the crash)",
+			crashAfter, 3*(n-1)),
+		XLabel: "command #",
+		YLabel: "msgs/cmd",
+		Names:  []string{"rsm+Ω"},
+	}
+	var xs, ys []float64
+	for i := 0; i+bucket <= len(perCmd); i += bucket {
+		xs = append(xs, float64(i))
+		ys = append(ys, mean(perCmd[i:i+bucket]))
+	}
+	s.X = xs
+	s.Y = [][]float64{ys}
+	return s
+}

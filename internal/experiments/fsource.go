@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// E11FSourceBoundary regenerates Table 7: an empirical map of the
+// ◊-f-source concept from the paper's line of work. The source process has
+// eventually timely links to only its first k peers (in id order); every
+// other link in the system is fair-lossy. We sweep k from 0 (no timely
+// links at all) to n−1 (a full ◊-source) and report how often the core
+// algorithm stabilizes.
+//
+// Expected shape: reliability degrades as k shrinks — processes outside
+// the source's timely fan keep accusing whoever leads, so leadership
+// churns. A full ◊-source (k = n−1) matches E8's source column; small k
+// approaches the all-fair-lossy regime where nothing is guaranteed.
+func E11FSourceBoundary(o Opts) Table {
+	o.fill()
+	const n = 5
+	horizon := 60 * time.Second
+	if o.Quick {
+		horizon = 25 * time.Second
+	}
+	t := Table{
+		ID:    "E11",
+		Title: "◊-f-source boundary: timely links from the source vs stabilization (Table 7)",
+		Note: fmt.Sprintf("n=%d, source=p%d with timely links to its first k peers; all other links fair-lossy (drop 0.3); horizon %v, %d seeds",
+			n, n-1, horizon, o.Seeds),
+		Columns: []string{"k (timely out-links)", "Ω holds", "mean leader changes", "mean msgs/η (tail)"},
+	}
+	for k := 0; k <= n-1; k++ {
+		holds := 0
+		var changes, rates []float64
+		for seed := 0; seed < o.Seeds; seed++ {
+			h, ch, rate := fSourceRun(n, k, int64(seed), horizon)
+			if h {
+				holds++
+			}
+			changes = append(changes, float64(ch))
+			rates = append(rates, rate)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%d/%d", holds, o.Seeds),
+			fmt.Sprintf("%.0f", mean(changes)),
+			fmt.Sprintf("%.1f", mean(rates)),
+		})
+	}
+	return t
+}
+
+// fSourceRun executes one E11 cell: source p(n-1) gets timely links to its
+// first k peers, the rest of the world is fair-lossy.
+func fSourceRun(n, k int, seed int64, horizon time.Duration) (holds bool, changes int, msgsPerEta float64) {
+	w, err := node.NewWorld(node.WorldConfig{
+		N: n, Seed: seed,
+		DefaultLink: network.FairLossy(2*time.Millisecond, 40*time.Millisecond, 0.3),
+	})
+	if err != nil {
+		panic(err)
+	}
+	src := n - 1
+	for peer := 0; peer < k; peer++ {
+		if err := w.Fabric.SetProfile(src, peer, network.Timely(2*time.Millisecond)); err != nil {
+			panic(err)
+		}
+	}
+	dets := make([]*core.Detector, n)
+	for i := range dets {
+		dets[i] = core.New(core.WithEta(Eta))
+		w.SetAutomaton(node.ID(i), dets[i])
+	}
+	w.Start()
+	w.RunUntil(sim.At(horizon), nil)
+
+	tailStart := sim.At(horizon * 3 / 4)
+	leader := dets[0].Leader()
+	agree := true
+	lastChange := sim.TimeZero
+	for _, d := range dets {
+		changes += d.History().NumChanges()
+		if d.Leader() != leader {
+			agree = false
+		}
+		if at, _ := d.History().StableSince(); at > lastChange {
+			lastChange = at
+		}
+	}
+	holds = agree && lastChange <= tailStart
+	msgsPerEta = float64(w.Stats.MessagesInWindow(tailStart, sim.At(horizon))) /
+		(float64(horizon/4) / float64(Eta))
+	return holds, changes, msgsPerEta
+}

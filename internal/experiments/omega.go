@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// omegaAlgos are the three Omega implementations every message-cost
+// experiment compares.
+var omegaAlgos = []scenario.Algorithm{
+	scenario.AlgoCore,
+	scenario.AlgoAllToAll,
+	scenario.AlgoSource,
+}
+
+// E1SteadyStateMessages regenerates Table 1: per-η message cost after
+// stabilization, for each algorithm across system sizes. The paper's
+// claim: the core algorithm converges to exactly n−1 messages per η (one
+// leader broadcast), the baselines stay at n(n−1).
+func E1SteadyStateMessages(o Opts) Table {
+	o.fill()
+	sizes := []int{3, 5, 10, 20, 40}
+	horizon, tail := 400, 100
+	if o.Quick {
+		sizes = []int{3, 5, 10}
+		horizon, tail = 150, 50
+	}
+	t := Table{
+		ID:    "E1",
+		Title: "steady-state messages per η (Table 1)",
+		Note: fmt.Sprintf("all links eventually timely, GST=20η, measured over the final %dη of %dη; predictions: core n-1, baselines n(n-1)",
+			tail, horizon),
+		Columns: []string{"n", "algorithm", "msgs/η", "predicted", "senders"},
+	}
+	for _, n := range sizes {
+		for _, algo := range omegaAlgos {
+			var rates []float64
+			senders := 0
+			for seed := 0; seed < o.Seeds; seed++ {
+				s, err := scenario.Build(scenario.Config{
+					N: n, Seed: int64(seed), Algorithm: algo,
+					Regime: scenario.RegimeAllET, Eta: Eta, GST: etaT(20),
+				})
+				if err != nil {
+					panic(err)
+				}
+				s.Run(time.Duration(horizon) * Eta)
+				from := etaT(horizon - tail)
+				rep := s.CommEffReport(from)
+				rates = append(rates, rep.MessagesPerPeriod)
+				if len(rep.Senders) > senders {
+					senders = len(rep.Senders)
+				}
+			}
+			predicted := n * (n - 1)
+			if algo == scenario.AlgoCore {
+				predicted = n - 1
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n),
+				string(algo),
+				fmt.Sprintf("%.1f", mean(rates)),
+				fmt.Sprintf("%d", predicted),
+				fmt.Sprintf("%d", senders),
+			})
+		}
+	}
+	return t
+}
+
+// E2ConvergenceSeries regenerates Figure 1: messages per η over time for
+// each algorithm, showing the pre-GST spike and the core algorithm's decay
+// to a single sender.
+func E2ConvergenceSeries(o Opts) Series {
+	o.fill()
+	n, gstPeriods, horizon := 10, 50, 300
+	if o.Quick {
+		horizon = 150
+	}
+	step := 5 // sample every 5η for readable output
+	s := Series{
+		ID:     "E2",
+		Title:  "messages per η over time, n=10, GST=50η (Figure 1)",
+		Note:   "all links eventually timely; the core curve decays to n-1=9 per η, baselines plateau at n(n-1)=90",
+		XLabel: "t (η)",
+		YLabel: "msgs/η",
+	}
+	for _, algo := range omegaAlgos {
+		sys, err := scenario.Build(scenario.Config{
+			N: n, Seed: 1, Algorithm: algo,
+			Regime: scenario.RegimeAllET, Eta: Eta, GST: etaT(gstPeriods),
+		})
+		if err != nil {
+			panic(err)
+		}
+		sys.Run(time.Duration(horizon) * Eta)
+		buckets := sys.World.Stats.Series(Eta, etaT(horizon))
+		var xs, ys []float64
+		for i := 0; i+step <= len(buckets); i += step {
+			var sum uint64
+			for j := 0; j < step; j++ {
+				sum += buckets[i+j]
+			}
+			xs = append(xs, float64(i))
+			ys = append(ys, float64(sum)/float64(step))
+		}
+		if s.X == nil {
+			s.X = xs
+		}
+		s.Names = append(s.Names, string(algo))
+		s.Y = append(s.Y, ys)
+	}
+	return s
+}
+
+// E3StabilizationVsGST regenerates Figure 2: how the empirical
+// stabilization time tracks the (unknown to the algorithm) global
+// stabilization time.
+func E3StabilizationVsGST(o Opts) Table {
+	o.fill()
+	gsts := []int{0, 10, 25, 50, 100}
+	if o.Quick {
+		gsts = []int{0, 25, 50}
+	}
+	t := Table{
+		ID:      "E3",
+		Title:   "leader stabilization time vs GST, n=10 (Figure 2)",
+		Note:    "all links eventually timely; stabilization = last leader change at any correct process; grows with GST for every algorithm",
+		Columns: []string{"GST (η)", "algorithm", "stabilized (mean)", "stabilized (max)", "converged"},
+	}
+	for _, gst := range gsts {
+		for _, algo := range omegaAlgos {
+			var times []float64
+			converged := 0
+			for seed := 0; seed < o.Seeds; seed++ {
+				s, err := scenario.Build(scenario.Config{
+					N: 10, Seed: int64(seed), Algorithm: algo,
+					Regime: scenario.RegimeAllET, Eta: Eta, GST: etaT(gst),
+				})
+				if err != nil {
+					panic(err)
+				}
+				s.Run(time.Duration(gst)*Eta + 200*Eta)
+				if at, ok := sysConvergence(s); ok {
+					converged++
+					times = append(times, float64(at)/float64(Eta.Nanoseconds()))
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", gst),
+				string(algo),
+				fmt.Sprintf("%.0fη", mean(times)),
+				fmt.Sprintf("%.0fη", maxOf(times)),
+				fmt.Sprintf("%d/%d", converged, o.Seeds),
+			})
+		}
+	}
+	return t
+}
+
+func sysConvergence(s *scenario.System) (sim.Time, bool) {
+	rep := s.OmegaReport()
+	if !rep.Holds {
+		return 0, false
+	}
+	return rep.StabilizedAt, true
+}
+
+// E4CrashRecovery regenerates Table 2: time to re-agree on a leader after
+// the stable leader crashes.
+func E4CrashRecovery(o Opts) Table {
+	o.fill()
+	sizes := []int{5, 10, 20}
+	if o.Quick {
+		sizes = []int{5, 10}
+	}
+	crashAt := etaT(100)
+	t := Table{
+		ID:      "E4",
+		Title:   "re-election latency after leader crash (Table 2)",
+		Note:    "all links timely, leader p0 crashes at 100η; latency = last leader change − crash time",
+		Columns: []string{"n", "algorithm", "latency (mean)", "latency (max)", "new leader"},
+	}
+	for _, n := range sizes {
+		for _, algo := range omegaAlgos {
+			var lats []float64
+			leaderOK := true
+			for seed := 0; seed < o.Seeds; seed++ {
+				s, err := scenario.Build(scenario.Config{
+					N: n, Seed: int64(seed), Algorithm: algo,
+					Regime: scenario.RegimeAllTimely, Eta: Eta,
+					Crashes: []scenario.Crash{{ID: 0, At: crashAt}},
+				})
+				if err != nil {
+					panic(err)
+				}
+				s.Run(400 * Eta)
+				rep := s.OmegaReport()
+				if !rep.Holds || rep.Leader == 0 {
+					leaderOK = false
+					continue
+				}
+				lats = append(lats, float64(rep.StabilizedAt-crashAt)/float64(time.Millisecond))
+			}
+			status := "p1"
+			if !leaderOK {
+				status = "FAILED"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n),
+				string(algo),
+				fmt.Sprintf("%.1fms", mean(lats)),
+				fmt.Sprintf("%.1fms", maxOf(lats)),
+				status,
+			})
+		}
+	}
+	return t
+}
+
+// E5LinksUsed regenerates Figure 3: the number of directed links carrying
+// messages forever — the paper's second formulation of communication
+// efficiency (n−1 links vs n(n−1)).
+func E5LinksUsed(o Opts) Table {
+	o.fill()
+	sizes := []int{3, 5, 10, 20, 40}
+	horizon, tail := 300, 50
+	if o.Quick {
+		sizes = []int{3, 5, 10}
+		horizon, tail = 150, 30
+	}
+	t := Table{
+		ID:      "E5",
+		Title:   "directed links used forever (Figure 3)",
+		Note:    fmt.Sprintf("all links timely; links counted over the final %dη of %dη", tail, horizon),
+		Columns: []string{"n", "algorithm", "links used", "predicted"},
+	}
+	for _, n := range sizes {
+		for _, algo := range omegaAlgos {
+			s, err := scenario.Build(scenario.Config{
+				N: n, Seed: 7, Algorithm: algo, Regime: scenario.RegimeAllTimely, Eta: Eta,
+			})
+			if err != nil {
+				panic(err)
+			}
+			s.Run(time.Duration(horizon) * Eta)
+			links := s.World.Stats.LinksUsedSince(etaT(horizon - tail))
+			predicted := n * (n - 1)
+			if algo == scenario.AlgoCore {
+				predicted = n - 1
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n),
+				string(algo),
+				fmt.Sprintf("%d", links),
+				fmt.Sprintf("%d", predicted),
+			})
+		}
+	}
+	return t
+}

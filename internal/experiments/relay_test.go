@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestE10RelayMakesPathsSufficient(t *testing.T) {
+	tab := E10RelayedPaths(Opts{Quick: true, Seeds: 1})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	relayRow, ok := byName["core + relay"]
+	if !ok {
+		t.Fatalf("missing relay row: %v", byName)
+	}
+	if relayRow[1] != "yes" {
+		t.Fatalf("relayed variant did not hold: %v", relayRow)
+	}
+	if relayRow[3] != "1" {
+		t.Fatalf("relayed variant has %s originators in tail, want 1", relayRow[3])
+	}
+	bareRow := byName["core bare"]
+	if bareRow[1] != "no" {
+		t.Fatalf("bare variant unexpectedly held: %v", bareRow)
+	}
+}

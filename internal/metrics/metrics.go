@@ -1,0 +1,281 @@
+// Package metrics collects message-level accounting for simulation runs.
+//
+// The reproduced paper's headline property is about message counts: a
+// communication-efficient Omega implementation eventually has exactly one
+// sender and uses exactly n-1 links forever. This package records every
+// send/delivery/drop with its virtual timestamp so that the property
+// checkers (internal/check) and the experiment harness
+// (internal/experiments) can compute "who sent after time t", "how many
+// messages per period", and "how many links carried traffic after t".
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SendRecord is one recorded message transmission.
+type SendRecord struct {
+	At   sim.Time
+	From int32
+	To   int32
+	Kind uint16
+}
+
+// MessageStats accumulates per-run message accounting. It is safe for
+// concurrent use so that the same type serves both the single-threaded
+// simulator and the live goroutine transports.
+type MessageStats struct {
+	mu sync.Mutex
+
+	n         int
+	sends     []SendRecord
+	sentBy    []uint64
+	link      []uint64 // n*n flattened [from*n+to]
+	delivered uint64
+	dropped   uint64
+
+	kindIDs    map[string]uint16
+	kindNames  []string
+	kindCounts []uint64
+}
+
+// NewMessageStats returns stats for a system of n processes.
+func NewMessageStats(n int) *MessageStats {
+	return &MessageStats{
+		n:       n,
+		sentBy:  make([]uint64, n),
+		link:    make([]uint64, n*n),
+		kindIDs: make(map[string]uint16),
+	}
+}
+
+// N returns the number of processes the stats were created for.
+func (s *MessageStats) N() int { return s.n }
+
+func (s *MessageStats) kindID(kind string) uint16 {
+	id, ok := s.kindIDs[kind]
+	if !ok {
+		id = uint16(len(s.kindNames))
+		s.kindIDs[kind] = id
+		s.kindNames = append(s.kindNames, kind)
+		s.kindCounts = append(s.kindCounts, 0)
+	}
+	return id
+}
+
+// RecordSend notes that from sent a message of the given kind to to at t.
+func (s *MessageStats) RecordSend(t sim.Time, from, to int, kind string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.kindID(kind)
+	s.sends = append(s.sends, SendRecord{At: t, From: int32(from), To: int32(to), Kind: id})
+	s.sentBy[from]++
+	s.link[from*s.n+to]++
+	s.kindCounts[id]++
+}
+
+// RecordDeliver notes a successful delivery.
+func (s *MessageStats) RecordDeliver(t sim.Time, from, to int, kind string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delivered++
+}
+
+// RecordDrop notes a message lost by its link.
+func (s *MessageStats) RecordDrop(t sim.Time, from, to int, kind string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropped++
+}
+
+// TotalSent returns the total number of messages sent.
+func (s *MessageStats) TotalSent() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.sends))
+}
+
+// Delivered returns the total number of messages delivered.
+func (s *MessageStats) Delivered() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+
+// Dropped returns the total number of messages lost in transit.
+func (s *MessageStats) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// SentBy returns how many messages process id has sent.
+func (s *MessageStats) SentBy(id int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sentBy[id]
+}
+
+// LinkCount returns how many messages were sent on the from→to link.
+func (s *MessageStats) LinkCount(from, to int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.link[from*s.n+to]
+}
+
+// KindCount returns how many messages of the given kind were sent.
+func (s *MessageStats) KindCount(kind string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.kindIDs[kind]
+	if !ok {
+		return 0
+	}
+	return s.kindCounts[id]
+}
+
+// Kinds returns the observed message kinds in first-seen order.
+func (s *MessageStats) Kinds() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.kindNames))
+	copy(out, s.kindNames)
+	return out
+}
+
+// SendersSince returns the sorted set of processes that sent at least one
+// message at or after t.
+func (s *MessageStats) SendersSince(t sim.Time) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[int32]bool)
+	for i := len(s.sends) - 1; i >= 0; i-- {
+		rec := s.sends[i]
+		if rec.At < t {
+			break // records are appended in non-decreasing time order
+		}
+		seen[rec.From] = true
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, int(id))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LinksUsedSince returns how many distinct directed links carried at least
+// one message at or after t.
+func (s *MessageStats) LinksUsedSince(t sim.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[int64]bool)
+	for i := len(s.sends) - 1; i >= 0; i-- {
+		rec := s.sends[i]
+		if rec.At < t {
+			break
+		}
+		seen[int64(rec.From)<<32|int64(rec.To)] = true
+	}
+	return len(seen)
+}
+
+// MessagesInWindow counts messages sent in the half-open window [from, to).
+func (s *MessageStats) MessagesInWindow(from, to sim.Time) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo := s.searchLocked(from)
+	hi := s.searchLocked(to)
+	return uint64(hi - lo)
+}
+
+// searchLocked returns the index of the first send at or after t.
+func (s *MessageStats) searchLocked(t sim.Time) int {
+	return sort.Search(len(s.sends), func(i int) bool { return s.sends[i].At >= t })
+}
+
+// QuietSince returns the earliest instant q such that every message sent at
+// or after q was sent by the given process. If nobody else ever sent, that
+// instant is 0.
+//
+// This is the machine check for Definition "communication-efficient": pick
+// the leader as the process and QuietSince is the stabilization point after
+// which only the leader sends.
+func (s *MessageStats) QuietSince(process int) sim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.sends) - 1; i >= 0; i-- {
+		rec := s.sends[i]
+		if int(rec.From) != process {
+			// The latest foreign send bounds quiescence from below.
+			return rec.At + 1
+		}
+	}
+	return 0
+}
+
+// LastSendBy returns the time of the last message sent by id, and whether
+// id sent anything at all.
+func (s *MessageStats) LastSendBy(id int) (sim.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.sends) - 1; i >= 0; i-- {
+		if int(s.sends[i].From) == id {
+			return s.sends[i].At, true
+		}
+	}
+	return 0, false
+}
+
+// Series buckets the send log into fixed windows of width bucket, from time
+// zero to horizon, and returns the per-bucket message counts.
+func (s *MessageStats) Series(bucket time.Duration, horizon sim.Time) []uint64 {
+	if bucket <= 0 {
+		panic("metrics: Series with non-positive bucket")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nb := int(int64(horizon)/bucket.Nanoseconds()) + 1
+	out := make([]uint64, nb)
+	for _, rec := range s.sends {
+		if rec.At > horizon {
+			break
+		}
+		out[int64(rec.At)/bucket.Nanoseconds()]++
+	}
+	return out
+}
+
+// SeriesBySender buckets the send log per sender.
+func (s *MessageStats) SeriesBySender(bucket time.Duration, horizon sim.Time) [][]uint64 {
+	if bucket <= 0 {
+		panic("metrics: SeriesBySender with non-positive bucket")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nb := int(int64(horizon)/bucket.Nanoseconds()) + 1
+	out := make([][]uint64, s.n)
+	for i := range out {
+		out[i] = make([]uint64, nb)
+	}
+	for _, rec := range s.sends {
+		if rec.At > horizon {
+			break
+		}
+		out[rec.From][int64(rec.At)/bucket.Nanoseconds()]++
+	}
+	return out
+}
+
+// Summary returns a one-line human-readable digest.
+func (s *MessageStats) Summary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d kinds=%d",
+		len(s.sends), s.delivered, s.dropped, len(s.kindNames))
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func at(ms int) sim.Time { return sim.At(time.Duration(ms) * time.Millisecond) }
+
+func TestCountsAndKinds(t *testing.T) {
+	s := NewMessageStats(3)
+	s.RecordSend(at(1), 0, 1, "LEADER")
+	s.RecordSend(at(2), 0, 2, "LEADER")
+	s.RecordSend(at(3), 1, 0, "ACCUSE")
+	s.RecordDeliver(at(4), 0, 1, "LEADER")
+	s.RecordDrop(at(4), 0, 2, "LEADER")
+
+	if got := s.TotalSent(); got != 3 {
+		t.Fatalf("TotalSent = %d, want 3", got)
+	}
+	if got := s.Delivered(); got != 1 {
+		t.Fatalf("Delivered = %d, want 1", got)
+	}
+	if got := s.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	if got := s.SentBy(0); got != 2 {
+		t.Fatalf("SentBy(0) = %d, want 2", got)
+	}
+	if got := s.LinkCount(0, 1); got != 1 {
+		t.Fatalf("LinkCount(0,1) = %d, want 1", got)
+	}
+	if got := s.KindCount("LEADER"); got != 2 {
+		t.Fatalf("KindCount(LEADER) = %d, want 2", got)
+	}
+	if got := s.KindCount("NONE"); got != 0 {
+		t.Fatalf("KindCount(NONE) = %d, want 0", got)
+	}
+	kinds := s.Kinds()
+	if len(kinds) != 2 || kinds[0] != "LEADER" || kinds[1] != "ACCUSE" {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestSendersSince(t *testing.T) {
+	s := NewMessageStats(4)
+	s.RecordSend(at(1), 3, 0, "A")
+	s.RecordSend(at(5), 1, 0, "A")
+	s.RecordSend(at(10), 2, 0, "A")
+	s.RecordSend(at(15), 2, 1, "A")
+
+	if got := s.SendersSince(at(6)); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("SendersSince(6ms) = %v, want [2]", got)
+	}
+	if got := s.SendersSince(at(5)); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("SendersSince(5ms) = %v, want [1 2]", got)
+	}
+	if got := s.SendersSince(at(100)); len(got) != 0 {
+		t.Fatalf("SendersSince(100ms) = %v, want empty", got)
+	}
+	if got := s.SendersSince(0); len(got) != 3 {
+		t.Fatalf("SendersSince(0) = %v, want 3 senders", got)
+	}
+}
+
+func TestLinksUsedSince(t *testing.T) {
+	s := NewMessageStats(3)
+	s.RecordSend(at(1), 0, 1, "A")
+	s.RecordSend(at(2), 0, 1, "A") // same link, must not double-count
+	s.RecordSend(at(3), 0, 2, "A")
+	s.RecordSend(at(4), 1, 2, "A")
+	if got := s.LinksUsedSince(0); got != 3 {
+		t.Fatalf("LinksUsedSince(0) = %d, want 3", got)
+	}
+	if got := s.LinksUsedSince(at(3)); got != 2 {
+		t.Fatalf("LinksUsedSince(3ms) = %d, want 2", got)
+	}
+}
+
+func TestQuietSince(t *testing.T) {
+	s := NewMessageStats(3)
+	s.RecordSend(at(1), 1, 0, "A")
+	s.RecordSend(at(2), 0, 1, "A")
+	s.RecordSend(at(7), 2, 1, "A")
+	s.RecordSend(at(9), 0, 1, "A")
+	s.RecordSend(at(11), 0, 2, "A")
+	if got := s.QuietSince(0); got != at(7)+1 {
+		t.Fatalf("QuietSince(0) = %v, want just after 7ms", got)
+	}
+	// Process 2 is not quiet: 0 sends after it.
+	if got := s.QuietSince(2); got != at(11)+1 {
+		t.Fatalf("QuietSince(2) = %v, want just after 11ms", got)
+	}
+}
+
+func TestQuietSinceNoForeignSends(t *testing.T) {
+	s := NewMessageStats(2)
+	s.RecordSend(at(1), 0, 1, "A")
+	s.RecordSend(at(2), 0, 1, "A")
+	if got := s.QuietSince(0); got != 0 {
+		t.Fatalf("QuietSince = %v, want 0", got)
+	}
+}
+
+func TestMessagesInWindow(t *testing.T) {
+	s := NewMessageStats(2)
+	for ms := 0; ms < 10; ms++ {
+		s.RecordSend(at(ms), 0, 1, "A")
+	}
+	if got := s.MessagesInWindow(at(3), at(7)); got != 4 {
+		t.Fatalf("MessagesInWindow = %d, want 4", got)
+	}
+	if got := s.MessagesInWindow(0, at(100)); got != 10 {
+		t.Fatalf("MessagesInWindow(all) = %d, want 10", got)
+	}
+	if got := s.MessagesInWindow(at(50), at(60)); got != 0 {
+		t.Fatalf("MessagesInWindow(empty) = %d, want 0", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewMessageStats(2)
+	s.RecordSend(at(0), 0, 1, "A")
+	s.RecordSend(at(1), 0, 1, "A")
+	s.RecordSend(at(12), 1, 0, "A")
+	series := s.Series(10*time.Millisecond, at(29))
+	if len(series) != 3 {
+		t.Fatalf("len(series) = %d, want 3", len(series))
+	}
+	if series[0] != 2 || series[1] != 1 || series[2] != 0 {
+		t.Fatalf("series = %v, want [2 1 0]", series)
+	}
+}
+
+func TestSeriesBySender(t *testing.T) {
+	s := NewMessageStats(2)
+	s.RecordSend(at(0), 0, 1, "A")
+	s.RecordSend(at(12), 1, 0, "A")
+	s.RecordSend(at(13), 1, 0, "A")
+	per := s.SeriesBySender(10*time.Millisecond, at(19))
+	if len(per) != 2 {
+		t.Fatalf("len = %d", len(per))
+	}
+	if per[0][0] != 1 || per[0][1] != 0 || per[1][0] != 0 || per[1][1] != 2 {
+		t.Fatalf("per-sender series = %v", per)
+	}
+}
+
+func TestLastSendBy(t *testing.T) {
+	s := NewMessageStats(2)
+	if _, ok := s.LastSendBy(0); ok {
+		t.Fatal("LastSendBy on empty stats reported ok")
+	}
+	s.RecordSend(at(3), 0, 1, "A")
+	s.RecordSend(at(8), 0, 1, "A")
+	got, ok := s.LastSendBy(0)
+	if !ok || got != at(8) {
+		t.Fatalf("LastSendBy = %v,%v want 8ms,true", got, ok)
+	}
+	if _, ok := s.LastSendBy(1); ok {
+		t.Fatal("LastSendBy(1) reported ok for silent process")
+	}
+}
+
+func TestSeriesPanicsOnBadBucket(t *testing.T) {
+	s := NewMessageStats(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Series(0, at(10))
+}
+
+func TestSummary(t *testing.T) {
+	s := NewMessageStats(2)
+	s.RecordSend(at(1), 0, 1, "A")
+	if got := s.Summary(); got == "" {
+		t.Fatal("empty summary")
+	}
+}

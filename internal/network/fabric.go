@@ -1,0 +1,211 @@
+package network
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DeliverFunc receives a payload at its destination.
+type DeliverFunc func(from, to int, payload any)
+
+// Fabric is the simulated network connecting n processes. Each of the n*(n-1)
+// directed links has its own Profile; the fabric owns the global
+// stabilization time (GST) that eventually-timely links refer to, and a
+// "cut" overlay for injecting partitions on top of any profile.
+type Fabric struct {
+	kernel   *sim.Kernel
+	n        int
+	gst      sim.Time
+	profiles []Profile
+	cut      []bool
+	stats    *metrics.MessageStats
+	log      *trace.Log
+	deliver  DeliverFunc
+}
+
+// NewFabric creates a fabric for n processes whose links all start with the
+// given default profile. The stats and log sinks may be nil.
+func NewFabric(k *sim.Kernel, n int, def Profile, stats *metrics.MessageStats, log *trace.Log) (*Fabric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("network: fabric needs at least one process, got %d", n)
+	}
+	if err := def.Validate(); err != nil {
+		return nil, fmt.Errorf("default profile: %w", err)
+	}
+	f := &Fabric{
+		kernel:   k,
+		n:        n,
+		gst:      sim.TimeZero,
+		profiles: make([]Profile, n*n),
+		cut:      make([]bool, n*n),
+		stats:    stats,
+		log:      log,
+	}
+	for i := range f.profiles {
+		f.profiles[i] = def
+	}
+	return f, nil
+}
+
+// N returns the number of processes.
+func (f *Fabric) N() int { return f.n }
+
+// SetDeliver installs the delivery callback. It must be set before the
+// first Send.
+func (f *Fabric) SetDeliver(fn DeliverFunc) { f.deliver = fn }
+
+// GST returns the fabric's global stabilization time.
+func (f *Fabric) GST() sim.Time { return f.gst }
+
+// SetGST sets the instant after which eventually-timely links are timely.
+func (f *Fabric) SetGST(t sim.Time) { f.gst = t }
+
+func (f *Fabric) index(from, to int) int {
+	if from < 0 || from >= f.n || to < 0 || to >= f.n {
+		panic(fmt.Sprintf("network: link %d→%d out of range for n=%d", from, to, f.n))
+	}
+	return from*f.n + to
+}
+
+// Profile returns the current profile of the from→to link.
+func (f *Fabric) Profile(from, to int) Profile { return f.profiles[f.index(from, to)] }
+
+// SetProfile replaces the profile of one directed link.
+func (f *Fabric) SetProfile(from, to int, p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	f.profiles[f.index(from, to)] = p
+	return nil
+}
+
+// SetOutgoing replaces the profiles of all links leaving from (self link
+// excluded).
+func (f *Fabric) SetOutgoing(from int, p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for to := 0; to < f.n; to++ {
+		if to != from {
+			f.profiles[f.index(from, to)] = p
+		}
+	}
+	return nil
+}
+
+// SetIncoming replaces the profiles of all links arriving at to (self link
+// excluded).
+func (f *Fabric) SetIncoming(to int, p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for from := 0; from < f.n; from++ {
+		if from != to {
+			f.profiles[f.index(from, to)] = p
+		}
+	}
+	return nil
+}
+
+// SetAll replaces every link profile.
+func (f *Fabric) SetAll(p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for i := range f.profiles {
+		f.profiles[i] = p
+	}
+	return nil
+}
+
+// Cut force-drops all traffic on the from→to link until Heal.
+func (f *Fabric) Cut(from, to int) { f.cut[f.index(from, to)] = true }
+
+// Heal removes a Cut.
+func (f *Fabric) Heal(from, to int) { f.cut[f.index(from, to)] = false }
+
+// CutBidirectional cuts both directions between a and b.
+func (f *Fabric) CutBidirectional(a, b int) {
+	f.Cut(a, b)
+	f.Cut(b, a)
+}
+
+// HealBidirectional heals both directions between a and b.
+func (f *Fabric) HealBidirectional(a, b int) {
+	f.Heal(a, b)
+	f.Heal(b, a)
+}
+
+// Isolate cuts every link to and from id.
+func (f *Fabric) Isolate(id int) {
+	for other := 0; other < f.n; other++ {
+		if other != id {
+			f.CutBidirectional(id, other)
+		}
+	}
+}
+
+// Rejoin heals every link to and from id.
+func (f *Fabric) Rejoin(id int) {
+	for other := 0; other < f.n; other++ {
+		if other != id {
+			f.HealBidirectional(id, other)
+		}
+	}
+}
+
+// Send transmits payload on the from→to directed link. The message is
+// dropped or scheduled for delivery according to the link profile; kind is
+// used only for accounting.
+func (f *Fabric) Send(from, to int, kind string, payload any) {
+	if f.deliver == nil {
+		panic("network: Send before SetDeliver")
+	}
+	if from == to {
+		panic(fmt.Sprintf("network: process %d sending to itself", from))
+	}
+	now := f.kernel.Now()
+	idx := f.index(from, to)
+	if f.stats != nil {
+		f.stats.RecordSend(now, from, to, kind)
+	}
+	if f.log != nil {
+		f.log.Add(trace.Entry{T: now, Kind: trace.KindSend, Node: from, Peer: to, Msg: kind})
+	}
+	delay, ok := f.profiles[idx].transmit(now >= f.gst, f.kernel.Rand())
+	if !ok || f.cut[idx] {
+		if f.stats != nil {
+			f.stats.RecordDrop(now, from, to, kind)
+		}
+		if f.log != nil {
+			f.log.Add(trace.Entry{T: now, Kind: trace.KindDrop, Node: from, Peer: to, Msg: kind})
+		}
+		return
+	}
+	f.kernel.Schedule(delay, func() {
+		at := f.kernel.Now()
+		if f.stats != nil {
+			f.stats.RecordDeliver(at, from, to, kind)
+		}
+		if f.log != nil {
+			f.log.Add(trace.Entry{T: at, Kind: trace.KindDeliver, Node: to, Peer: from, Msg: kind})
+		}
+		f.deliver(from, to, payload)
+	})
+}
+
+// MaxDelta returns the largest Delta across all timely or eventually-timely
+// links, useful for sizing experiment stabilization margins.
+func (f *Fabric) MaxDelta() time.Duration {
+	var max time.Duration
+	for _, p := range f.profiles {
+		if (p.Kind == LinkTimely || p.Kind == LinkEventuallyTimely) && p.Delta > max {
+			max = p.Delta
+		}
+	}
+	return max
+}

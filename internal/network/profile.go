@@ -1,0 +1,173 @@
+// Package network models point-to-point links with the timeliness and loss
+// regimes of the reproduced paper: timely, eventually timely (with an
+// unknown global stabilization time GST and bound delta), reliable
+// asynchronous, fair lossy, and lossy links. A Fabric wires n processes
+// together, applies per-link profiles, injects partitions, and records
+// every send/delivery/drop into metrics and trace.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// LinkKind classifies a link's timeliness/loss behaviour.
+type LinkKind int
+
+// Link kinds, in decreasing order of strength.
+const (
+	// LinkTimely delivers within Delta from time zero.
+	LinkTimely LinkKind = iota + 1
+	// LinkEventuallyTimely delivers within Delta any message sent at or
+	// after the fabric's GST. Messages sent before GST may be delayed up
+	// to MaxDelay or dropped with probability DropProb.
+	LinkEventuallyTimely
+	// LinkReliable delivers every message, with unbounded (up to
+	// MaxDelay-sampled) delay. This is the "reliable asynchronous" link
+	// of the paper's communication-efficient system.
+	LinkReliable
+	// LinkFairLossy drops each message with probability DropProb < 1;
+	// since senders retransmit forever, infinitely many messages of each
+	// type get through (the paper's fair-lossy link, probabilistically).
+	LinkFairLossy
+	// LinkLossy may drop arbitrarily many messages (DropProb may be 1).
+	LinkLossy
+	// LinkDown delivers nothing, ever.
+	LinkDown
+)
+
+// String returns the kind's short name.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkTimely:
+		return "timely"
+	case LinkEventuallyTimely:
+		return "eventually-timely"
+	case LinkReliable:
+		return "reliable"
+	case LinkFairLossy:
+		return "fair-lossy"
+	case LinkLossy:
+		return "lossy"
+	case LinkDown:
+		return "down"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Profile describes one directed link's behaviour.
+type Profile struct {
+	Kind LinkKind
+	// Delta bounds post-GST delay for timely kinds.
+	Delta time.Duration
+	// MinDelay floors every delivery delay.
+	MinDelay time.Duration
+	// MaxDelay caps sampled delays for asynchronous behaviour (pre-GST
+	// eventually-timely, reliable, fair-lossy, lossy).
+	MaxDelay time.Duration
+	// DropProb is the per-message loss probability where the kind allows
+	// loss. For eventually-timely links it applies only before GST.
+	DropProb float64
+}
+
+// Validate reports configuration errors in the profile.
+func (p Profile) Validate() error {
+	switch p.Kind {
+	case LinkTimely, LinkEventuallyTimely:
+		if p.Delta <= 0 {
+			return fmt.Errorf("network: %v link requires positive Delta", p.Kind)
+		}
+		if p.MinDelay > p.Delta {
+			return fmt.Errorf("network: MinDelay %v exceeds Delta %v", p.MinDelay, p.Delta)
+		}
+	case LinkReliable, LinkFairLossy, LinkLossy:
+		if p.MaxDelay <= 0 {
+			return fmt.Errorf("network: %v link requires positive MaxDelay", p.Kind)
+		}
+		if p.MinDelay > p.MaxDelay {
+			return fmt.Errorf("network: MinDelay %v exceeds MaxDelay %v", p.MinDelay, p.MaxDelay)
+		}
+	case LinkDown:
+		return nil
+	default:
+		return fmt.Errorf("network: unknown link kind %d", int(p.Kind))
+	}
+	if p.DropProb < 0 || p.DropProb > 1 {
+		return fmt.Errorf("network: DropProb %v out of [0,1]", p.DropProb)
+	}
+	if p.Kind == LinkFairLossy && p.DropProb >= 1 {
+		return fmt.Errorf("network: fair-lossy link requires DropProb < 1, got %v", p.DropProb)
+	}
+	return nil
+}
+
+// Timely returns a timely link with the given delay bound.
+func Timely(delta time.Duration) Profile {
+	return Profile{Kind: LinkTimely, Delta: delta}
+}
+
+// EventuallyTimely returns an eventually timely link: before the fabric's
+// GST it behaves like a lossy asynchronous link (drop probability preDrop,
+// delays up to maxDelay); from GST on it delivers within delta.
+func EventuallyTimely(delta, maxDelay time.Duration, preDrop float64) Profile {
+	return Profile{Kind: LinkEventuallyTimely, Delta: delta, MaxDelay: maxDelay, DropProb: preDrop}
+}
+
+// Reliable returns a reliable asynchronous link with delays in
+// [minDelay, maxDelay].
+func Reliable(minDelay, maxDelay time.Duration) Profile {
+	return Profile{Kind: LinkReliable, MinDelay: minDelay, MaxDelay: maxDelay}
+}
+
+// FairLossy returns a fair-lossy link dropping each message with
+// probability drop (< 1) and otherwise delivering within maxDelay.
+func FairLossy(minDelay, maxDelay time.Duration, drop float64) Profile {
+	return Profile{Kind: LinkFairLossy, MinDelay: minDelay, MaxDelay: maxDelay, DropProb: drop}
+}
+
+// Lossy returns a lossy asynchronous link dropping each message with
+// probability drop (which may be 1).
+func Lossy(minDelay, maxDelay time.Duration, drop float64) Profile {
+	return Profile{Kind: LinkLossy, MinDelay: minDelay, MaxDelay: maxDelay, DropProb: drop}
+}
+
+// Down returns a link that never delivers.
+func Down() Profile { return Profile{Kind: LinkDown} }
+
+// transmit decides the fate of a message sent now: lost, or delivered
+// after the returned delay. afterGST tells whether now >= the fabric GST.
+func (p Profile) transmit(afterGST bool, rng *rand.Rand) (time.Duration, bool) {
+	switch p.Kind {
+	case LinkTimely:
+		return sampleDelay(rng, p.MinDelay, p.Delta), true
+	case LinkEventuallyTimely:
+		if afterGST {
+			return sampleDelay(rng, p.MinDelay, p.Delta), true
+		}
+		if rng.Float64() < p.DropProb {
+			return 0, false
+		}
+		return sampleDelay(rng, p.MinDelay, p.MaxDelay), true
+	case LinkReliable:
+		return sampleDelay(rng, p.MinDelay, p.MaxDelay), true
+	case LinkFairLossy, LinkLossy:
+		if rng.Float64() < p.DropProb {
+			return 0, false
+		}
+		return sampleDelay(rng, p.MinDelay, p.MaxDelay), true
+	case LinkDown:
+		return 0, false
+	default:
+		panic(fmt.Sprintf("network: unknown link kind %d", int(p.Kind)))
+	}
+}
+
+// sampleDelay draws a uniform delay in [lo, hi].
+func sampleDelay(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)+1))
+}

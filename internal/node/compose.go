@@ -1,0 +1,35 @@
+package node
+
+// Compose runs several automatons as one process: every delivery and timer
+// tick is offered to each child in order. Children must ignore message
+// types and timer keys they do not own — all protocol automatons in this
+// repository follow that convention (messages are dispatched by concrete
+// type, timer keys carry a package prefix) — so composition lets one
+// process run, for example, an Omega detector and a consensus engine side
+// by side on a single runtime slot.
+func Compose(children ...Automaton) Automaton {
+	return composite(children)
+}
+
+type composite []Automaton
+
+// Start implements Automaton.
+func (c composite) Start(env Env) {
+	for _, a := range c {
+		a.Start(env)
+	}
+}
+
+// Deliver implements Automaton.
+func (c composite) Deliver(from ID, m Message) {
+	for _, a := range c {
+		a.Deliver(from, m)
+	}
+}
+
+// Tick implements Automaton.
+func (c composite) Tick(key string) {
+	for _, a := range c {
+		a.Tick(key)
+	}
+}

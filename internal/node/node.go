@@ -1,0 +1,63 @@
+// Package node defines the process-runtime abstraction shared by the
+// deterministic simulator and the live transports: a protocol is an
+// Automaton reacting to message deliveries and timer expirations through an
+// Env handle, never touching threads or wall-clock time directly. The same
+// Automaton implementations (internal/core, internal/detector/...,
+// internal/consensus/...) therefore run unchanged on virtual time
+// (node.World) and on real goroutines (internal/transport).
+package node
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ID identifies a process; processes are numbered 0..n-1.
+type ID int
+
+// None is the null process id.
+const None ID = -1
+
+// Message is a protocol message. Kind returns a short stable tag (for
+// example "LEADER") used for accounting, tracing and wire encoding.
+// Messages must behave as immutable values once sent: implementations
+// carrying slices must copy them at construction.
+type Message interface {
+	Kind() string
+}
+
+// Env is the runtime handle an Automaton uses to interact with the world.
+// All methods must be called only from within the automaton's callbacks
+// (Start, Deliver, Tick); the runtimes guarantee those never run
+// concurrently for a given process.
+type Env interface {
+	// ID returns this process's identity.
+	ID() ID
+	// N returns the total number of processes in the system.
+	N() int
+	// Now returns the current local clock reading.
+	Now() sim.Time
+	// Send transmits m to process to over the network.
+	Send(to ID, m Message)
+	// Broadcast sends m to every other process, in ascending id order.
+	Broadcast(m Message)
+	// SetTimer (re)arms the named timer to fire after d. Arming an
+	// already-armed key replaces the previous deadline.
+	SetTimer(key string, d time.Duration)
+	// StopTimer disarms the named timer if armed.
+	StopTimer(key string)
+	// Logf records a protocol annotation in the trace.
+	Logf(format string, args ...any)
+}
+
+// Automaton is a protocol state machine. Implementations must be fully
+// event-driven: all state changes happen inside these callbacks.
+type Automaton interface {
+	// Start runs once when the process boots, before any delivery.
+	Start(env Env)
+	// Deliver handles a message from another process.
+	Deliver(from ID, m Message)
+	// Tick handles the expiration of the named timer.
+	Tick(key string)
+}

@@ -1,0 +1,114 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func TestStaggeredStartBootsAtConfiguredTimes(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		N: 3, Seed: 1,
+		DefaultLink: network.Timely(ms),
+		StartAt:     []sim.Time{0, sim.At(50 * ms), sim.At(100 * ms)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	autos := make([]*echoAutomaton, 3)
+	bootTimes := make([]sim.Time, 3)
+	for i := range autos {
+		i := i
+		autos[i] = &echoAutomaton{onStart: func(Env) { bootTimes[i] = w.Kernel.Now() }}
+		w.SetAutomaton(ID(i), autos[i])
+	}
+	w.Start()
+	if !w.Started(0) || w.Started(1) || w.Started(2) {
+		t.Fatal("immediate/deferred boot mix wrong at t=0")
+	}
+	w.RunFor(time.Second)
+	want := []sim.Time{0, sim.At(50 * ms), sim.At(100 * ms)}
+	for i, bt := range bootTimes {
+		if bt != want[i] {
+			t.Fatalf("p%d booted at %v, want %v", i, bt, want[i])
+		}
+	}
+}
+
+func TestMessagesToUnstartedProcessAreLost(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		N: 2, Seed: 1,
+		DefaultLink: network.Timely(ms),
+		StartAt:     []sim.Time{0, sim.At(100 * ms)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	autos := []*echoAutomaton{{}, {}}
+	autos[0].onStart = func(env Env) { env.Send(1, pingMsg{Seq: 7}) }
+	for i := range autos {
+		w.SetAutomaton(ID(i), autos[i])
+	}
+	w.Start()
+	w.RunFor(time.Second)
+	if autos[1].delivers != 0 {
+		t.Fatalf("unstarted process received %d messages", autos[1].delivers)
+	}
+}
+
+func TestUnstartedProcessCannotSend(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		N: 2, Seed: 1,
+		DefaultLink: network.Timely(ms),
+		StartAt:     []sim.Time{0, sim.At(500 * ms)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		w.SetAutomaton(ID(i), &echoAutomaton{})
+	}
+	w.Start()
+	w.Env(1).Send(0, pingMsg{}) // silently ignored before boot
+	w.RunFor(10 * ms)
+	if w.Stats.TotalSent() != 0 {
+		t.Fatal("unstarted process sent a message")
+	}
+}
+
+func TestCrashBeforeStaggeredStartSuppressesBoot(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		N: 2, Seed: 1,
+		DefaultLink: network.Timely(ms),
+		StartAt:     []sim.Time{0, sim.At(100 * ms)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	autos := []*echoAutomaton{{}, {}}
+	booted := false
+	autos[1].onStart = func(Env) { booted = true }
+	for i := range autos {
+		w.SetAutomaton(ID(i), autos[i])
+	}
+	w.Start()
+	w.CrashAt(1, sim.At(50*ms))
+	w.RunFor(time.Second)
+	if booted {
+		t.Fatal("process booted after crashing")
+	}
+	if w.Started(1) {
+		t.Fatal("Started(1) true for crashed-before-boot process")
+	}
+}
+
+func TestStartAtValidation(t *testing.T) {
+	_, err := NewWorld(WorldConfig{
+		N: 3, DefaultLink: network.Timely(ms), StartAt: []sim.Time{0},
+	})
+	if err == nil {
+		t.Fatal("bad StartAt length accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestWorldLevelDeterminism: identical configurations replay bit-for-bit —
+// same message counts, same leader histories, same stabilization instants.
+// This is the property that makes every experiment in EXPERIMENTS.md
+// regenerable.
+func TestWorldLevelDeterminism(t *testing.T) {
+	run := func() (uint64, []sim.Time, []int) {
+		s, err := Build(Config{
+			N: 6, Seed: 1234, Algorithm: AlgoCore, Regime: RegimeAllET,
+			GST:     sim.At(200 * time.Millisecond),
+			Crashes: []Crash{{ID: 0, At: sim.At(700 * time.Millisecond)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(3 * time.Second)
+		var stabilized []sim.Time
+		var changes []int
+		for _, om := range s.Omegas {
+			at, _ := om.History().StableSince()
+			stabilized = append(stabilized, at)
+			changes = append(changes, om.History().NumChanges())
+		}
+		return s.World.Stats.TotalSent(), stabilized, changes
+	}
+	sent1, stab1, ch1 := run()
+	sent2, stab2, ch2 := run()
+	if sent1 != sent2 {
+		t.Fatalf("message counts diverged: %d vs %d", sent1, sent2)
+	}
+	for i := range stab1 {
+		if stab1[i] != stab2[i] || ch1[i] != ch2[i] {
+			t.Fatalf("p%d history diverged: (%v,%d) vs (%v,%d)", i, stab1[i], ch1[i], stab2[i], ch2[i])
+		}
+	}
+}
+
+// TestSeedsActuallyMatter guards against accidentally ignoring the seed.
+func TestSeedsActuallyMatter(t *testing.T) {
+	counts := make(map[uint64]bool)
+	for seed := int64(0); seed < 4; seed++ {
+		s, err := Build(Config{N: 5, Seed: seed, Regime: RegimeAllET, GST: sim.At(300 * time.Millisecond)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(2 * time.Second)
+		counts[s.World.Stats.TotalSent()] = true
+	}
+	if len(counts) < 2 {
+		t.Fatalf("4 different seeds produced %d distinct runs", len(counts))
+	}
+}

@@ -1,0 +1,337 @@
+// Package scenario assembles complete experiment setups: a link regime
+// (which links are timely, reliable, or lossy), a leader-election
+// algorithm, a failure plan, and seeds. It is the shared entry point for
+// the test suite, the benchmarks (bench_test.go), the experiment harness
+// (internal/experiments) and the CLI (cmd/omegasim).
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/detector/alltoall"
+	"repro/internal/detector/source"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/relay"
+	"repro/internal/sim"
+)
+
+// Algorithm names an Omega implementation.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// AlgoCore is the paper's communication-efficient Omega
+	// (internal/core).
+	AlgoCore Algorithm = "core"
+	// AlgoCoreNoGrowth is the core algorithm without timeout adaptation
+	// (ablation).
+	AlgoCoreNoGrowth Algorithm = "core-nogrowth"
+	// AlgoCoreNoGuard is the core algorithm without the accusation epoch
+	// guard (ablation).
+	AlgoCoreNoGuard Algorithm = "core-noguard"
+	// AlgoCoreNoAccuse is the core algorithm with local-only accusations
+	// (ablation).
+	AlgoCoreNoAccuse Algorithm = "core-noaccuse"
+	// AlgoCoreRelay is the core algorithm behind a flooding relay
+	// (internal/relay): eventually timely *paths* suffice.
+	AlgoCoreRelay Algorithm = "core-relay"
+	// AlgoCoreRebuff is the core algorithm with stale-leader rebuffs
+	// (partition-heal robustness extension).
+	AlgoCoreRebuff Algorithm = "core-rebuff"
+	// AlgoAllToAll is the classic all-to-all heartbeat baseline.
+	AlgoAllToAll Algorithm = "alltoall"
+	// AlgoSource is the gossiped-counter PODC'03 baseline.
+	AlgoSource Algorithm = "source"
+)
+
+// Algorithms lists every selectable algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoCore, AlgoCoreNoGrowth, AlgoCoreNoGuard, AlgoCoreNoAccuse, AlgoCoreRelay, AlgoCoreRebuff, AlgoAllToAll, AlgoSource}
+}
+
+// Regime names a link-synchrony configuration.
+type Regime string
+
+// Available link regimes.
+const (
+	// RegimeAllTimely makes every link timely from time zero.
+	RegimeAllTimely Regime = "all-timely"
+	// RegimeAllET makes every link eventually timely (lossless, wild
+	// delays before GST).
+	RegimeAllET Regime = "all-et"
+	// RegimeSourceReliable gives only the source eventually-timely
+	// output links; all other links are reliable with unbounded delays.
+	// This is the minimal assumption of the paper's core algorithm.
+	RegimeSourceReliable Regime = "source-reliable"
+	// RegimeSourceFairLossy gives only the source eventually-timely
+	// output links; all other links are fair-lossy. The core algorithm
+	// is expected to fail here; the gossiped-counter baseline survives.
+	RegimeSourceFairLossy Regime = "source-fairlossy"
+	// RegimeLossy makes every link lossy — no Omega algorithm in this
+	// repository is expected to stabilize.
+	RegimeLossy Regime = "lossy"
+	// RegimeTimelyPath provides only an eventually timely *path* from
+	// the source to every process (source→hub, hub→everyone, and the
+	// reverse), with 90%-lossy links elsewhere. Only relayed algorithms
+	// are expected to stabilize here.
+	RegimeTimelyPath Regime = "timely-path"
+)
+
+// Regimes lists every selectable link regime.
+func Regimes() []Regime {
+	return []Regime{RegimeAllTimely, RegimeAllET, RegimeSourceReliable, RegimeSourceFairLossy, RegimeLossy, RegimeTimelyPath}
+}
+
+// Crash schedules one process failure.
+type Crash struct {
+	ID node.ID
+	At sim.Time
+}
+
+// Config fully describes a runnable scenario. Zero values select defaults.
+type Config struct {
+	N         int
+	Seed      int64
+	Algorithm Algorithm
+	Regime    Regime
+
+	// Eta is the heartbeat period (default 10ms).
+	Eta time.Duration
+	// Delta is the post-GST delay bound of timely links (default 2ms).
+	Delta time.Duration
+	// MaxDelay caps asynchronous delays (default 100ms).
+	MaxDelay time.Duration
+	// DropProb is the loss probability of fair-lossy/lossy links
+	// (default 0.3).
+	DropProb float64
+	// GST is the global stabilization time (default 0).
+	GST sim.Time
+	// Source is the ◊-source id for source regimes (default n-1, the
+	// process the naive min-id choice would pick last).
+	Source node.ID
+	// Crashes is the failure plan.
+	Crashes []Crash
+	// EnableTrace turns on the structured event log.
+	EnableTrace bool
+}
+
+func (c *Config) fill() error {
+	if c.N < 2 {
+		return fmt.Errorf("scenario: N = %d, need at least 2", c.N)
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = AlgoCore
+	}
+	if c.Regime == "" {
+		c.Regime = RegimeAllTimely
+	}
+	if c.Eta <= 0 {
+		c.Eta = 10 * time.Millisecond
+	}
+	if c.Delta <= 0 {
+		c.Delta = 2 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 100 * time.Millisecond
+	}
+	if c.DropProb == 0 {
+		c.DropProb = 0.3
+	}
+	if c.Source == 0 {
+		c.Source = node.ID(c.N - 1)
+	}
+	if int(c.Source) < 0 || int(c.Source) >= c.N {
+		return fmt.Errorf("scenario: source %d out of range", c.Source)
+	}
+	for _, cr := range c.Crashes {
+		if int(cr.ID) < 0 || int(cr.ID) >= c.N {
+			return fmt.Errorf("scenario: crash id %d out of range", cr.ID)
+		}
+	}
+	return nil
+}
+
+// System is a built, runnable scenario.
+type System struct {
+	Config Config
+	World  *node.World
+	Omegas []detector.Omega
+
+	booted bool
+}
+
+// Build constructs the world, applies the link regime, installs the
+// algorithm at every process, and schedules the failure plan. The system
+// is not started; call Start (or Run, which starts it on first use).
+func Build(cfg Config) (*System, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	w, err := node.NewWorld(node.WorldConfig{
+		N:           cfg.N,
+		Seed:        cfg.Seed,
+		GST:         cfg.GST,
+		DefaultLink: network.Timely(cfg.Delta), // replaced below
+		EnableTrace: cfg.EnableTrace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := applyRegime(w.Fabric, cfg); err != nil {
+		return nil, err
+	}
+	s := &System{Config: cfg, World: w, Omegas: make([]detector.Omega, cfg.N)}
+	for i := 0; i < cfg.N; i++ {
+		auto, om, err := buildDetector(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Omegas[i] = om
+		w.SetAutomaton(node.ID(i), auto)
+	}
+	for _, cr := range cfg.Crashes {
+		w.CrashAt(cr.ID, cr.At)
+	}
+	return s, nil
+}
+
+// buildDetector returns the automaton to install and the Omega view to
+// observe — they differ when the detector runs behind a relay.
+func buildDetector(cfg Config) (node.Automaton, detector.Omega, error) {
+	var om detector.Omega
+	switch cfg.Algorithm {
+	case AlgoCore:
+		om = core.New(core.WithEta(cfg.Eta))
+	case AlgoCoreNoGrowth:
+		om = core.New(core.WithEta(cfg.Eta), core.WithoutTimeoutGrowth())
+	case AlgoCoreNoGuard:
+		om = core.New(core.WithEta(cfg.Eta), core.WithoutEpochGuard())
+	case AlgoCoreNoAccuse:
+		om = core.New(core.WithEta(cfg.Eta), core.WithoutAccuseMessages())
+	case AlgoCoreRelay:
+		d := core.New(core.WithEta(cfg.Eta))
+		return relay.Wrap(d), d, nil
+	case AlgoCoreRebuff:
+		om = core.New(core.WithEta(cfg.Eta), core.WithRebuff())
+	case AlgoAllToAll:
+		om = alltoall.New(alltoall.Config{Eta: cfg.Eta})
+	case AlgoSource:
+		om = source.New(source.Config{Eta: cfg.Eta})
+	default:
+		return nil, nil, fmt.Errorf("scenario: unknown algorithm %q", cfg.Algorithm)
+	}
+	return om, om, nil
+}
+
+func applyRegime(f *network.Fabric, cfg Config) error {
+	switch cfg.Regime {
+	case RegimeAllTimely:
+		return f.SetAll(network.Timely(cfg.Delta))
+	case RegimeAllET:
+		return f.SetAll(network.EventuallyTimely(cfg.Delta, cfg.MaxDelay, 0))
+	case RegimeSourceReliable:
+		if err := f.SetAll(network.Reliable(cfg.Delta, cfg.MaxDelay)); err != nil {
+			return err
+		}
+		return f.SetOutgoing(int(cfg.Source), network.EventuallyTimely(cfg.Delta, cfg.MaxDelay, 0))
+	case RegimeSourceFairLossy:
+		if err := f.SetAll(network.FairLossy(cfg.Delta, cfg.MaxDelay, cfg.DropProb)); err != nil {
+			return err
+		}
+		return f.SetOutgoing(int(cfg.Source), network.EventuallyTimely(cfg.Delta, cfg.MaxDelay, 0))
+	case RegimeLossy:
+		return f.SetAll(network.Lossy(cfg.Delta, cfg.MaxDelay, cfg.DropProb))
+	case RegimeTimelyPath:
+		if err := f.SetAll(network.FairLossy(cfg.Delta, cfg.MaxDelay, 0.9)); err != nil {
+			return err
+		}
+		// Timely chain: source ↔ hub, hub ↔ everyone else.
+		src := int(cfg.Source)
+		hub := (src + cfg.N - 1) % cfg.N
+		timely := network.Timely(cfg.Delta)
+		if err := f.SetProfile(src, hub, timely); err != nil {
+			return err
+		}
+		if err := f.SetProfile(hub, src, timely); err != nil {
+			return err
+		}
+		for q := 0; q < cfg.N; q++ {
+			if q == hub || q == src {
+				continue
+			}
+			if err := f.SetProfile(hub, q, timely); err != nil {
+				return err
+			}
+			if err := f.SetProfile(q, hub, timely); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown regime %q", cfg.Regime)
+	}
+}
+
+// Start boots the system.
+func (s *System) Start() {
+	if s.booted {
+		return
+	}
+	s.booted = true
+	s.World.Start()
+}
+
+// Run starts the system if needed and advances it by d.
+func (s *System) Run(d time.Duration) {
+	s.Start()
+	s.World.RunFor(d)
+}
+
+// OmegaInput packages the run for the property checkers.
+func (s *System) OmegaInput() check.OmegaInput {
+	histories := make([]*detector.History, len(s.Omegas))
+	for i, om := range s.Omegas {
+		histories[i] = om.History()
+	}
+	crashed := make(map[node.ID]sim.Time)
+	for i := range s.Omegas {
+		if at, ok := s.World.CrashedAt(node.ID(i)); ok {
+			crashed[node.ID(i)] = at
+		}
+	}
+	return check.OmegaInput{
+		Histories: histories,
+		Crashed:   crashed,
+		Horizon:   s.World.Kernel.Now(),
+	}
+}
+
+// OmegaReport runs the Omega checker on the current state.
+func (s *System) OmegaReport() check.OmegaReport {
+	return check.Omega(s.OmegaInput())
+}
+
+// CommEffReport runs the communication-efficiency checker over the tail
+// window starting at checkFrom.
+func (s *System) CommEffReport(checkFrom sim.Time) check.CommEffReport {
+	rep := s.OmegaReport()
+	leader := rep.Leader
+	if leader == node.None {
+		leader = 0
+	}
+	return check.CommEff(s.World.Stats, leader, checkFrom, s.World.Kernel.Now(), s.Config.Eta)
+}
+
+// Leaders returns each process's current output.
+func (s *System) Leaders() []node.ID {
+	out := make([]node.ID, len(s.Omegas))
+	for i, om := range s.Omegas {
+		out[i] = om.Leader()
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestTraceCapturesTheRunStory: with tracing on, a scenario's event log
+// contains sends, deliveries, the crash, and the leader-change notes —
+// everything omegasim -trace prints.
+func TestTraceCapturesTheRunStory(t *testing.T) {
+	s, err := Build(Config{
+		N: 3, Seed: 5, EnableTrace: true,
+		Crashes: []Crash{{ID: 0, At: sim.At(200 * time.Millisecond)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time.Second)
+
+	log := s.World.Trace
+	if len(log.Filter(trace.KindSend)) == 0 {
+		t.Fatal("no SEND entries")
+	}
+	if len(log.Filter(trace.KindDeliver)) == 0 {
+		t.Fatal("no DELIVER entries")
+	}
+	crashes := log.Filter(trace.KindCrash)
+	if len(crashes) != 1 || crashes[0].Node != 0 {
+		t.Fatalf("crash entries = %v", crashes)
+	}
+	var sawLeaderNote bool
+	for _, e := range log.Filter(trace.KindNote) {
+		if strings.Contains(e.Note, "leader") {
+			sawLeaderNote = true
+			break
+		}
+	}
+	if !sawLeaderNote {
+		t.Fatal("no leader-change notes in trace")
+	}
+	// Entries are time-ordered.
+	entries := log.Entries()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].T < entries[i-1].T {
+			t.Fatalf("trace out of order at %d", i)
+		}
+	}
+}
+
+// TestTraceOffByDefault keeps benchmark runs lean.
+func TestTraceOffByDefault(t *testing.T) {
+	s, err := Build(Config{N: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(200 * time.Millisecond)
+	if got := s.World.Trace.Len(); got != 0 {
+		t.Fatalf("trace recorded %d entries with tracing off", got)
+	}
+}

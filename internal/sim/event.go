@@ -1,0 +1,106 @@
+package sim
+
+// Event is a handle to a scheduled callback. It can be cancelled up until it
+// fires; cancelling a fired or already-cancelled event is a no-op.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// At returns the virtual instant the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. It is safe to call repeatedly and
+// after the event has fired.
+func (e *Event) Cancel() {
+	e.cancelled = true
+	e.fn = nil // release references for the garbage collector
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+// eventHeap is a binary min-heap ordered by (at, seq). The seq tie-break
+// guarantees that events scheduled for the same instant fire in scheduling
+// order, which keeps simulations deterministic.
+type eventHeap struct {
+	items []*Event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+// Push inserts an event into the heap.
+func (h *eventHeap) Push(e *Event) {
+	h.items = append(h.items, e)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the earliest event, or nil if the heap is empty.
+func (h *eventHeap) Pop() *Event {
+	n := len(h.items)
+	if n == 0 {
+		return nil
+	}
+	top := h.items[0]
+	h.swap(0, n-1)
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+func (h *eventHeap) Peek() *Event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

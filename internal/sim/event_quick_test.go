@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestHeapPopsSorted is a property test: for any multiset of event times,
+// the heap pops them in non-decreasing (time, seq) order.
+func TestHeapPopsSorted(t *testing.T) {
+	property := func(offsets []uint32) bool {
+		var h eventHeap
+		for i, off := range offsets {
+			h.Push(&Event{at: Time(off), seq: uint64(i)})
+		}
+		var popped []*Event
+		for {
+			e := h.Pop()
+			if e == nil {
+				break
+			}
+			popped = append(popped, e)
+		}
+		if len(popped) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(popped); i++ {
+			prev, cur := popped[i-1], popped[i]
+			if cur.at < prev.at {
+				return false
+			}
+			if cur.at == prev.at && cur.seq < prev.seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapMatchesSortReference cross-checks the heap against sort.Slice on
+// random workloads with interleaved pushes and pops.
+func TestHeapMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var h eventHeap
+		var reference []*Event
+		var seq uint64
+		var popped, want []Time
+		for op := 0; op < 400; op++ {
+			if rng.Intn(3) != 0 || h.Len() == 0 {
+				e := &Event{at: Time(rng.Int63n(1000)), seq: seq}
+				seq++
+				h.Push(e)
+				reference = append(reference, e)
+			} else {
+				got := h.Pop()
+				popped = append(popped, got.at)
+				sort.SliceStable(reference, func(i, j int) bool {
+					if reference[i].at != reference[j].at {
+						return reference[i].at < reference[j].at
+					}
+					return reference[i].seq < reference[j].seq
+				})
+				want = append(want, reference[0].at)
+				reference = reference[1:]
+			}
+		}
+		for i := range popped {
+			if popped[i] != want[i] {
+				t.Fatalf("trial %d: pop %d = %v, reference says %v", trial, i, popped[i], want[i])
+			}
+		}
+	}
+}
+
+// TestKernelClockMonotone is a property test: no matter how events are
+// scheduled, the clock observed inside callbacks never decreases.
+func TestKernelClockMonotone(t *testing.T) {
+	property := func(seed int64, delays []uint16) bool {
+		k := NewKernel(seed)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			k.Schedule(time.Duration(d)*time.Microsecond, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.RunFor(time.Hour)
+		return ok
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

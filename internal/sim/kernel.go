@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kernel is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all scheduled callbacks run on the caller's goroutine
+// inside Step/Run, which is exactly what makes executions deterministic.
+type Kernel struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+	rng  *rand.Rand
+
+	// processed counts events that have fired (excluding cancelled ones).
+	processed uint64
+	// limit aborts runaway simulations; 0 means no limit.
+	limit uint64
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// Two kernels created with the same seed and driven by the same code
+// produce identical executions.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. Protocol and link
+// models must draw randomness only from here to preserve reproducibility.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Pending returns the number of events currently queued (including
+// cancelled events that have not been popped yet).
+func (k *Kernel) Pending() int { return k.heap.Len() }
+
+// Processed returns the number of events that have fired so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// SetEventLimit aborts Run with a panic after n fired events; 0 disables
+// the limit. It exists to catch accidental event storms in tests.
+func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
+
+// Schedule runs fn after virtual duration d (from now). A negative or zero
+// d schedules fn for the current instant; it will still run after all
+// callbacks already queued for this instant, preserving causal order.
+func (k *Kernel) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.ScheduleAt(k.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute virtual instant t. Instants in the past
+// are clamped to now.
+func (k *Kernel) ScheduleAt(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt called with nil callback")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	k.heap.Push(e)
+	return e
+}
+
+// Step fires the next event, advancing the clock to its instant. It returns
+// false when no events remain. Cancelled events are skipped silently.
+func (k *Kernel) Step() bool {
+	for {
+		e := k.heap.Pop()
+		if e == nil {
+			return false
+		}
+		if e.cancelled {
+			continue
+		}
+		k.now = e.at
+		e.fired = true
+		fn := e.fn
+		e.fn = nil
+		k.processed++
+		if k.limit != 0 && k.processed > k.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
+		}
+		fn()
+		return true
+	}
+}
+
+// RunUntil fires events until the virtual clock would pass horizon, until
+// the queue drains, or until stop (if non-nil) returns true between events.
+// It returns the reason the run ended.
+func (k *Kernel) RunUntil(horizon Time, stop func() bool) RunResult {
+	for {
+		if stop != nil && stop() {
+			return RunStopped
+		}
+		next := k.heap.Peek()
+		for next != nil && next.cancelled {
+			k.heap.Pop()
+			next = k.heap.Peek()
+		}
+		if next == nil {
+			// Simulate-until semantics: the clock reaches the horizon
+			// even when nothing is left to do (except for the "run
+			// forever" sentinel, which would wedge the clock at the
+			// end of time).
+			if horizon != TimeMax && horizon > k.now {
+				k.now = horizon
+			}
+			return RunDrained
+		}
+		if next.at > horizon {
+			// Do not fire past the horizon, but advance the clock to
+			// it so repeated RunUntil calls observe monotonic time.
+			k.now = horizon
+			return RunHorizon
+		}
+		k.Step()
+	}
+}
+
+// RunFor advances the simulation by virtual duration d.
+func (k *Kernel) RunFor(d time.Duration) RunResult {
+	return k.RunUntil(k.now.Add(d), nil)
+}
+
+// RunResult describes why a Run* call returned.
+type RunResult int
+
+// Run termination reasons.
+const (
+	// RunHorizon means the time horizon was reached.
+	RunHorizon RunResult = iota + 1
+	// RunDrained means the event queue emptied.
+	RunDrained
+	// RunStopped means the stop predicate returned true.
+	RunStopped
+)
+
+// String returns a human-readable name for the result.
+func (r RunResult) String() string {
+	switch r {
+	case RunHorizon:
+		return "horizon"
+	case RunDrained:
+		return "drained"
+	case RunStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("RunResult(%d)", int(r))
+	}
+}
+
+// Every schedules fn to run every period, starting after initial delay, and
+// returns a Ticker handle to stop the repetition. The callback runs until
+// the ticker is stopped or the simulation ends.
+func (k *Kernel) Every(initial, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every called with non-positive period")
+	}
+	t := &Ticker{kernel: k, period: period, fn: fn}
+	t.next = k.Schedule(initial, t.tick)
+	return t
+}
+
+// Ticker repeats a callback at a fixed virtual period.
+type Ticker struct {
+	kernel  *Kernel
+	period  time.Duration
+	fn      func()
+	next    *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.next = t.kernel.Schedule(t.period, t.tick)
+	t.fn()
+}
+
+// Stop halts the ticker. It is safe to call repeatedly.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+		t.next = nil
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stopped }

@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKernelStartsAtZero(t *testing.T) {
+	k := NewKernel(1)
+	if got := k.Now(); got != TimeZero {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	k.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	k.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	if res := k.RunFor(time.Second); res != RunDrained {
+		t.Fatalf("RunFor = %v, want drained", res)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFiresInScheduleOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	k.RunFor(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	k := NewKernel(1)
+	var at Time
+	k.Schedule(42*time.Millisecond, func() { at = k.Now() })
+	k.RunFor(time.Second)
+	if want := At(42 * time.Millisecond); at != want {
+		t.Fatalf("callback observed t=%v, want %v", at, want)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.Schedule(10*time.Millisecond, func() { fired = true })
+	e.Cancel()
+	k.RunFor(time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	if e.Fired() {
+		t.Fatal("Fired() = true for cancelled event")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	k := NewKernel(1)
+	e := k.Schedule(time.Millisecond, func() {})
+	e.Cancel()
+	e.Cancel() // must not panic
+	k.RunFor(time.Second)
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(10*time.Millisecond, func() {
+		fired := false
+		k.Schedule(-5*time.Millisecond, func() { fired = true })
+		_ = fired
+	})
+	var lateFired Time = -1
+	k.Schedule(10*time.Millisecond, func() {
+		k.ScheduleAt(TimeZero, func() { lateFired = k.Now() })
+	})
+	k.RunFor(time.Second)
+	if want := At(10 * time.Millisecond); lateFired != want {
+		t.Fatalf("past-scheduled event fired at %v, want clamped to %v", lateFired, want)
+	}
+}
+
+func TestRunUntilHorizonDoesNotFirePastHorizon(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(100*time.Millisecond, func() { fired = true })
+	res := k.RunUntil(At(50*time.Millisecond), nil)
+	if res != RunHorizon {
+		t.Fatalf("RunUntil = %v, want horizon", res)
+	}
+	if fired {
+		t.Fatal("event past horizon fired")
+	}
+	if k.Now() != At(50*time.Millisecond) {
+		t.Fatalf("Now() = %v, want horizon instant", k.Now())
+	}
+	// The event must still fire on a later run.
+	k.RunUntil(At(time.Second), nil)
+	if !fired {
+		t.Fatal("event never fired after horizon extended")
+	}
+}
+
+func TestRunUntilStopPredicate(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		k.Schedule(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	res := k.RunUntil(At(time.Second), func() bool { return count >= 3 })
+	if res != RunStopped {
+		t.Fatalf("RunUntil = %v, want stopped", res)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestDrainedRunStillReachesHorizon(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(10*time.Millisecond, func() {})
+	if res := k.RunUntil(At(100*time.Millisecond), nil); res != RunDrained {
+		t.Fatalf("RunUntil = %v, want drained", res)
+	}
+	if k.Now() != At(100*time.Millisecond) {
+		t.Fatalf("Now() = %v, want the horizon even after draining", k.Now())
+	}
+	// The "run forever" sentinel must not wedge the clock at TimeMax.
+	k2 := NewKernel(1)
+	k2.RunUntil(TimeMax, nil)
+	if k2.Now() != TimeZero {
+		t.Fatalf("Now() = %v after draining an empty run-forever", k2.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			k.Schedule(time.Millisecond, recurse)
+		}
+	}
+	k.Schedule(0, recurse)
+	if res := k.RunFor(time.Second); res != RunDrained {
+		t.Fatalf("RunFor = %v, want drained", res)
+	}
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+}
+
+func TestEveryTicksAtPeriod(t *testing.T) {
+	k := NewKernel(1)
+	var at []Time
+	tk := k.Every(10*time.Millisecond, 10*time.Millisecond, func() { at = append(at, k.Now()) })
+	k.RunUntil(At(45*time.Millisecond), nil)
+	tk.Stop()
+	k.RunUntil(At(time.Second), nil)
+	if len(at) != 4 {
+		t.Fatalf("got %d ticks %v, want 4", len(at), at)
+	}
+	for i, got := range at {
+		want := At(time.Duration(i+1) * 10 * time.Millisecond)
+		if got != want {
+			t.Fatalf("tick %d at %v, want %v", i, got, want)
+		}
+	}
+	if !tk.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	var tk *Ticker
+	tk = k.Every(time.Millisecond, time.Millisecond, func() {
+		count++
+		if count == 5 {
+			tk.Stop()
+		}
+	})
+	k.RunFor(time.Second)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestDeterminismAcrossKernels(t *testing.T) {
+	run := func(seed int64) []int64 {
+		k := NewKernel(seed)
+		var draws []int64
+		// Random cascade: each event schedules the next at a random offset
+		// and records a random draw; identical seeds must replay exactly.
+		var step func()
+		steps := 0
+		step = func() {
+			steps++
+			draws = append(draws, k.Rand().Int63n(1000), int64(k.Now()))
+			if steps < 200 {
+				k.Schedule(time.Duration(k.Rand().Int63n(int64(time.Millisecond))), step)
+			}
+		}
+		k.Schedule(0, step)
+		k.RunFor(time.Hour)
+		return draws
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		same = false
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same && len(a) > 0 {
+		t.Fatal("different seeds produced identical executions (suspicious)")
+	}
+}
+
+func TestEventLimitPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.SetEventLimit(10)
+	var loop func()
+	loop = func() { k.Schedule(time.Millisecond, loop) }
+	k.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from event limit")
+		}
+	}()
+	k.RunFor(time.Hour)
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	k := NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	k.Schedule(time.Millisecond, nil)
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tt := At(time.Second)
+	if got := tt.Add(500 * time.Millisecond); got != At(1500*time.Millisecond) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := tt.Sub(At(200 * time.Millisecond)); got != 800*time.Millisecond {
+		t.Fatalf("Sub = %v", got)
+	}
+	if !At(time.Second).Before(At(2 * time.Second)) {
+		t.Fatal("Before failed")
+	}
+	if !At(2 * time.Second).After(At(time.Second)) {
+		t.Fatal("After failed")
+	}
+	if got := TimeMax.Add(time.Hour); got != TimeMax {
+		t.Fatalf("TimeMax.Add overflowed to %d", got)
+	}
+	if TimeMax.String() != "∞" {
+		t.Fatalf("TimeMax.String() = %q", TimeMax.String())
+	}
+	if At(time.Second).String() != "1s" {
+		t.Fatalf("String() = %q", At(time.Second).String())
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 7; i++ {
+		k.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e := k.Schedule(time.Millisecond, func() {})
+	e.Cancel()
+	k.RunFor(time.Second)
+	if got := k.Processed(); got != 7 {
+		t.Fatalf("Processed = %d, want 7 (cancelled events must not count)", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package trace records a structured, time-ordered log of simulation
+// events: message sends/deliveries/drops, crashes, leader changes and
+// consensus decisions. Traces are the debugging companion to the aggregate
+// counters in internal/metrics: where metrics answer "how many", traces
+// answer "what happened, in order".
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// EventKind classifies a trace entry.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	// KindSend records a message leaving a process.
+	KindSend EventKind = iota + 1
+	// KindDeliver records a message arriving at a process.
+	KindDeliver
+	// KindDrop records a message lost by its link.
+	KindDrop
+	// KindCrash records a process crash.
+	KindCrash
+	// KindLeaderChange records a change in a process's Omega output.
+	KindLeaderChange
+	// KindDecide records a consensus decision.
+	KindDecide
+	// KindNote records free-form protocol annotations.
+	KindNote
+)
+
+// String returns the kind's short name.
+func (k EventKind) String() string {
+	switch k {
+	case KindSend:
+		return "SEND"
+	case KindDeliver:
+		return "DELIVER"
+	case KindDrop:
+		return "DROP"
+	case KindCrash:
+		return "CRASH"
+	case KindLeaderChange:
+		return "LEADER"
+	case KindDecide:
+		return "DECIDE"
+	case KindNote:
+		return "NOTE"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Entry is one trace record. Peer is -1 when not applicable.
+type Entry struct {
+	T    sim.Time
+	Kind EventKind
+	Node int
+	Peer int
+	Msg  string // message kind for SEND/DELIVER/DROP; free-form otherwise
+	Note string
+}
+
+// String formats an entry for human consumption.
+func (e Entry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12v %-7s p%d", e.T, e.Kind, e.Node)
+	if e.Peer >= 0 {
+		fmt.Fprintf(&b, "→p%d", e.Peer)
+	}
+	if e.Msg != "" {
+		fmt.Fprintf(&b, " %s", e.Msg)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " (%s)", e.Note)
+	}
+	return b.String()
+}
+
+// Log is an append-only trace. The zero value is a valid, enabled log.
+// Disable recording with SetEnabled(false) for large benchmark runs.
+type Log struct {
+	mu       sync.Mutex
+	disabled bool
+	entries  []Entry
+}
+
+// NewLog returns an enabled, empty log.
+func NewLog() *Log { return &Log{} }
+
+// SetEnabled turns recording on or off. Entries recorded earlier are kept.
+func (l *Log) SetEnabled(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.disabled = !on
+}
+
+// Enabled reports whether the log is currently recording.
+func (l *Log) Enabled() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.disabled
+}
+
+// Add appends an entry if the log is enabled.
+func (l *Log) Add(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.disabled {
+		return
+	}
+	l.entries = append(l.entries, e)
+}
+
+// Addf appends a KindNote entry with a formatted note.
+func (l *Log) Addf(t sim.Time, node int, format string, args ...any) {
+	l.Add(Entry{T: t, Kind: KindNote, Node: node, Peer: -1, Note: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of recorded entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Entries returns a copy of all recorded entries.
+func (l *Log) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Filter returns a copy of the entries matching the given kind.
+func (l *Log) Filter(kind EventKind) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FilterNode returns a copy of the entries for the given node.
+func (l *Log) FilterNode(node int) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if e.Node == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTo writes the formatted trace to w, one entry per line.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	l.mu.Lock()
+	entries := make([]Entry, len(l.entries))
+	copy(entries, l.entries)
+	l.mu.Unlock()
+	var total int64
+	for _, e := range entries {
+		n, err := fmt.Fprintln(w, e.String())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Tail returns the last n entries (or all of them if fewer exist).
+func (l *Log) Tail(n int) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.entries) {
+		n = len(l.entries)
+	}
+	out := make([]Entry, n)
+	copy(out, l.entries[len(l.entries)-n:])
+	return out
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestAddAndQuery(t *testing.T) {
+	l := NewLog()
+	l.Add(Entry{T: sim.At(time.Millisecond), Kind: KindSend, Node: 0, Peer: 1, Msg: "LEADER"})
+	l.Add(Entry{T: sim.At(2 * time.Millisecond), Kind: KindDeliver, Node: 1, Peer: 0, Msg: "LEADER"})
+	l.Add(Entry{T: sim.At(3 * time.Millisecond), Kind: KindCrash, Node: 0, Peer: -1})
+
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if got := l.Filter(KindCrash); len(got) != 1 || got[0].Node != 0 {
+		t.Fatalf("Filter(crash) = %v", got)
+	}
+	if got := l.FilterNode(1); len(got) != 1 || got[0].Kind != KindDeliver {
+		t.Fatalf("FilterNode(1) = %v", got)
+	}
+	entries := l.Entries()
+	entries[0].Node = 99 // mutating the copy must not affect the log
+	if l.Entries()[0].Node == 99 {
+		t.Fatal("Entries returned aliased storage")
+	}
+}
+
+func TestDisableStopsRecording(t *testing.T) {
+	l := NewLog()
+	if !l.Enabled() {
+		t.Fatal("new log should be enabled")
+	}
+	l.Add(Entry{Kind: KindNote, Node: 0, Peer: -1, Note: "kept"})
+	l.SetEnabled(false)
+	if l.Enabled() {
+		t.Fatal("Enabled after SetEnabled(false)")
+	}
+	l.Add(Entry{Kind: KindNote, Node: 0, Peer: -1, Note: "dropped"})
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	l.SetEnabled(true)
+	l.Add(Entry{Kind: KindNote, Node: 0, Peer: -1, Note: "kept2"})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Entry{T: sim.At(time.Millisecond), Kind: KindSend, Node: 0, Peer: 2, Msg: "ACCUSE", Note: "epoch 3"}
+	s := e.String()
+	for _, want := range []string{"SEND", "p0", "p2", "ACCUSE", "epoch 3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+	solo := Entry{T: 0, Kind: KindCrash, Node: 3, Peer: -1}
+	if strings.Contains(solo.String(), "→") {
+		t.Fatalf("no-peer entry rendered a peer arrow: %q", solo.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		KindSend: "SEND", KindDeliver: "DELIVER", KindDrop: "DROP",
+		KindCrash: "CRASH", KindLeaderChange: "LEADER", KindDecide: "DECIDE",
+		KindNote: "NOTE", EventKind(200): "KIND(200)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Fatalf("%v.String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	l := NewLog()
+	l.Addf(sim.At(time.Millisecond), 2, "leader is now p%d", 4)
+	var b strings.Builder
+	if _, err := l.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "leader is now p4") {
+		t.Fatalf("WriteTo output %q missing note", b.String())
+	}
+}
+
+func TestTail(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 10; i++ {
+		l.Addf(sim.Time(i), i, "e%d", i)
+	}
+	tail := l.Tail(3)
+	if len(tail) != 3 || tail[0].Node != 7 || tail[2].Node != 9 {
+		t.Fatalf("Tail(3) = %v", tail)
+	}
+	if got := l.Tail(100); len(got) != 10 {
+		t.Fatalf("Tail(100) returned %d entries", len(got))
+	}
+}

@@ -1,0 +1,77 @@
+// Package transport runs the protocol automatons on real time and real
+// concurrency instead of the deterministic simulator: one goroutine per
+// process, wall-clock timers, and either an in-memory network with
+// injected delay/loss or real UDP sockets on the loopback interface.
+// Messages cross process boundaries through the binary codec
+// (internal/wire), so live runs exercise serialization exactly as a
+// deployment would. The examples/livecluster program demonstrates it.
+package transport
+
+import "sync"
+
+// mailbox is an unbounded FIFO queue with a wake-up channel. Senders never
+// block (deliveries and timer callbacks originate in arbitrary goroutines,
+// so a bounded channel could deadlock the node loop); the consumer waits on
+// C and drains with pop.
+type mailbox struct {
+	mu     sync.Mutex
+	items  []event
+	closed bool
+
+	// C receives a token whenever the mailbox may have items. It has
+	// capacity 1: a pending token means "check again", which is enough
+	// for a single consumer.
+	C chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{C: make(chan struct{}, 1)}
+}
+
+// push appends an event and wakes the consumer. Events pushed after close
+// are dropped.
+func (m *mailbox) push(e event) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.items = append(m.items, e)
+	m.mu.Unlock()
+	select {
+	case m.C <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes and returns the oldest event, if any.
+func (m *mailbox) pop() (event, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.items) == 0 {
+		return event{}, false
+	}
+	e := m.items[0]
+	m.items[0] = event{}
+	m.items = m.items[1:]
+	return e, true
+}
+
+// close marks the mailbox closed and wakes the consumer so it can exit.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.items = nil
+	m.mu.Unlock()
+	select {
+	case m.C <- struct{}{}:
+	default:
+	}
+}
+
+// isClosed reports whether close was called.
+func (m *mailbox) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}

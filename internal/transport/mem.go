@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a live cluster.
+type Config struct {
+	// N is the number of processes (required, > 1).
+	N int
+	// Seed drives delay/loss randomness.
+	Seed int64
+	// MinDelay/MaxDelay bound the injected per-message delay
+	// (default 0 / 2ms).
+	MinDelay time.Duration
+	MaxDelay time.Duration
+	// DropProb injects message loss (default 0).
+	DropProb float64
+	// Codec serializes messages across process boundaries
+	// (default wire.NewCodec()).
+	Codec *wire.Codec
+	// Quiet suppresses per-process logging.
+	Quiet bool
+}
+
+func (c *Config) fill() error {
+	if c.N < 2 {
+		return fmt.Errorf("transport: N = %d, need at least 2", c.N)
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.MinDelay < 0 || c.MinDelay > c.MaxDelay {
+		return fmt.Errorf("transport: bad delay bounds [%v, %v]", c.MinDelay, c.MaxDelay)
+	}
+	if c.DropProb < 0 || c.DropProb > 1 {
+		return fmt.Errorf("transport: DropProb %v out of range", c.DropProb)
+	}
+	if c.Codec == nil {
+		c.Codec = wire.NewCodec()
+	}
+	return nil
+}
+
+// Cluster runs n automatons on real goroutines connected by an in-memory
+// network that serializes every message through the wire codec and injects
+// configurable delay and loss.
+type Cluster struct {
+	cfg      Config
+	stations []*station
+	stats    *metrics.MessageStats
+	start    time.Time
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	wg      sync.WaitGroup
+	started bool
+	stopped bool
+}
+
+// NewCluster builds a live in-memory cluster; automatons[i] runs as
+// process i.
+func NewCluster(cfg Config, automatons []node.Automaton) (*Cluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(automatons) != cfg.N {
+		return nil, fmt.Errorf("transport: %d automatons for N=%d", len(automatons), cfg.N)
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		stats: metrics.NewMessageStats(cfg.N),
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	logf := func(string, ...any) {}
+	c.stations = make([]*station, cfg.N)
+	for i := range c.stations {
+		var nodeLogf func(string, ...any)
+		if cfg.Quiet {
+			nodeLogf = logf
+		}
+		c.stations[i] = newStation(node.ID(i), cfg.N, automatons[i], (*memNet)(c), c.start, nodeLogf)
+	}
+	return c, nil
+}
+
+// Stats returns the cluster's message accounting.
+func (c *Cluster) Stats() *metrics.MessageStats { return c.stats }
+
+// Start boots every process.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.wg.Add(len(c.stations))
+	for _, s := range c.stations {
+		go s.run(&c.wg)
+	}
+}
+
+// Crash makes process id inert (crash-stop).
+func (c *Cluster) Crash(id node.ID) { c.stations[id].crash() }
+
+// Stop shuts the cluster down and waits for every node loop to exit.
+func (c *Cluster) Stop() {
+	if c.stopped || !c.started {
+		return
+	}
+	c.stopped = true
+	for _, s := range c.stations {
+		s.mbox.close()
+	}
+	c.wg.Wait()
+}
+
+// memNet implements sender over the cluster's in-memory links.
+type memNet Cluster
+
+func (m *memNet) send(from, to node.ID, msg node.Message) {
+	c := (*Cluster)(m)
+	now := c.stations[from].Now()
+	c.stats.RecordSend(now, int(from), int(to), msg.Kind())
+	// Serialize immediately: the receiver must observe an independent
+	// copy, exactly as over a socket.
+	data, err := c.cfg.Codec.Marshal(msg)
+	if err != nil {
+		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
+	}
+	c.mu.Lock()
+	drop := c.cfg.DropProb > 0 && c.rng.Float64() < c.cfg.DropProb
+	span := c.cfg.MaxDelay - c.cfg.MinDelay
+	delay := c.cfg.MinDelay
+	if span > 0 {
+		delay += time.Duration(c.rng.Int63n(int64(span) + 1))
+	}
+	c.mu.Unlock()
+	if drop {
+		c.stats.RecordDrop(now, int(from), int(to), msg.Kind())
+		return
+	}
+	time.AfterFunc(delay, func() {
+		decoded, err := c.cfg.Codec.Unmarshal(data)
+		if err != nil {
+			panic(fmt.Sprintf("transport: unmarshal: %v", err))
+		}
+		c.stats.RecordDeliver(c.stations[to].Now(), int(from), int(to), decoded.Kind())
+		c.stations[to].deliver(from, decoded)
+	})
+}

@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// event is one unit of work for a node loop: a delivery or a timer firing.
+type event struct {
+	from     node.ID
+	msg      node.Message
+	timerKey string
+	timerGen uint64
+}
+
+// sender is how a station hands an outbound message to the network layer.
+type sender interface {
+	send(from, to node.ID, m node.Message)
+}
+
+// station runs one process: a single goroutine consumes the mailbox and
+// invokes the automaton, so the node.Env single-threading contract holds.
+type station struct {
+	id        node.ID
+	n         int
+	automaton node.Automaton
+	mbox      *mailbox
+	net       sender
+	start     time.Time
+	logf      func(format string, args ...any)
+
+	// timers maps key → latest generation; a timer event fires only if
+	// its generation is still current. Accessed only from the node loop.
+	timers map[string]uint64
+
+	crashed atomic.Bool
+	done    chan struct{}
+}
+
+var _ node.Env = (*station)(nil)
+
+func newStation(id node.ID, n int, a node.Automaton, net sender, start time.Time, logf func(string, ...any)) *station {
+	if logf == nil {
+		logf = func(format string, args ...any) {
+			log.Printf("p%d: %s", id, fmt.Sprintf(format, args...))
+		}
+	}
+	return &station{
+		id:        id,
+		n:         n,
+		automaton: a,
+		mbox:      newMailbox(),
+		net:       net,
+		start:     start,
+		logf:      logf,
+		timers:    make(map[string]uint64),
+		done:      make(chan struct{}),
+	}
+}
+
+// run is the node loop; it returns when the mailbox closes.
+func (s *station) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer close(s.done)
+	s.automaton.Start(s)
+	for range s.mbox.C {
+		for {
+			e, ok := s.mbox.pop()
+			if !ok {
+				break
+			}
+			s.dispatch(e)
+		}
+		if s.mbox.isClosed() {
+			return
+		}
+	}
+}
+
+func (s *station) dispatch(e event) {
+	if s.crashed.Load() {
+		return
+	}
+	if e.timerKey != "" {
+		if s.timers[e.timerKey] != e.timerGen {
+			return // superseded or stopped
+		}
+		delete(s.timers, e.timerKey)
+		s.automaton.Tick(e.timerKey)
+		return
+	}
+	s.automaton.Deliver(e.from, e.msg)
+}
+
+// deliver enqueues an inbound message.
+func (s *station) deliver(from node.ID, m node.Message) {
+	s.mbox.push(event{from: from, msg: m})
+}
+
+// crash makes the station inert (crash-stop).
+func (s *station) crash() {
+	s.crashed.Store(true)
+}
+
+// stop terminates the node loop.
+func (s *station) stop() {
+	s.mbox.close()
+	<-s.done
+}
+
+// --- node.Env -----------------------------------------------------------
+
+// ID implements node.Env.
+func (s *station) ID() node.ID { return s.id }
+
+// N implements node.Env.
+func (s *station) N() int { return s.n }
+
+// Now implements node.Env: wall-clock time since the cluster started.
+func (s *station) Now() sim.Time { return sim.Time(time.Since(s.start).Nanoseconds()) }
+
+// Send implements node.Env.
+func (s *station) Send(to node.ID, m node.Message) {
+	if s.crashed.Load() {
+		return
+	}
+	if to == s.id {
+		panic(fmt.Sprintf("transport: process %d sending to itself", s.id))
+	}
+	s.net.send(s.id, to, m)
+}
+
+// Broadcast implements node.Env.
+func (s *station) Broadcast(m node.Message) {
+	for to := 0; to < s.n; to++ {
+		if node.ID(to) != s.id {
+			s.Send(node.ID(to), m)
+		}
+	}
+}
+
+// SetTimer implements node.Env. It must be called from the node loop (the
+// automaton's callbacks), which is the node.Env contract.
+func (s *station) SetTimer(key string, d time.Duration) {
+	if s.crashed.Load() {
+		return
+	}
+	gen := s.timers[key] + 1
+	s.timers[key] = gen
+	time.AfterFunc(d, func() {
+		s.mbox.push(event{timerKey: key, timerGen: gen})
+	})
+}
+
+// StopTimer implements node.Env.
+func (s *station) StopTimer(key string) {
+	// Bumping the generation invalidates the pending AfterFunc event.
+	if _, ok := s.timers[key]; ok {
+		s.timers[key]++
+	}
+}
+
+// Logf implements node.Env.
+func (s *station) Logf(format string, args ...any) {
+	s.logf(format, args...)
+}

@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	nodepkg "repro/internal/node"
+)
+
+// maxFrame bounds a TCP frame so a corrupt length prefix cannot trigger a
+// huge allocation.
+const maxFrame = 1 << 20
+
+// TCPCluster runs n automatons as TCP endpoints on the loopback interface.
+// Each process listens on a kernel-assigned port; senders dial lazily and
+// keep the connection open, writing length-prefixed wire envelopes. TCP
+// gives reliable, ordered per-connection delivery — the "reliable link"
+// regime of the paper, live.
+type TCPCluster struct {
+	cfg       Config
+	stations  []*station
+	listeners []net.Listener
+	addrs     []net.Addr
+	stats     *metrics.MessageStats
+	start     time.Time
+
+	mu       sync.Mutex
+	conns    map[connKey]net.Conn // sender-side cache
+	accepted []net.Conn           // receiver-side, for shutdown
+
+	wg      sync.WaitGroup
+	started bool
+	stopped bool
+}
+
+type connKey struct {
+	from, to nodepkg.ID
+}
+
+// NewTCPCluster builds a TCP cluster on 127.0.0.1; automatons[i] runs as
+// process i.
+func NewTCPCluster(cfg Config, automatons []nodepkg.Automaton) (*TCPCluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(automatons) != cfg.N {
+		return nil, fmt.Errorf("transport: %d automatons for N=%d", len(automatons), cfg.N)
+	}
+	c := &TCPCluster{
+		cfg:       cfg,
+		stats:     metrics.NewMessageStats(cfg.N),
+		start:     time.Now(),
+		listeners: make([]net.Listener, cfg.N),
+		addrs:     make([]net.Addr, cfg.N),
+		conns:     make(map[connKey]net.Conn),
+	}
+	for i := 0; i < cfg.N; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.closeAll()
+			return nil, fmt.Errorf("listen tcp for p%d: %w", i, err)
+		}
+		c.listeners[i] = ln
+		c.addrs[i] = ln.Addr()
+	}
+	quiet := func(string, ...any) {}
+	c.stations = make([]*station, cfg.N)
+	for i := range c.stations {
+		var logf func(string, ...any)
+		if cfg.Quiet {
+			logf = quiet
+		}
+		c.stations[i] = newStation(nodepkg.ID(i), cfg.N, automatons[i], &tcpNet{cluster: c}, c.start, logf)
+	}
+	return c, nil
+}
+
+func (c *TCPCluster) closeAll() {
+	for _, ln := range c.listeners {
+		if ln != nil {
+			_ = ln.Close()
+		}
+	}
+	c.mu.Lock()
+	for _, conn := range c.conns {
+		_ = conn.Close()
+	}
+	for _, conn := range c.accepted {
+		_ = conn.Close()
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns the cluster's message accounting.
+func (c *TCPCluster) Stats() *metrics.MessageStats { return c.stats }
+
+// Addr returns the TCP address of process id.
+func (c *TCPCluster) Addr(id nodepkg.ID) net.Addr { return c.addrs[id] }
+
+// Start boots every process: one accept loop and one node loop each.
+func (c *TCPCluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.wg.Add(2 * len(c.stations))
+	for i, s := range c.stations {
+		go s.run(&c.wg)
+		go c.acceptLoop(i)
+	}
+}
+
+// acceptLoop accepts inbound connections for process i and spawns a frame
+// reader for each.
+func (c *TCPCluster) acceptLoop(i int) {
+	defer c.wg.Done()
+	for {
+		conn, err := c.listeners[i].Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.mu.Lock()
+		if c.stopped {
+			c.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		c.accepted = append(c.accepted, conn)
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.readLoop(i, conn)
+	}
+}
+
+// readLoop decodes length-prefixed envelopes from one connection.
+func (c *TCPCluster) readLoop(i int, conn net.Conn) {
+	defer c.wg.Done()
+	var header [4]byte
+	for {
+		if _, err := io.ReadFull(conn, header[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(header[:])
+		if size == 0 || size > maxFrame {
+			_ = conn.Close()
+			return
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		env, err := c.cfg.Codec.UnmarshalEnvelope(body)
+		if err != nil {
+			continue // a corrupt frame must not kill the endpoint
+		}
+		if env.From < 0 || int(env.From) >= c.cfg.N {
+			continue
+		}
+		c.stats.RecordDeliver(c.stations[i].Now(), int(env.From), i, env.Msg.Kind())
+		c.stations[i].deliver(env.From, env.Msg)
+	}
+}
+
+// Crash makes process id inert (crash-stop).
+func (c *TCPCluster) Crash(id nodepkg.ID) { c.stations[id].crash() }
+
+// Stop closes all sockets and waits for every goroutine.
+func (c *TCPCluster) Stop() {
+	if c.stopped || !c.started {
+		return
+	}
+	c.mu.Lock()
+	c.stopped = true
+	c.mu.Unlock()
+	c.closeAll()
+	for _, s := range c.stations {
+		s.mbox.close()
+	}
+	c.wg.Wait()
+}
+
+// tcpNet implements sender over cached per-destination connections.
+type tcpNet struct {
+	cluster *TCPCluster
+}
+
+func (t *tcpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
+	c := t.cluster
+	c.stats.RecordSend(c.stations[from].Now(), int(from), int(to), msg.Kind())
+	body, err := c.cfg.Codec.MarshalEnvelope(from, msg)
+	if err != nil {
+		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+
+	conn, err := c.dial(from, to)
+	if err != nil {
+		c.stats.RecordDrop(c.stations[from].Now(), int(from), int(to), msg.Kind())
+		return
+	}
+	if _, err := conn.Write(frame); err != nil {
+		// Connection broke: drop it so the next send re-dials. TCP's
+		// reliability is per-connection; across reconnects the link is
+		// "reliable unless the process is down", which matches the
+		// crash-stop model.
+		c.dropConn(from, to, conn)
+		c.stats.RecordDrop(c.stations[from].Now(), int(from), int(to), msg.Kind())
+	}
+}
+
+// dial returns the cached connection from→to, establishing it if needed.
+func (c *TCPCluster) dial(from, to nodepkg.ID) (net.Conn, error) {
+	key := connKey{from: from, to: to}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return nil, errors.New("transport: cluster stopped")
+	}
+	if conn, ok := c.conns[key]; ok {
+		return conn, nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addrs[to].String(), time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c.conns[key] = conn
+	return conn, nil
+}
+
+// dropConn evicts a broken cached connection.
+func (c *TCPCluster) dropConn(from, to nodepkg.ID, conn net.Conn) {
+	_ = conn.Close()
+	key := connKey{from: from, to: to}
+	c.mu.Lock()
+	if c.conns[key] == conn {
+		delete(c.conns, key)
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/node"
+)
+
+func TestTCPClusterElectsLeader(t *testing.T) {
+	autos, dets := liveDetectors(4)
+	c, err := NewTCPCluster(Config{N: 4, Seed: 11, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "TCP leader agreement")
+	if c.Addr(0) == nil {
+		t.Fatal("no bound address")
+	}
+}
+
+func TestTCPClusterLeaderCrash(t *testing.T) {
+	autos, dets := liveDetectors(3)
+	c, err := NewTCPCluster(Config{N: 3, Seed: 12, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "initial agreement")
+	c.Crash(0)
+	waitFor(t, 15*time.Second, func() bool {
+		l, ok := agreement(dets, map[int]bool{0: true})
+		return ok && l == 1
+	}, "TCP re-election")
+}
+
+func TestTCPClusterCommunicationEfficiency(t *testing.T) {
+	autos, dets := liveDetectors(4)
+	c, err := NewTCPCluster(Config{N: 4, Seed: 13, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "agreement")
+	time.Sleep(300 * time.Millisecond)
+	mark := c.stations[0].Now()
+	time.Sleep(300 * time.Millisecond)
+	senders := c.Stats().SendersSince(mark)
+	if len(senders) != 1 || senders[0] != 0 {
+		t.Fatalf("steady-state senders = %v, want [0]", senders)
+	}
+}
+
+func TestTCPStopIsIdempotentAndClean(t *testing.T) {
+	autos, _ := liveDetectors(3)
+	c, err := NewTCPCluster(Config{N: 3, Seed: 14, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	time.Sleep(50 * time.Millisecond)
+	c.Stop()
+	c.Stop()
+}
+
+func TestTCPSendAfterStopDropsQuietly(t *testing.T) {
+	dets := []*core.Detector{core.New(core.WithEta(5 * time.Millisecond)), core.New(core.WithEta(5 * time.Millisecond))}
+	autos := []node.Automaton{dets[0], dets[1]}
+	c, err := NewTCPCluster(Config{N: 2, Seed: 15, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	time.Sleep(30 * time.Millisecond)
+	c.Stop()
+	before := c.Stats().Dropped()
+	(&tcpNet{cluster: c}).send(0, 1, core.LeaderMsg{Epoch: 1})
+	if c.Stats().Dropped() != before+1 {
+		t.Fatal("send after stop not accounted as drop")
+	}
+}

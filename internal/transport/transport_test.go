@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/rsm"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/node"
+)
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// passes.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// liveDetectors builds n core detectors with a fast eta for real time.
+func liveDetectors(n int) ([]node.Automaton, []*core.Detector) {
+	autos := make([]node.Automaton, n)
+	dets := make([]*core.Detector, n)
+	for i := 0; i < n; i++ {
+		dets[i] = core.New(core.WithEta(5 * time.Millisecond))
+		autos[i] = dets[i]
+	}
+	return autos, dets
+}
+
+func agreement(dets []*core.Detector, skip map[int]bool) (node.ID, bool) {
+	leader := node.None
+	for i, d := range dets {
+		if skip[i] {
+			continue
+		}
+		l := d.History().Current()
+		if leader == node.None {
+			leader = l
+		} else if l != leader {
+			return node.None, false
+		}
+	}
+	return leader, leader != node.None
+}
+
+func TestMemClusterElectsLeader(t *testing.T) {
+	autos, dets := liveDetectors(4)
+	c, err := NewCluster(Config{N: 4, Seed: 1, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 5*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "leader agreement on p0")
+}
+
+func TestMemClusterLeaderCrash(t *testing.T) {
+	autos, dets := liveDetectors(4)
+	c, err := NewCluster(Config{N: 4, Seed: 2, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 5*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "initial agreement")
+	c.Crash(0)
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, map[int]bool{0: true})
+		return ok && l == 1
+	}, "re-election of p1")
+}
+
+func TestMemClusterCommunicationEfficiency(t *testing.T) {
+	autos, dets := liveDetectors(5)
+	c, err := NewCluster(Config{N: 5, Seed: 3, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 5*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "agreement")
+	// Settle, then measure who talks.
+	time.Sleep(300 * time.Millisecond)
+	mark := c.stations[0].Now()
+	time.Sleep(300 * time.Millisecond)
+	senders := c.Stats().SendersSince(mark)
+	if len(senders) != 1 || senders[0] != 0 {
+		t.Fatalf("steady-state senders = %v, want [0]", senders)
+	}
+}
+
+func TestMemClusterWithLossStillElectsEventually(t *testing.T) {
+	// The core algorithm formally needs reliable links; light loss makes
+	// it re-elect occasionally but the gossip keeps recovering. Use the
+	// source-omega... keep core with very light loss and only assert no
+	// deadlock in the runtime (processes keep exchanging messages).
+	autos, _ := liveDetectors(3)
+	c, err := NewCluster(Config{N: 3, Seed: 4, DropProb: 0.05, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	time.Sleep(200 * time.Millisecond)
+	if c.Stats().TotalSent() == 0 {
+		t.Fatal("no traffic at all under loss")
+	}
+}
+
+func TestMemClusterReplicatedLog(t *testing.T) {
+	const n = 3
+	autos := make([]node.Automaton, n)
+	dets := make([]*core.Detector, n)
+	logs := make([]*rsm.Node, n)
+	for i := 0; i < n; i++ {
+		dets[i] = core.New(core.WithEta(5 * time.Millisecond))
+		logs[i] = rsm.New(dets[i], rsm.Config{DriveInterval: 10 * time.Millisecond})
+		autos[i] = node.Compose(dets[i], logs[i])
+	}
+	c, err := NewCluster(Config{N: n, Seed: 5, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 5*time.Second, func() bool {
+		l := dets[0].History().Current()
+		return l == 0 && dets[1].History().Current() == 0 && dets[2].History().Current() == 0
+	}, "leader stabilization")
+	// Submit is not goroutine-safe, so push commands through the
+	// leader's Deliver path with request messages. A request that
+	// arrives before the leader's ballot is prepared is dropped (real
+	// clients re-forward), so keep sending until the log grows.
+	waitFor(t, 10*time.Second, func() bool {
+		for i := 0; i < 5; i++ {
+			c.stations[1].net.send(1, 0, rsm.RequestMsg{V: consensus.Value(fmt.Sprintf("cmd%d", i))})
+		}
+		for _, l := range logs {
+			if l.Recorder().Count() < 5 {
+				return false
+			}
+		}
+		return true
+	}, "all replicas decide 5 instances")
+	recs := make([]*consensus.Recorder, n)
+	for i, l := range logs {
+		recs[i] = l.Recorder()
+	}
+	rep := consensus.CheckSafety(consensus.SafetyInput{Recorders: recs})
+	if !rep.Agreement {
+		t.Fatalf("disagreement: %v", rep.Violations)
+	}
+}
+
+func TestUDPClusterElectsLeader(t *testing.T) {
+	autos, dets := liveDetectors(4)
+	c, err := NewUDPCluster(Config{N: 4, Seed: 6, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "UDP leader agreement")
+	if c.Addr(0) == nil || c.Addr(0).Port == 0 {
+		t.Fatal("no bound address")
+	}
+}
+
+func TestUDPClusterLeaderCrash(t *testing.T) {
+	autos, dets := liveDetectors(3)
+	c, err := NewUDPCluster(Config{N: 3, Seed: 7, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "initial agreement")
+	c.Crash(0)
+	waitFor(t, 15*time.Second, func() bool {
+		l, ok := agreement(dets, map[int]bool{0: true})
+		return ok && l == 1
+	}, "UDP re-election")
+}
+
+func TestUDPReplicatedLog(t *testing.T) {
+	const n = 3
+	autos := make([]node.Automaton, n)
+	dets := make([]*core.Detector, n)
+	logs := make([]*rsm.Node, n)
+	for i := 0; i < n; i++ {
+		dets[i] = core.New(core.WithEta(5 * time.Millisecond))
+		logs[i] = rsm.New(dets[i], rsm.Config{DriveInterval: 10 * time.Millisecond})
+		autos[i] = node.Compose(dets[i], logs[i])
+	}
+	c, err := NewUDPCluster(Config{N: n, Seed: 20, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 10*time.Second, func() bool {
+		for _, d := range dets {
+			if d.History().Current() != 0 {
+				return false
+			}
+		}
+		return true
+	}, "UDP leader stabilization")
+	// Push commands through real datagrams until the logs fill.
+	net := &udpNet{cluster: c}
+	waitFor(t, 15*time.Second, func() bool {
+		for i := 0; i < 3; i++ {
+			net.send(1, 0, rsm.RequestMsg{V: consensus.Value(fmt.Sprintf("udp-cmd%d", i))})
+		}
+		for _, l := range logs {
+			if l.Recorder().Count() < 3 {
+				return false
+			}
+		}
+		return true
+	}, "UDP replicas decide 3 instances")
+	recs := make([]*consensus.Recorder, n)
+	for i, l := range logs {
+		recs[i] = l.Recorder()
+	}
+	rep := consensus.CheckSafety(consensus.SafetyInput{Recorders: recs})
+	if !rep.Agreement {
+		t.Fatalf("disagreement over UDP: %v", rep.Violations)
+	}
+}
+
+func TestClusterStopIsIdempotentAndClean(t *testing.T) {
+	autos, _ := liveDetectors(3)
+	c, err := NewCluster(Config{N: 3, Seed: 8, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	time.Sleep(50 * time.Millisecond)
+	c.Stop()
+	c.Stop() // must not panic or hang
+	u, err := NewUDPCluster(Config{N: 3, Seed: 9, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Start()
+	time.Sleep(50 * time.Millisecond)
+	u.Stop()
+	u.Stop()
+}
+
+func TestConfigValidation(t *testing.T) {
+	autos, _ := liveDetectors(2)
+	if _, err := NewCluster(Config{N: 1}, autos[:1]); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := NewCluster(Config{N: 2, DropProb: 2}, autos); err == nil {
+		t.Fatal("DropProb=2 accepted")
+	}
+	if _, err := NewCluster(Config{N: 2, MinDelay: 10 * time.Millisecond, MaxDelay: time.Millisecond}, autos); err == nil {
+		t.Fatal("min>max accepted")
+	}
+	if _, err := NewCluster(Config{N: 3}, autos); err == nil {
+		t.Fatal("wrong automaton count accepted")
+	}
+}
+
+func TestHistoriesAreConcurrencySafe(t *testing.T) {
+	// Reading detector state from the test goroutine while node loops
+	// run exercises the History mutex; run with -race to verify.
+	autos, dets := liveDetectors(3)
+	c, err := NewCluster(Config{N: 3, Seed: 10, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var h *detector.History
+	for time.Now().Before(deadline) {
+		for _, d := range dets {
+			h = d.History()
+			_ = h.Current()
+			_ = h.NumChanges()
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	nodepkg "repro/internal/node"
+)
+
+// UDPCluster runs n automatons as real UDP endpoints on the loopback
+// interface. Each process owns a socket; messages are framed with the wire
+// envelope (sender id + typed payload). UDP gives genuine asynchrony —
+// kernel scheduling jitter, no delivery-order guarantee — so this is the
+// closest thing to a deployment this repository ships.
+type UDPCluster struct {
+	cfg      Config
+	stations []*station
+	conns    []*net.UDPConn
+	addrs    []*net.UDPAddr
+	stats    *metrics.MessageStats
+	start    time.Time
+
+	wg      sync.WaitGroup
+	started bool
+	stopped bool
+}
+
+// NewUDPCluster builds a UDP cluster on 127.0.0.1 with kernel-assigned
+// ports; automatons[i] runs as process i.
+func NewUDPCluster(cfg Config, automatons []nodepkg.Automaton) (*UDPCluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(automatons) != cfg.N {
+		return nil, fmt.Errorf("transport: %d automatons for N=%d", len(automatons), cfg.N)
+	}
+	c := &UDPCluster{
+		cfg:   cfg,
+		stats: metrics.NewMessageStats(cfg.N),
+		start: time.Now(),
+		conns: make([]*net.UDPConn, cfg.N),
+		addrs: make([]*net.UDPAddr, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+		if err != nil {
+			c.closeConns()
+			return nil, fmt.Errorf("listen udp for p%d: %w", i, err)
+		}
+		c.conns[i] = conn
+		addr, ok := conn.LocalAddr().(*net.UDPAddr)
+		if !ok {
+			c.closeConns()
+			return nil, fmt.Errorf("unexpected local addr type %T", conn.LocalAddr())
+		}
+		c.addrs[i] = addr
+	}
+	quiet := func(string, ...any) {}
+	c.stations = make([]*station, cfg.N)
+	for i := range c.stations {
+		var logf func(string, ...any)
+		if cfg.Quiet {
+			logf = quiet
+		}
+		c.stations[i] = newStation(nodepkg.ID(i), cfg.N, automatons[i], &udpNet{cluster: c}, c.start, logf)
+	}
+	return c, nil
+}
+
+func (c *UDPCluster) closeConns() {
+	for _, conn := range c.conns {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}
+}
+
+// Stats returns the cluster's message accounting.
+func (c *UDPCluster) Stats() *metrics.MessageStats { return c.stats }
+
+// Addr returns the UDP address of process id.
+func (c *UDPCluster) Addr(id nodepkg.ID) *net.UDPAddr { return c.addrs[id] }
+
+// Start boots every process: one reader goroutine and one node loop each.
+func (c *UDPCluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.wg.Add(2 * len(c.stations))
+	for i, s := range c.stations {
+		go s.run(&c.wg)
+		go c.readLoop(i)
+	}
+}
+
+// readLoop decodes datagrams for process i into its mailbox.
+func (c *UDPCluster) readLoop(i int) {
+	defer c.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := c.conns[i].ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			return
+		}
+		env, err := c.cfg.Codec.UnmarshalEnvelope(buf[:n])
+		if err != nil {
+			continue // a corrupt datagram must not kill the endpoint
+		}
+		if env.From < 0 || int(env.From) >= c.cfg.N {
+			continue
+		}
+		c.stats.RecordDeliver(c.stations[i].Now(), int(env.From), i, env.Msg.Kind())
+		c.stations[i].deliver(env.From, env.Msg)
+	}
+}
+
+// Crash makes process id inert (crash-stop). Its socket keeps draining so
+// late datagrams do not pile up in kernel buffers.
+func (c *UDPCluster) Crash(id nodepkg.ID) { c.stations[id].crash() }
+
+// Stop closes every socket and waits for all goroutines.
+func (c *UDPCluster) Stop() {
+	if c.stopped || !c.started {
+		return
+	}
+	c.stopped = true
+	c.closeConns()
+	for _, s := range c.stations {
+		s.mbox.close()
+	}
+	c.wg.Wait()
+}
+
+// udpNet implements sender over the cluster's sockets.
+type udpNet struct {
+	cluster *UDPCluster
+}
+
+func (u *udpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
+	c := u.cluster
+	c.stats.RecordSend(c.stations[from].Now(), int(from), int(to), msg.Kind())
+	data, err := c.cfg.Codec.MarshalEnvelope(from, msg)
+	if err != nil {
+		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
+	}
+	if _, err := c.conns[from].WriteToUDP(data, c.addrs[to]); err != nil {
+		// Socket closed during shutdown or a transient kernel error:
+		// UDP is lossy by contract, so account and move on.
+		c.stats.RecordDrop(c.stations[from].Now(), int(from), int(to), msg.Kind())
+	}
+}

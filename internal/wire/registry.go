@@ -1,0 +1,533 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/ct"
+	"repro/internal/consensus/rsm"
+	"repro/internal/consensus/synod"
+	"repro/internal/core"
+	"repro/internal/detector/alltoall"
+	"repro/internal/detector/source"
+	"repro/internal/node"
+)
+
+// Type codes. Codes are part of the wire format: append only, never
+// renumber.
+const (
+	codeCoreLeader byte = iota + 1
+	codeCoreAccuse
+	codeAllToAllAlive
+	codeSourceAlive
+	codeSynodPrepare
+	codeSynodPromise
+	codeSynodNack
+	codeSynodAccept
+	codeSynodAccepted
+	codeSynodDecide
+	codeSynodLearn
+	codeSynodRequest
+	codeCTEstimate
+	codeCTProposal
+	codeCTAck
+	codeCTNack
+	codeCTDecide
+	codeRSMRequest
+	codeRSMPrepare
+	codeRSMPromise
+	codeRSMNack
+	codeRSMAccept
+	codeRSMAccepted
+	codeRSMDecide
+	codeRSMLearn
+	codeCoreRebuff
+)
+
+// badType builds the error for an encoder handed the wrong concrete type.
+func badType(want string, got node.Message) error {
+	return fmt.Errorf("wire: encoder for %s got %T", want, got)
+}
+
+// NewCodec returns a codec with every protocol message in this repository
+// registered.
+func NewCodec() *Codec {
+	c := NewEmptyCodec()
+
+	c.Register(codeCoreLeader, core.KindLeader,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(core.LeaderMsg)
+			if !ok {
+				return badType(core.KindLeader, m)
+			}
+			e.U64(msg.Epoch)
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			epoch, err := d.U64()
+			return core.LeaderMsg{Epoch: epoch}, err
+		})
+
+	c.Register(codeCoreAccuse, core.KindAccuse,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(core.AccuseMsg)
+			if !ok {
+				return badType(core.KindAccuse, m)
+			}
+			e.U64(msg.Epoch)
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			epoch, err := d.U64()
+			return core.AccuseMsg{Epoch: epoch}, err
+		})
+
+	c.Register(codeCoreRebuff, core.KindRebuff,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(core.RebuffMsg)
+			if !ok {
+				return badType(core.KindRebuff, m)
+			}
+			e.U64(msg.Epoch)
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			epoch, err := d.U64()
+			return core.RebuffMsg{Epoch: epoch}, err
+		})
+
+	c.Register(codeAllToAllAlive, alltoall.KindAlive,
+		func(e *Encoder, m node.Message) error {
+			if _, ok := m.(alltoall.AliveMsg); !ok {
+				return badType(alltoall.KindAlive, m)
+			}
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			return alltoall.AliveMsg{}, nil
+		})
+
+	c.Register(codeSourceAlive, source.KindAlive,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(source.AliveMsg)
+			if !ok {
+				return badType(source.KindAlive, m)
+			}
+			e.U64s(msg.Counters)
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			counters, err := d.U64s()
+			return source.AliveMsg{Counters: counters}, err
+		})
+
+	registerSynod(c)
+	registerCT(c)
+	registerRSM(c)
+	return c
+}
+
+func registerSynod(c *Codec) {
+	c.Register(codeSynodPrepare, synod.KindPrepare,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(synod.PrepareMsg)
+			if !ok {
+				return badType(synod.KindPrepare, m)
+			}
+			e.U64(uint64(msg.B))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			b, err := d.U64()
+			return synod.PrepareMsg{B: consensus.Ballot(b)}, err
+		})
+
+	c.Register(codeSynodPromise, synod.KindPromise,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(synod.PromiseMsg)
+			if !ok {
+				return badType(synod.KindPromise, m)
+			}
+			e.U64(uint64(msg.B))
+			e.U64(uint64(msg.AccB))
+			e.Str(string(msg.AccV))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			b, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			accB, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			accV, err := d.Str()
+			return synod.PromiseMsg{
+				B:    consensus.Ballot(b),
+				AccB: consensus.Ballot(accB),
+				AccV: consensus.Value(accV),
+			}, err
+		})
+
+	c.Register(codeSynodNack, synod.KindNack,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(synod.NackMsg)
+			if !ok {
+				return badType(synod.KindNack, m)
+			}
+			e.U64(uint64(msg.B))
+			e.U64(uint64(msg.Promised))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			b, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			p, err := d.U64()
+			return synod.NackMsg{B: consensus.Ballot(b), Promised: consensus.Ballot(p)}, err
+		})
+
+	c.Register(codeSynodAccept, synod.KindAccept,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(synod.AcceptMsg)
+			if !ok {
+				return badType(synod.KindAccept, m)
+			}
+			e.U64(uint64(msg.B))
+			e.Str(string(msg.V))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			b, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.Str()
+			return synod.AcceptMsg{B: consensus.Ballot(b), V: consensus.Value(v)}, err
+		})
+
+	c.Register(codeSynodAccepted, synod.KindAccepted,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(synod.AcceptedMsg)
+			if !ok {
+				return badType(synod.KindAccepted, m)
+			}
+			e.U64(uint64(msg.B))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			b, err := d.U64()
+			return synod.AcceptedMsg{B: consensus.Ballot(b)}, err
+		})
+
+	c.Register(codeSynodDecide, synod.KindDecide,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(synod.DecideMsg)
+			if !ok {
+				return badType(synod.KindDecide, m)
+			}
+			e.Str(string(msg.V))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			v, err := d.Str()
+			return synod.DecideMsg{V: consensus.Value(v)}, err
+		})
+
+	c.Register(codeSynodLearn, synod.KindLearn,
+		func(e *Encoder, m node.Message) error {
+			if _, ok := m.(synod.LearnMsg); !ok {
+				return badType(synod.KindLearn, m)
+			}
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			return synod.LearnMsg{}, nil
+		})
+
+	c.Register(codeSynodRequest, synod.KindRequest,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(synod.RequestMsg)
+			if !ok {
+				return badType(synod.KindRequest, m)
+			}
+			e.Str(string(msg.V))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			v, err := d.Str()
+			return synod.RequestMsg{V: consensus.Value(v)}, err
+		})
+}
+
+func registerCT(c *Codec) {
+	c.Register(codeCTEstimate, ct.KindEstimate,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(ct.EstimateMsg)
+			if !ok {
+				return badType(ct.KindEstimate, m)
+			}
+			if err := e.Int(msg.R); err != nil {
+				return err
+			}
+			e.Str(string(msg.Est))
+			return e.Int(msg.TS)
+		},
+		func(d *Decoder) (node.Message, error) {
+			r, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			est, err := d.Str()
+			if err != nil {
+				return nil, err
+			}
+			ts, err := d.Int()
+			return ct.EstimateMsg{R: r, Est: consensus.Value(est), TS: ts}, err
+		})
+
+	c.Register(codeCTProposal, ct.KindProposal,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(ct.ProposalMsg)
+			if !ok {
+				return badType(ct.KindProposal, m)
+			}
+			if err := e.Int(msg.R); err != nil {
+				return err
+			}
+			e.Str(string(msg.V))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			r, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.Str()
+			return ct.ProposalMsg{R: r, V: consensus.Value(v)}, err
+		})
+
+	c.Register(codeCTAck, ct.KindAck,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(ct.AckMsg)
+			if !ok {
+				return badType(ct.KindAck, m)
+			}
+			return e.Int(msg.R)
+		},
+		func(d *Decoder) (node.Message, error) {
+			r, err := d.Int()
+			return ct.AckMsg{R: r}, err
+		})
+
+	c.Register(codeCTNack, ct.KindNack,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(ct.NackMsg)
+			if !ok {
+				return badType(ct.KindNack, m)
+			}
+			return e.Int(msg.R)
+		},
+		func(d *Decoder) (node.Message, error) {
+			r, err := d.Int()
+			return ct.NackMsg{R: r}, err
+		})
+
+	c.Register(codeCTDecide, ct.KindDecide,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(ct.DecideMsg)
+			if !ok {
+				return badType(ct.KindDecide, m)
+			}
+			e.Str(string(msg.V))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			v, err := d.Str()
+			return ct.DecideMsg{V: consensus.Value(v)}, err
+		})
+}
+
+func registerRSM(c *Codec) {
+	c.Register(codeRSMRequest, rsm.KindRequest,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(rsm.RequestMsg)
+			if !ok {
+				return badType(rsm.KindRequest, m)
+			}
+			e.Str(string(msg.V))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			v, err := d.Str()
+			return rsm.RequestMsg{V: consensus.Value(v)}, err
+		})
+
+	c.Register(codeRSMPrepare, rsm.KindPrepare,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(rsm.PrepareMsg)
+			if !ok {
+				return badType(rsm.KindPrepare, m)
+			}
+			e.U64(uint64(msg.B))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			b, err := d.U64()
+			return rsm.PrepareMsg{B: consensus.Ballot(b)}, err
+		})
+
+	c.Register(codeRSMPromise, rsm.KindPromise,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(rsm.PromiseMsg)
+			if !ok {
+				return badType(rsm.KindPromise, m)
+			}
+			e.U64(uint64(msg.B))
+			e.U32(uint32(len(msg.Entries)))
+			for _, ent := range msg.Entries {
+				if err := e.Int(ent.Inst); err != nil {
+					return err
+				}
+				e.U64(uint64(ent.AccB))
+				e.Str(string(ent.AccV))
+			}
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			b, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			n, err := d.U32()
+			if err != nil {
+				return nil, err
+			}
+			if n > maxElems {
+				return nil, ErrTooLarge
+			}
+			entries := make([]rsm.PromEntry, n)
+			for i := range entries {
+				inst, err := d.Int()
+				if err != nil {
+					return nil, err
+				}
+				accB, err := d.U64()
+				if err != nil {
+					return nil, err
+				}
+				accV, err := d.Str()
+				if err != nil {
+					return nil, err
+				}
+				entries[i] = rsm.PromEntry{Inst: inst, AccB: consensus.Ballot(accB), AccV: consensus.Value(accV)}
+			}
+			if len(entries) == 0 {
+				entries = nil
+			}
+			return rsm.PromiseMsg{B: consensus.Ballot(b), Entries: entries}, nil
+		})
+
+	c.Register(codeRSMNack, rsm.KindNack,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(rsm.NackMsg)
+			if !ok {
+				return badType(rsm.KindNack, m)
+			}
+			e.U64(uint64(msg.B))
+			e.U64(uint64(msg.Promised))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			b, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			p, err := d.U64()
+			return rsm.NackMsg{B: consensus.Ballot(b), Promised: consensus.Ballot(p)}, err
+		})
+
+	c.Register(codeRSMAccept, rsm.KindAccept,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(rsm.AcceptMsg)
+			if !ok {
+				return badType(rsm.KindAccept, m)
+			}
+			e.U64(uint64(msg.B))
+			if err := e.Int(msg.Inst); err != nil {
+				return err
+			}
+			e.Str(string(msg.V))
+			return e.Int(msg.CommitUpTo)
+		},
+		func(d *Decoder) (node.Message, error) {
+			b, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			inst, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.Str()
+			if err != nil {
+				return nil, err
+			}
+			commit, err := d.Int()
+			return rsm.AcceptMsg{B: consensus.Ballot(b), Inst: inst, V: consensus.Value(v), CommitUpTo: commit}, err
+		})
+
+	c.Register(codeRSMAccepted, rsm.KindAccepted,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(rsm.AcceptedMsg)
+			if !ok {
+				return badType(rsm.KindAccepted, m)
+			}
+			e.U64(uint64(msg.B))
+			return e.Int(msg.Inst)
+		},
+		func(d *Decoder) (node.Message, error) {
+			b, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			inst, err := d.Int()
+			return rsm.AcceptedMsg{B: consensus.Ballot(b), Inst: inst}, err
+		})
+
+	c.Register(codeRSMDecide, rsm.KindDecide,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(rsm.DecideMsg)
+			if !ok {
+				return badType(rsm.KindDecide, m)
+			}
+			if err := e.Int(msg.Inst); err != nil {
+				return err
+			}
+			e.Str(string(msg.V))
+			return nil
+		},
+		func(d *Decoder) (node.Message, error) {
+			inst, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.Str()
+			return rsm.DecideMsg{Inst: inst, V: consensus.Value(v)}, err
+		})
+
+	c.Register(codeRSMLearn, rsm.KindLearn,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(rsm.LearnMsg)
+			if !ok {
+				return badType(rsm.KindLearn, m)
+			}
+			return e.Int(msg.FirstGap)
+		},
+		func(d *Decoder) (node.Message, error) {
+			g, err := d.Int()
+			return rsm.LearnMsg{FirstGap: g}, err
+		})
+}

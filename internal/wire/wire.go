@@ -1,0 +1,269 @@
+// Package wire provides a compact binary codec for every protocol message
+// in this repository, used by the live transports (internal/transport) to
+// move messages between real processes (goroutines or UDP sockets) instead
+// of sharing Go values.
+//
+// Encoding: one type-code byte followed by the message fields in
+// big-endian fixed-width integers; strings and vectors carry a u32 length
+// prefix. The codec is strict — unknown type codes, truncated payloads and
+// trailing garbage are errors — because a transport must never deliver a
+// half-parsed message to a protocol automaton.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/node"
+)
+
+// Codec errors.
+var (
+	// ErrUnknownKind is returned when marshaling a message kind that was
+	// never registered.
+	ErrUnknownKind = errors.New("wire: unknown message kind")
+	// ErrUnknownCode is returned when unmarshaling an unregistered type
+	// code.
+	ErrUnknownCode = errors.New("wire: unknown type code")
+	// ErrTruncated is returned when a payload ends prematurely.
+	ErrTruncated = errors.New("wire: truncated payload")
+	// ErrTrailing is returned when a payload has bytes past its message.
+	ErrTrailing = errors.New("wire: trailing bytes")
+	// ErrTooLarge is returned when a length prefix exceeds sane bounds.
+	ErrTooLarge = errors.New("wire: length prefix too large")
+)
+
+// maxElems bounds length prefixes to keep a corrupt packet from causing a
+// huge allocation.
+const maxElems = 1 << 20
+
+// EncodeFunc serializes a message's fields (the type code is written by
+// the codec).
+type EncodeFunc func(e *Encoder, m node.Message) error
+
+// DecodeFunc parses a message's fields.
+type DecodeFunc func(d *Decoder) (node.Message, error)
+
+type entry struct {
+	code byte
+	kind string
+	enc  EncodeFunc
+	dec  DecodeFunc
+}
+
+// Codec maps message kinds to binary representations.
+type Codec struct {
+	byKind map[string]*entry
+	byCode map[byte]*entry
+}
+
+// NewEmptyCodec returns a codec with no registrations (tests and custom
+// protocols). Most callers want NewCodec from registry.go.
+func NewEmptyCodec() *Codec {
+	return &Codec{byKind: make(map[string]*entry), byCode: make(map[byte]*entry)}
+}
+
+// Register adds a message type. It panics on duplicate codes or kinds:
+// registration happens at assembly time and a clash is a programming
+// error.
+func (c *Codec) Register(code byte, kind string, enc EncodeFunc, dec DecodeFunc) {
+	if _, ok := c.byCode[code]; ok {
+		panic(fmt.Sprintf("wire: duplicate code %d", code))
+	}
+	if _, ok := c.byKind[kind]; ok {
+		panic(fmt.Sprintf("wire: duplicate kind %q", kind))
+	}
+	e := &entry{code: code, kind: kind, enc: enc, dec: dec}
+	c.byCode[code] = e
+	c.byKind[kind] = e
+}
+
+// Kinds returns the registered kinds (order unspecified).
+func (c *Codec) Kinds() []string {
+	out := make([]string, 0, len(c.byKind))
+	for k := range c.byKind {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Marshal serializes m with its type code.
+func (c *Codec) Marshal(m node.Message) ([]byte, error) {
+	e, ok := c.byKind[m.Kind()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, m.Kind())
+	}
+	enc := Encoder{buf: []byte{e.code}}
+	if err := e.enc(&enc, m); err != nil {
+		return nil, err
+	}
+	return enc.buf, nil
+}
+
+// Unmarshal parses a message produced by Marshal.
+func (c *Codec) Unmarshal(b []byte) (node.Message, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	e, ok := c.byCode[b[0]]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCode, b[0])
+	}
+	dec := Decoder{buf: b[1:]}
+	m, err := e.dec(&dec)
+	if err != nil {
+		return nil, fmt.Errorf("decode %q: %w", e.kind, err)
+	}
+	if len(dec.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes after %q", ErrTrailing, len(dec.buf), e.kind)
+	}
+	return m, nil
+}
+
+// Encoder appends big-endian fields to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// U64 appends an unsigned 64-bit integer.
+func (e *Encoder) U64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// U32 appends an unsigned 32-bit integer.
+func (e *Encoder) U32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Int appends a non-negative int as u64.
+func (e *Encoder) Int(v int) error {
+	if v < 0 {
+		return fmt.Errorf("wire: negative int %d", v)
+	}
+	e.U64(uint64(v))
+	return nil
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// U64s appends a length-prefixed vector of u64.
+func (e *Encoder) U64s(vs []uint64) {
+	e.U32(uint32(len(vs)))
+	for _, v := range vs {
+		e.U64(v)
+	}
+}
+
+// Decoder consumes big-endian fields from a buffer.
+type Decoder struct {
+	buf []byte
+}
+
+// U64 reads an unsigned 64-bit integer.
+func (d *Decoder) U64() (uint64, error) {
+	if len(d.buf) < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(d.buf[:8])
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+// U32 reads an unsigned 32-bit integer.
+func (d *Decoder) U32() (uint32, error) {
+	if len(d.buf) < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.buf[:4])
+	d.buf = d.buf[4:]
+	return v, nil
+}
+
+// Int reads a non-negative int encoded as u64.
+func (d *Decoder) Int() (int, error) {
+	v, err := d.U64()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<62 {
+		return 0, ErrTooLarge
+	}
+	return int(v), nil
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() (string, error) {
+	n, err := d.U32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxElems {
+		return "", ErrTooLarge
+	}
+	if len(d.buf) < int(n) {
+		return "", ErrTruncated
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+// U64s reads a length-prefixed vector of u64.
+func (d *Decoder) U64s() ([]uint64, error) {
+	n, err := d.U32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxElems {
+		return nil, ErrTooLarge
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i], err = d.U64()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Envelope frames a message with its sender for datagram transports.
+type Envelope struct {
+	From node.ID
+	Msg  node.Message
+}
+
+// MarshalEnvelope serializes from + message.
+func (c *Codec) MarshalEnvelope(from node.ID, m node.Message) ([]byte, error) {
+	body, err := c.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(body)+4)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(from))
+	out = append(out, hdr[:]...)
+	return append(out, body...), nil
+}
+
+// UnmarshalEnvelope parses a framed message.
+func (c *Codec) UnmarshalEnvelope(b []byte) (Envelope, error) {
+	if len(b) < 4 {
+		return Envelope{}, ErrTruncated
+	}
+	from := node.ID(int32(binary.BigEndian.Uint32(b[:4])))
+	m, err := c.Unmarshal(b[4:])
+	if err != nil {
+		return Envelope{}, err
+	}
+	return Envelope{From: from, Msg: m}, nil
+}

@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/ct"
+	"repro/internal/consensus/rsm"
+	"repro/internal/consensus/synod"
+	"repro/internal/core"
+	"repro/internal/detector/alltoall"
+	"repro/internal/detector/source"
+	"repro/internal/node"
+)
+
+// roundTrip marshals and unmarshals m, failing on any error.
+func roundTrip(t *testing.T, c *Codec, m node.Message) node.Message {
+	t.Helper()
+	b, err := c.Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal(%T): %v", m, err)
+	}
+	out, err := c.Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal(%T): %v", m, err)
+	}
+	return out
+}
+
+func TestRoundTripAllMessageTypes(t *testing.T) {
+	c := NewCodec()
+	msgs := []node.Message{
+		core.LeaderMsg{Epoch: 42},
+		core.AccuseMsg{Epoch: 7},
+		core.RebuffMsg{Epoch: 9},
+		alltoall.AliveMsg{},
+		source.AliveMsg{Counters: []uint64{1, 0, 99}},
+		synod.PrepareMsg{B: 17},
+		synod.PromiseMsg{B: 17, AccB: 5, AccV: "v"},
+		synod.NackMsg{B: 17, Promised: 20},
+		synod.AcceptMsg{B: 17, V: "value with spaces"},
+		synod.AcceptedMsg{B: 17},
+		synod.DecideMsg{V: "final"},
+		synod.LearnMsg{},
+		synod.RequestMsg{V: "req"},
+		ct.EstimateMsg{R: 3, Est: "e", TS: 2},
+		ct.ProposalMsg{R: 3, V: "p"},
+		ct.AckMsg{R: 3},
+		ct.NackMsg{R: 4},
+		ct.DecideMsg{V: "d"},
+		rsm.RequestMsg{V: "cmd"},
+		rsm.PrepareMsg{B: 9},
+		rsm.PromiseMsg{B: 9, Entries: []rsm.PromEntry{{Inst: 1, AccB: 2, AccV: "a"}, {Inst: 5, AccB: 9, AccV: "b"}}},
+		rsm.PromiseMsg{B: 9},
+		rsm.NackMsg{B: 9, Promised: 12},
+		rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3},
+		rsm.AcceptedMsg{B: 9, Inst: 4},
+		rsm.DecideMsg{Inst: 4, V: "x"},
+		rsm.LearnMsg{FirstGap: 11},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, c, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip changed %T: %+v → %+v", m, m, got)
+		}
+	}
+}
+
+func TestRoundTripCoversEveryRegisteredKind(t *testing.T) {
+	c := NewCodec()
+	if got := len(c.Kinds()); got != 26 {
+		t.Fatalf("registered kinds = %d, update the round-trip test when adding messages", got)
+	}
+}
+
+func TestQuickRoundTripScalars(t *testing.T) {
+	c := NewCodec()
+	property := func(epoch uint64, b uint64, inst uint32, v string) bool {
+		m1 := core.LeaderMsg{Epoch: epoch}
+		r1, err := c.Marshal(m1)
+		if err != nil {
+			return false
+		}
+		got1, err := c.Unmarshal(r1)
+		if err != nil || got1 != m1 {
+			return false
+		}
+		m2 := rsm.AcceptMsg{B: consensus.Ballot(b), Inst: int(inst), V: consensus.Value(v)}
+		r2, err := c.Marshal(m2)
+		if err != nil {
+			return false
+		}
+		got2, err := c.Unmarshal(r2)
+		return err == nil && got2 == m2
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripVectors(t *testing.T) {
+	c := NewCodec()
+	property := func(counters []uint64) bool {
+		m := source.AliveMsg{Counters: counters}
+		b, err := c.Marshal(m)
+		if err != nil {
+			return false
+		}
+		got, err := c.Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		out, ok := got.(source.AliveMsg)
+		if !ok || len(out.Counters) != len(counters) {
+			return false
+		}
+		for i := range counters {
+			if out.Counters[i] != counters[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	c := NewCodec()
+	if _, err := c.Unmarshal(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := c.Unmarshal([]byte{0xFF}); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+	good, err := c.Marshal(synod.AcceptMsg{B: 1, V: "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Unmarshal(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := c.Unmarshal(append(good, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestFuzzUnmarshalNeverPanics(t *testing.T) {
+	c := NewCodec()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		_, _ = c.Unmarshal(b) // must not panic or over-allocate
+	}
+}
+
+func TestMarshalUnknownKind(t *testing.T) {
+	c := NewCodec()
+	if _, err := c.Marshal(weirdMsg{}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+type weirdMsg struct{}
+
+func (weirdMsg) Kind() string { return "WEIRD" }
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	c := NewEmptyCodec()
+	enc := func(*Encoder, node.Message) error { return nil }
+	dec := func(*Decoder) (node.Message, error) { return weirdMsg{}, nil }
+	c.Register(1, "A", enc, dec)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate code accepted")
+		}
+	}()
+	c.Register(1, "B", enc, dec)
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	c := NewCodec()
+	b, err := c.MarshalEnvelope(3, core.LeaderMsg{Epoch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := c.UnmarshalEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.From != 3 {
+		t.Fatalf("From = %v", env.From)
+	}
+	if m, ok := env.Msg.(core.LeaderMsg); !ok || m.Epoch != 8 {
+		t.Fatalf("Msg = %+v", env.Msg)
+	}
+	if _, err := c.UnmarshalEnvelope([]byte{1, 2}); err == nil {
+		t.Fatal("short envelope accepted")
+	}
+}
+
+func TestNegativeIntRejected(t *testing.T) {
+	var e Encoder
+	if err := e.Int(-1); err == nil {
+		t.Fatal("negative int encoded")
+	}
+}

@@ -1,0 +1,35 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadeBuildAndRun(t *testing.T) {
+	sys, err := Build(Scenario{N: 4, Seed: 1, Algorithm: AlgoCore, Regime: RegimeAllTimely})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(time.Second)
+	rep := sys.OmegaReport()
+	if !rep.Holds || rep.Leader != 0 {
+		t.Fatalf("facade scenario did not converge: %+v", rep)
+	}
+}
+
+func TestFacadeRunExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := RunExperiment(&b, "E5", ExperimentOpts{Quick: true, Seeds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "links used") {
+		t.Fatalf("unexpected output: %q", b.String())
+	}
+}
+
+func TestFacadeRejectsBadConfig(t *testing.T) {
+	if _, err := Build(Scenario{N: 0}); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
