@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench bench-micro tables
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with real concurrency: the live transports and
+# the sharded observer sink they record into (plus the kind interner).
+test-race:
+	$(GO) test -race ./internal/transport/... ./internal/metrics/... ./internal/obs/...
+
+# Full benchmark suite (experiment regeneration + substrate micro-benches).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Just the per-message-path micro-benchmarks: observer sink recording and
+# wire encode/decode. The SinkRecordSend and Wire*Encode benches must stay
+# at 0 allocs/op.
+bench-micro:
+	$(GO) test -run '^$$' -bench 'SinkRecordSend|StatsRecordSendLegacy|Wire' -benchmem .
+
+# Regenerate EXPERIMENTS.md-style tables at full size.
+tables:
+	$(GO) run ./cmd/benchtables

@@ -3,14 +3,17 @@ package repro
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/detector/source"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -151,6 +154,123 @@ func BenchmarkWireVectorRoundTrip(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		if _, err := codec.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSinkRecordSend measures the steady-state observer record path:
+// one pre-interned OnSend into a wrapped (full) send-log ring. This is the
+// per-message instrumentation cost every simulated or live send pays; it
+// must stay allocation-free.
+func BenchmarkSinkRecordSend(b *testing.B) {
+	const n, window = 8, 1024
+	stats := metrics.NewMessageStatsWindow(n, window)
+	kind := obs.Intern("LEADER")
+	// Fill past the window so the ring is wrapped (steady state: evict in
+	// place, never grow) before measurement starts.
+	for i := 0; i < n*window+1; i++ {
+		stats.OnSend(sim.Time(i), i%n, (i+1)%n, kind)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.OnSend(sim.Time(i), i%n, (i+1)%n, kind)
+	}
+}
+
+// BenchmarkSinkRecordSendParallel measures the same path with every
+// process recording from its own goroutine — the live-transport shape the
+// sharding exists for.
+func BenchmarkSinkRecordSendParallel(b *testing.B) {
+	const n, window = 8, 1024
+	stats := metrics.NewMessageStatsWindow(n, window)
+	kind := obs.Intern("LEADER")
+	for i := 0; i < n*window+1; i++ {
+		stats.OnSend(sim.Time(i), i%n, (i+1)%n, kind)
+	}
+	var nextID atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		from := int(nextID.Add(1)-1) % n
+		to := (from + 1) % n
+		var t sim.Time
+		for pb.Next() {
+			t++
+			stats.OnSend(t, from, to, kind)
+		}
+	})
+}
+
+// BenchmarkStatsRecordSendLegacy measures the string-kind compatibility
+// wrapper (interner lookup included) for comparison with the pre-interned
+// sink path.
+func BenchmarkStatsRecordSendLegacy(b *testing.B) {
+	const n, window = 8, 1024
+	stats := metrics.NewMessageStatsWindow(n, window)
+	for i := 0; i < n*window+1; i++ {
+		stats.RecordSend(sim.Time(i), i%n, (i+1)%n, "LEADER")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.RecordSend(sim.Time(i), i%n, (i+1)%n, "LEADER")
+	}
+}
+
+// BenchmarkWireHeartbeatEncode measures encoding the steady-state leader
+// heartbeat into a reused buffer; with the pooled append-style path this
+// must stay allocation-free.
+func BenchmarkWireHeartbeatEncode(b *testing.B) {
+	codec := wire.NewCodec()
+	// Box the message once: the transports hold node.Message interfaces, so
+	// the per-send cost being measured starts at the interface call.
+	var msg node.Message = core.LeaderMsg{Epoch: 123456}
+	buf, err := codec.MarshalAppend(nil, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = codec.MarshalAppend(buf[:0], msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEnvelopeEncode measures the full datagram frame (sender
+// header + heartbeat) the UDP transport writes per message.
+func BenchmarkWireEnvelopeEncode(b *testing.B) {
+	codec := wire.NewCodec()
+	var msg node.Message = core.LeaderMsg{Epoch: 123456}
+	buf, err := codec.MarshalEnvelopeAppend(nil, 3, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = codec.MarshalEnvelopeAppend(buf[:0], 3, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireHeartbeatDecode measures the receive half on its own.
+func BenchmarkWireHeartbeatDecode(b *testing.B) {
+	codec := wire.NewCodec()
+	data, err := codec.Marshal(core.LeaderMsg{Epoch: 123456})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		if _, err := codec.Unmarshal(data); err != nil {
 			b.Fatal(err)
 		}

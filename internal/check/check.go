@@ -102,17 +102,20 @@ type CommEffReport struct {
 
 // CommEff evaluates communication efficiency over the tail window
 // [checkFrom, horizon] of a finished run, for the given agreed leader.
-func CommEff(stats *metrics.MessageStats, leader node.ID, checkFrom, horizon sim.Time, period time.Duration) CommEffReport {
+// It queries an immutable metrics snapshot (stats.Snapshot()), so the
+// verdict is computed over one consistent view even while a live cluster
+// keeps recording.
+func CommEff(snap *metrics.Snapshot, leader node.ID, checkFrom, horizon sim.Time, period time.Duration) CommEffReport {
 	rep := CommEffReport{
-		QuietSince: stats.QuietSince(int(leader)),
-		Senders:    stats.SendersSince(checkFrom),
-		LinksUsed:  stats.LinksUsedSince(checkFrom),
+		QuietSince: snap.QuietSince(int(leader)),
+		Senders:    snap.SendersSince(checkFrom),
+		LinksUsed:  snap.LinksUsedSince(checkFrom),
 	}
 	sort.Ints(rep.Senders)
 	rep.Efficient = rep.QuietSince <= checkFrom
 	if horizon > checkFrom && period > 0 {
 		windows := float64(horizon.Sub(checkFrom)) / float64(period)
-		rep.MessagesPerPeriod = float64(stats.MessagesInWindow(checkFrom, horizon)) / windows
+		rep.MessagesPerPeriod = float64(snap.MessagesInWindow(checkFrom, horizon)) / windows
 	}
 	return rep
 }

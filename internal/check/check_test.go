@@ -123,7 +123,7 @@ func TestCommEffEfficientRun(t *testing.T) {
 		s.RecordSend(at(msec), 1, 0, "L")
 		s.RecordSend(at(msec), 1, 2, "L")
 	}
-	rep := CommEff(s, 1, at(50), at(200), 10*ms)
+	rep := CommEff(s.Snapshot(), 1, at(50), at(200), 10*ms)
 	if !rep.Efficient {
 		t.Fatalf("Efficient = false, QuietSince = %v", rep.QuietSince)
 	}
@@ -146,7 +146,7 @@ func TestCommEffInefficientRun(t *testing.T) {
 			s.RecordSend(at(msec), from, (from+1)%3, "A")
 		}
 	}
-	rep := CommEff(s, 0, at(100), at(200), 10*ms)
+	rep := CommEff(s.Snapshot(), 0, at(100), at(200), 10*ms)
 	if rep.Efficient {
 		t.Fatal("Efficient = true for all-to-all traffic")
 	}

@@ -94,7 +94,7 @@ func fSourceRun(n, k int, seed int64, horizon time.Duration) (holds bool, change
 		}
 	}
 	holds = agree && lastChange <= tailStart
-	msgsPerEta = float64(w.Stats.MessagesInWindow(tailStart, sim.At(horizon))) /
+	msgsPerEta = float64(w.Stats.Snapshot().MessagesInWindow(tailStart, sim.At(horizon))) /
 		(float64(horizon/4) / float64(Eta))
 	return holds, changes, msgsPerEta
 }

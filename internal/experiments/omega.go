@@ -97,7 +97,7 @@ func E2ConvergenceSeries(o Opts) Series {
 			panic(err)
 		}
 		sys.Run(time.Duration(horizon) * Eta)
-		buckets := sys.World.Stats.Series(Eta, etaT(horizon))
+		buckets := sys.World.Stats.Snapshot().Series(Eta, etaT(horizon))
 		var xs, ys []float64
 		for i := 0; i+step <= len(buckets); i += step {
 			var sum uint64
@@ -247,7 +247,7 @@ func E5LinksUsed(o Opts) Table {
 				panic(err)
 			}
 			s.Run(time.Duration(horizon) * Eta)
-			links := s.World.Stats.LinksUsedSince(etaT(horizon - tail))
+			links := s.World.Stats.Snapshot().LinksUsedSince(etaT(horizon - tail))
 			predicted := n * (n - 1)
 			if algo == scenario.AlgoCore {
 				predicted = n - 1

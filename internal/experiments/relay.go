@@ -118,10 +118,12 @@ func relayRun(relayOn bool, horizon time.Duration, seed int64) (holds string, le
 				originators++
 			}
 		}
-	} else {
-		originators = len(w.Stats.SendersSince(tailStart))
 	}
-	msgsPerEta = float64(w.Stats.MessagesInWindow(tailStart, sim.At(horizon))) /
+	snap := w.Stats.Snapshot()
+	if !relayOn {
+		originators = len(snap.SendersSince(tailStart))
+	}
+	msgsPerEta = float64(snap.MessagesInWindow(tailStart, sim.At(horizon))) /
 		(float64(horizon/4) / float64(Eta))
 	return holds, leader, originators, msgsPerEta, changes
 }

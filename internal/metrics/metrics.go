@@ -1,4 +1,5 @@
-// Package metrics collects message-level accounting for simulation runs.
+// Package metrics collects message-level accounting for simulation runs
+// and live clusters.
 //
 // The reproduced paper's headline property is about message counts: a
 // communication-efficient Omega implementation eventually has exactly one
@@ -7,14 +8,21 @@
 // checkers (internal/check) and the experiment harness
 // (internal/experiments) can compute "who sent after time t", "how many
 // messages per period", and "how many links carried traffic after t".
+//
+// MessageStats is an obs.Sink. The record path is contention-free: all
+// counters are per-process sharded atomics, and the send log is a bounded
+// ring per sender guarded only by that sender's own mutex (a single writer
+// in every runtime, so the lock is uncontended). Queries over the send log
+// go through an immutable Snapshot.
 package metrics
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -23,259 +31,320 @@ type SendRecord struct {
 	At   sim.Time
 	From int32
 	To   int32
-	Kind uint16
+	Kind obs.Kind
+}
+
+// DefaultWindow is the default per-sender send-log bound. It is generous —
+// far beyond what any experiment in the suite produces per sender — so
+// that by default the log behaves as unbounded while still giving long
+// live runs a hard memory ceiling. See DESIGN.md ("Instrumentation
+// pipeline") for sizing guidance.
+const DefaultWindow = 1 << 20
+
+// shard holds one process's slice of the accounting: counters it bumps as
+// a sender (sends, out-links, drops) or as a receiver (deliveries), plus
+// the bounded ring of its own send records. Shards are separately
+// heap-allocated so different processes never share cache lines.
+type shard struct {
+	sentBy    atomic.Uint64
+	delivered atomic.Uint64 // messages received by this process
+	dropped   atomic.Uint64 // messages lost on this process's out-links
+
+	link          []atomic.Uint64 // out-link counts, indexed by destination
+	kindSent      [obs.MaxKinds]atomic.Uint64
+	kindDelivered [obs.MaxKinds]atomic.Uint64
+	kindDropped   [obs.MaxKinds]atomic.Uint64
+
+	// The send ring: oldest record at head, newest at (head+count-1) mod
+	// len(ring). ring grows by doubling until window, then wraps, evicting
+	// the oldest record. lastAt is the max timestamp ever recorded, which
+	// survives eviction (QuietSince and SendersSince need the most recent
+	// send even after the ring wraps).
+	mu     sync.Mutex
+	ring   []SendRecord
+	head   int
+	count  int
+	window int
+	lastAt sim.Time
+}
+
+func (sh *shard) appendRecord(rec SendRecord) {
+	sh.mu.Lock()
+	if sh.count == len(sh.ring) {
+		if sh.count < sh.window {
+			sh.grow()
+		} else {
+			// Full: evict the oldest in place.
+			sh.ring[sh.head] = rec
+			sh.head = (sh.head + 1) % len(sh.ring)
+			if rec.At > sh.lastAt {
+				sh.lastAt = rec.At
+			}
+			sh.mu.Unlock()
+			return
+		}
+	}
+	sh.ring[(sh.head+sh.count)%len(sh.ring)] = rec
+	sh.count++
+	if rec.At > sh.lastAt {
+		sh.lastAt = rec.At
+	}
+	sh.mu.Unlock()
+}
+
+// grow doubles the ring (unwrapping it) up to the window bound.
+func (sh *shard) grow() {
+	newCap := 2 * len(sh.ring)
+	if newCap == 0 {
+		newCap = 64
+	}
+	if newCap > sh.window {
+		newCap = sh.window
+	}
+	next := make([]SendRecord, newCap)
+	for i := 0; i < sh.count; i++ {
+		next[i] = sh.ring[(sh.head+i)%len(sh.ring)]
+	}
+	sh.ring = next
+	sh.head = 0
+}
+
+// records returns the shard's retained records oldest-first.
+func (sh *shard) records() []SendRecord {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]SendRecord, sh.count)
+	for i := 0; i < sh.count; i++ {
+		out[i] = sh.ring[(sh.head+i)%len(sh.ring)]
+	}
+	return out
 }
 
 // MessageStats accumulates per-run message accounting. It is safe for
-// concurrent use so that the same type serves both the single-threaded
-// simulator and the live goroutine transports.
+// concurrent use — the same type serves the single-threaded simulator and
+// the live goroutine transports — and its record path takes no global
+// lock.
 type MessageStats struct {
-	mu sync.Mutex
+	n      int
+	window int
+	shards []*shard
 
-	n         int
-	sends     []SendRecord
-	sentBy    []uint64
-	link      []uint64 // n*n flattened [from*n+to]
-	delivered uint64
-	dropped   uint64
-
-	kindIDs    map[string]uint16
-	kindNames  []string
-	kindCounts []uint64
+	// observed is the run-local first-seen order of sent kinds; seen gates
+	// the slow path so steady-state sends pay one atomic load.
+	obsMu    sync.Mutex
+	seen     [obs.MaxKinds]atomic.Bool
+	observed []obs.Kind
 }
 
-// NewMessageStats returns stats for a system of n processes.
+var _ obs.Sink = (*MessageStats)(nil)
+
+// NewMessageStats returns stats for a system of n processes with the
+// default send-log window.
 func NewMessageStats(n int) *MessageStats {
-	return &MessageStats{
-		n:       n,
-		sentBy:  make([]uint64, n),
-		link:    make([]uint64, n*n),
-		kindIDs: make(map[string]uint16),
+	return NewMessageStatsWindow(n, DefaultWindow)
+}
+
+// NewMessageStatsWindow returns stats whose send log retains at most
+// window records per sender; older records are evicted, counters are
+// never lost. window <= 0 means DefaultWindow.
+func NewMessageStatsWindow(n, window int) *MessageStats {
+	if window <= 0 {
+		window = DefaultWindow
 	}
+	s := &MessageStats{n: n, window: window, shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{link: make([]atomic.Uint64, n), window: window}
+	}
+	return s
 }
 
 // N returns the number of processes the stats were created for.
 func (s *MessageStats) N() int { return s.n }
 
-func (s *MessageStats) kindID(kind string) uint16 {
-	id, ok := s.kindIDs[kind]
-	if !ok {
-		id = uint16(len(s.kindNames))
-		s.kindIDs[kind] = id
-		s.kindNames = append(s.kindNames, kind)
-		s.kindCounts = append(s.kindCounts, 0)
+// Window returns the per-sender send-log bound.
+func (s *MessageStats) Window() int { return s.window }
+
+func (s *MessageStats) noteKind(kind obs.Kind) {
+	if s.seen[kind].Load() {
+		return
 	}
-	return id
+	s.obsMu.Lock()
+	if !s.seen[kind].Load() {
+		s.observed = append(s.observed, kind)
+		s.seen[kind].Store(true)
+	}
+	s.obsMu.Unlock()
+}
+
+// OnSend implements obs.Sink: from sent a message of the given kind to to
+// at t.
+func (s *MessageStats) OnSend(t sim.Time, from, to int, kind obs.Kind) {
+	sh := s.shards[from]
+	sh.sentBy.Add(1)
+	sh.link[to].Add(1)
+	sh.kindSent[kind].Add(1)
+	s.noteKind(kind)
+	sh.appendRecord(SendRecord{At: t, From: int32(from), To: int32(to), Kind: kind})
+}
+
+// OnDeliver implements obs.Sink: a message of the given kind reached to.
+func (s *MessageStats) OnDeliver(t sim.Time, from, to int, kind obs.Kind) {
+	sh := s.shards[to]
+	sh.delivered.Add(1)
+	sh.kindDelivered[kind].Add(1)
+}
+
+// OnDrop implements obs.Sink: the from→to link lost a message.
+func (s *MessageStats) OnDrop(t sim.Time, from, to int, kind obs.Kind) {
+	sh := s.shards[from]
+	sh.dropped.Add(1)
+	sh.kindDropped[kind].Add(1)
 }
 
 // RecordSend notes that from sent a message of the given kind to to at t.
+// It interns the kind name; hot paths should pre-intern and call OnSend.
 func (s *MessageStats) RecordSend(t sim.Time, from, to int, kind string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.kindID(kind)
-	s.sends = append(s.sends, SendRecord{At: t, From: int32(from), To: int32(to), Kind: id})
-	s.sentBy[from]++
-	s.link[from*s.n+to]++
-	s.kindCounts[id]++
+	s.OnSend(t, from, to, obs.Intern(kind))
 }
 
 // RecordDeliver notes a successful delivery.
 func (s *MessageStats) RecordDeliver(t sim.Time, from, to int, kind string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.delivered++
+	s.OnDeliver(t, from, to, obs.Intern(kind))
 }
 
 // RecordDrop notes a message lost by its link.
 func (s *MessageStats) RecordDrop(t sim.Time, from, to int, kind string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.dropped++
+	s.OnDrop(t, from, to, obs.Intern(kind))
 }
+
+// --- counter queries (exact, never windowed) -----------------------------
 
 // TotalSent returns the total number of messages sent.
 func (s *MessageStats) TotalSent() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return uint64(len(s.sends))
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.sentBy.Load()
+	}
+	return total
 }
 
 // Delivered returns the total number of messages delivered.
 func (s *MessageStats) Delivered() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.delivered
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.delivered.Load()
+	}
+	return total
 }
 
 // Dropped returns the total number of messages lost in transit.
 func (s *MessageStats) Dropped() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dropped
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.dropped.Load()
+	}
+	return total
 }
 
 // SentBy returns how many messages process id has sent.
-func (s *MessageStats) SentBy(id int) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sentBy[id]
-}
+func (s *MessageStats) SentBy(id int) uint64 { return s.shards[id].sentBy.Load() }
 
 // LinkCount returns how many messages were sent on the from→to link.
-func (s *MessageStats) LinkCount(from, to int) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.link[from*s.n+to]
+func (s *MessageStats) LinkCount(from, to int) uint64 { return s.shards[from].link[to].Load() }
+
+func (s *MessageStats) sumKind(counter func(*shard) *atomic.Uint64) uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += counter(sh).Load()
+	}
+	return total
 }
 
 // KindCount returns how many messages of the given kind were sent.
 func (s *MessageStats) KindCount(kind string) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id, ok := s.kindIDs[kind]
+	id, ok := obs.Lookup(kind)
 	if !ok {
 		return 0
 	}
-	return s.kindCounts[id]
+	return s.sumKind(func(sh *shard) *atomic.Uint64 { return &sh.kindSent[id] })
 }
 
-// Kinds returns the observed message kinds in first-seen order.
+// DeliveredByKind returns how many messages of the given kind were
+// delivered.
+func (s *MessageStats) DeliveredByKind(kind string) uint64 {
+	id, ok := obs.Lookup(kind)
+	if !ok {
+		return 0
+	}
+	return s.sumKind(func(sh *shard) *atomic.Uint64 { return &sh.kindDelivered[id] })
+}
+
+// DroppedByKind returns how many messages of the given kind were lost.
+func (s *MessageStats) DroppedByKind(kind string) uint64 {
+	id, ok := obs.Lookup(kind)
+	if !ok {
+		return 0
+	}
+	return s.sumKind(func(sh *shard) *atomic.Uint64 { return &sh.kindDropped[id] })
+}
+
+// Kinds returns the observed sent-message kinds in first-seen order.
 func (s *MessageStats) Kinds() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, len(s.kindNames))
-	copy(out, s.kindNames)
-	return out
-}
-
-// SendersSince returns the sorted set of processes that sent at least one
-// message at or after t.
-func (s *MessageStats) SendersSince(t sim.Time) []int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	seen := make(map[int32]bool)
-	for i := len(s.sends) - 1; i >= 0; i-- {
-		rec := s.sends[i]
-		if rec.At < t {
-			break // records are appended in non-decreasing time order
-		}
-		seen[rec.From] = true
-	}
-	out := make([]int, 0, len(seen))
-	for id := range seen {
-		out = append(out, int(id))
-	}
-	sort.Ints(out)
-	return out
-}
-
-// LinksUsedSince returns how many distinct directed links carried at least
-// one message at or after t.
-func (s *MessageStats) LinksUsedSince(t sim.Time) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	seen := make(map[int64]bool)
-	for i := len(s.sends) - 1; i >= 0; i-- {
-		rec := s.sends[i]
-		if rec.At < t {
-			break
-		}
-		seen[int64(rec.From)<<32|int64(rec.To)] = true
-	}
-	return len(seen)
-}
-
-// MessagesInWindow counts messages sent in the half-open window [from, to).
-func (s *MessageStats) MessagesInWindow(from, to sim.Time) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	lo := s.searchLocked(from)
-	hi := s.searchLocked(to)
-	return uint64(hi - lo)
-}
-
-// searchLocked returns the index of the first send at or after t.
-func (s *MessageStats) searchLocked(t sim.Time) int {
-	return sort.Search(len(s.sends), func(i int) bool { return s.sends[i].At >= t })
-}
-
-// QuietSince returns the earliest instant q such that every message sent at
-// or after q was sent by the given process. If nobody else ever sent, that
-// instant is 0.
-//
-// This is the machine check for Definition "communication-efficient": pick
-// the leader as the process and QuietSince is the stabilization point after
-// which only the leader sends.
-func (s *MessageStats) QuietSince(process int) sim.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := len(s.sends) - 1; i >= 0; i-- {
-		rec := s.sends[i]
-		if int(rec.From) != process {
-			// The latest foreign send bounds quiescence from below.
-			return rec.At + 1
-		}
-	}
-	return 0
-}
-
-// LastSendBy returns the time of the last message sent by id, and whether
-// id sent anything at all.
-func (s *MessageStats) LastSendBy(id int) (sim.Time, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := len(s.sends) - 1; i >= 0; i-- {
-		if int(s.sends[i].From) == id {
-			return s.sends[i].At, true
-		}
-	}
-	return 0, false
-}
-
-// Series buckets the send log into fixed windows of width bucket, from time
-// zero to horizon, and returns the per-bucket message counts.
-func (s *MessageStats) Series(bucket time.Duration, horizon sim.Time) []uint64 {
-	if bucket <= 0 {
-		panic("metrics: Series with non-positive bucket")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	nb := int(int64(horizon)/bucket.Nanoseconds()) + 1
-	out := make([]uint64, nb)
-	for _, rec := range s.sends {
-		if rec.At > horizon {
-			break
-		}
-		out[int64(rec.At)/bucket.Nanoseconds()]++
-	}
-	return out
-}
-
-// SeriesBySender buckets the send log per sender.
-func (s *MessageStats) SeriesBySender(bucket time.Duration, horizon sim.Time) [][]uint64 {
-	if bucket <= 0 {
-		panic("metrics: SeriesBySender with non-positive bucket")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	nb := int(int64(horizon)/bucket.Nanoseconds()) + 1
-	out := make([][]uint64, s.n)
-	for i := range out {
-		out[i] = make([]uint64, nb)
-	}
-	for _, rec := range s.sends {
-		if rec.At > horizon {
-			break
-		}
-		out[rec.From][int64(rec.At)/bucket.Nanoseconds()]++
+	s.obsMu.Lock()
+	ids := make([]obs.Kind, len(s.observed))
+	copy(ids, s.observed)
+	s.obsMu.Unlock()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = obs.KindName(id)
 	}
 	return out
 }
 
 // Summary returns a one-line human-readable digest.
 func (s *MessageStats) Summary() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.obsMu.Lock()
+	kinds := len(s.observed)
+	s.obsMu.Unlock()
 	return fmt.Sprintf("sent=%d delivered=%d dropped=%d kinds=%d",
-		len(s.sends), s.delivered, s.dropped, len(s.kindNames))
+		s.TotalSent(), s.Delivered(), s.Dropped(), kinds)
+}
+
+// --- send-log queries (windowed, via Snapshot) ---------------------------
+
+// SendersSince returns the sorted set of processes that sent at least one
+// message at or after t.
+func (s *MessageStats) SendersSince(t sim.Time) []int { return s.Snapshot().SendersSince(t) }
+
+// LinksUsedSince returns how many distinct directed links carried at least
+// one message at or after t.
+func (s *MessageStats) LinksUsedSince(t sim.Time) int { return s.Snapshot().LinksUsedSince(t) }
+
+// MessagesInWindow counts messages sent in the half-open window [from, to).
+func (s *MessageStats) MessagesInWindow(from, to sim.Time) uint64 {
+	return s.Snapshot().MessagesInWindow(from, to)
+}
+
+// QuietSince returns the earliest instant q such that every message sent
+// at or after q was sent by the given process. If nobody else ever sent,
+// that instant is 0.
+//
+// This is the machine check for Definition "communication-efficient": pick
+// the leader as the process and QuietSince is the stabilization point
+// after which only the leader sends.
+func (s *MessageStats) QuietSince(process int) sim.Time { return s.Snapshot().QuietSince(process) }
+
+// LastSendBy returns the time of the last message sent by id, and whether
+// id sent anything at all.
+func (s *MessageStats) LastSendBy(id int) (sim.Time, bool) { return s.Snapshot().LastSendBy(id) }
+
+// Series buckets the send log into fixed windows of width bucket, from
+// time zero to horizon, and returns the per-bucket message counts.
+func (s *MessageStats) Series(bucket time.Duration, horizon sim.Time) []uint64 {
+	return s.Snapshot().Series(bucket, horizon)
+}
+
+// SeriesBySender buckets the send log per sender.
+func (s *MessageStats) SeriesBySender(bucket time.Duration, horizon sim.Time) [][]uint64 {
+	return s.Snapshot().SeriesBySender(bucket, horizon)
 }

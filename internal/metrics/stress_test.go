@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestConcurrentRecordingMatchesSequential drives the sink from one
+// goroutine per process — the live-transport shape — with a deterministic
+// per-process schedule, then checks every counter and snapshot query
+// against a second MessageStats fed the same events sequentially. Run
+// under -race this doubles as the data-race check for the sharded record
+// path.
+func TestConcurrentRecordingMatchesSequential(t *testing.T) {
+	const (
+		n      = 8
+		perOp  = 2000
+		window = 0 // default: retain everything, so record queries are exact
+	)
+	kinds := []obs.Kind{
+		obs.Intern("stress-HB"),
+		obs.Intern("stress-ACCUSE"),
+		obs.Intern("stress-OK"),
+	}
+
+	// schedule returns the i-th operation of process p. Deterministic and
+	// pure, so the concurrent and sequential runs see identical events.
+	type op struct {
+		send     bool // else: i%7==0 drop, otherwise deliver
+		drop     bool
+		at       sim.Time
+		from, to int
+		kind     obs.Kind
+	}
+	schedule := func(p, i int) op {
+		to := (p + 1 + i%(n-1)) % n
+		o := op{
+			at:   sim.Time(i*n + p), // distinct, increasing per process
+			from: p,
+			to:   to,
+			kind: kinds[(p+i)%len(kinds)],
+		}
+		switch i % 7 {
+		case 0:
+			o.drop = true
+		case 1, 2:
+			// deliver only
+		default:
+			o.send = true
+		}
+		return o
+	}
+	apply := func(s *MessageStats, o op) {
+		switch {
+		case o.send:
+			s.OnSend(o.at, o.from, o.to, o.kind)
+		case o.drop:
+			s.OnDrop(o.at, o.from, o.to, o.kind)
+		default:
+			s.OnDeliver(o.at, o.from, o.to, o.kind)
+		}
+	}
+
+	concurrent := NewMessageStatsWindow(n, window)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perOp; i++ {
+				apply(concurrent, schedule(p, i))
+			}
+		}()
+	}
+	wg.Wait()
+
+	sequential := NewMessageStatsWindow(n, window)
+	for p := 0; p < n; p++ {
+		for i := 0; i < perOp; i++ {
+			apply(sequential, schedule(p, i))
+		}
+	}
+
+	if got, want := concurrent.TotalSent(), sequential.TotalSent(); got != want {
+		t.Errorf("TotalSent = %d, want %d", got, want)
+	}
+	if got, want := concurrent.Delivered(), sequential.Delivered(); got != want {
+		t.Errorf("Delivered = %d, want %d", got, want)
+	}
+	if got, want := concurrent.Dropped(), sequential.Dropped(); got != want {
+		t.Errorf("Dropped = %d, want %d", got, want)
+	}
+	for p := 0; p < n; p++ {
+		if got, want := concurrent.SentBy(p), sequential.SentBy(p); got != want {
+			t.Errorf("SentBy(%d) = %d, want %d", p, got, want)
+		}
+		for q := 0; q < n; q++ {
+			if got, want := concurrent.LinkCount(p, q), sequential.LinkCount(p, q); got != want {
+				t.Errorf("LinkCount(%d,%d) = %d, want %d", p, q, got, want)
+			}
+		}
+	}
+	for _, k := range kinds {
+		name := obs.KindName(k)
+		if got, want := concurrent.KindCount(name), sequential.KindCount(name); got != want {
+			t.Errorf("KindCount(%q) = %d, want %d", name, got, want)
+		}
+		if got, want := concurrent.DeliveredByKind(name), sequential.DeliveredByKind(name); got != want {
+			t.Errorf("DeliveredByKind(%q) = %d, want %d", name, got, want)
+		}
+		if got, want := concurrent.DroppedByKind(name), sequential.DroppedByKind(name); got != want {
+			t.Errorf("DroppedByKind(%q) = %d, want %d", name, got, want)
+		}
+	}
+
+	// Kinds(): first-seen order is scheduling-dependent under concurrency,
+	// so compare as sets.
+	cKinds, sKinds := concurrent.Kinds(), sequential.Kinds()
+	if len(cKinds) != len(sKinds) {
+		t.Fatalf("Kinds() lengths differ: %v vs %v", cKinds, sKinds)
+	}
+	set := make(map[string]bool, len(sKinds))
+	for _, k := range sKinds {
+		set[k] = true
+	}
+	for _, k := range cKinds {
+		if !set[k] {
+			t.Errorf("Kinds() contains unexpected %q", k)
+		}
+	}
+
+	// Record queries: each shard is single-writer, so the retained logs
+	// must match the sequential run exactly.
+	cSnap, sSnap := concurrent.Snapshot(), sequential.Snapshot()
+	horizon := sim.Time(perOp*n + n)
+	for _, at := range []sim.Time{0, 17, sim.Time(perOp * n / 2), horizon} {
+		cs, ss := cSnap.SendersSince(at), sSnap.SendersSince(at)
+		if len(cs) != len(ss) {
+			t.Fatalf("SendersSince(%d) = %v, want %v", at, cs, ss)
+		}
+		for i := range cs {
+			if cs[i] != ss[i] {
+				t.Fatalf("SendersSince(%d) = %v, want %v", at, cs, ss)
+			}
+		}
+		if got, want := cSnap.LinksUsedSince(at), sSnap.LinksUsedSince(at); got != want {
+			t.Errorf("LinksUsedSince(%d) = %d, want %d", at, got, want)
+		}
+		if got, want := cSnap.MessagesInWindow(at, horizon), sSnap.MessagesInWindow(at, horizon); got != want {
+			t.Errorf("MessagesInWindow(%d, %d) = %d, want %d", at, horizon, got, want)
+		}
+	}
+	for p := 0; p < n; p++ {
+		if got, want := cSnap.QuietSince(p), sSnap.QuietSince(p); got != want {
+			t.Errorf("QuietSince(%d) = %d, want %d", p, got, want)
+		}
+		cAt, cOK := cSnap.LastSendBy(p)
+		sAt, sOK := sSnap.LastSendBy(p)
+		if cAt != sAt || cOK != sOK {
+			t.Errorf("LastSendBy(%d) = %d,%v, want %d,%v", p, cAt, cOK, sAt, sOK)
+		}
+	}
+}
+
+// TestConcurrentRecordingSmallWindow repeats the concurrent run with a
+// window small enough to force eviction on every shard, checking that
+// counters stay exact and lastAt-backed queries survive eviction.
+func TestConcurrentRecordingSmallWindow(t *testing.T) {
+	const (
+		n      = 4
+		perOp  = 1000
+		window = 64
+	)
+	k := obs.Intern("stress-small-HB")
+
+	concurrent := NewMessageStatsWindow(n, window)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perOp; i++ {
+				concurrent.OnSend(sim.Time(i*n+p), p, (p+1)%n, k)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := concurrent.TotalSent(), uint64(n*perOp); got != want {
+		t.Errorf("TotalSent = %d, want %d (counters must not be windowed)", got, want)
+	}
+	snap := concurrent.Snapshot()
+	for p := 0; p < n; p++ {
+		if got, want := concurrent.SentBy(p), uint64(perOp); got != want {
+			t.Errorf("SentBy(%d) = %d, want %d", p, got, want)
+		}
+		wantLast := sim.Time((perOp-1)*n + p)
+		if at, ok := snap.LastSendBy(p); !ok || at != wantLast {
+			t.Errorf("LastSendBy(%d) = %d,%v, want %d,true (lastAt must survive eviction)", p, at, ok, wantLast)
+		}
+	}
+	// The retained window holds exactly window records per sender.
+	if got, want := snap.MessagesInWindow(0, sim.Time(perOp*n+n)), uint64(n*window); got != want {
+		t.Errorf("MessagesInWindow over everything = %d, want %d (window bound)", got, want)
+	}
+}

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // DeliverFunc receives a payload at its destination.
@@ -22,19 +21,22 @@ type Fabric struct {
 	gst      sim.Time
 	profiles []Profile
 	cut      []bool
-	stats    *metrics.MessageStats
-	log      *trace.Log
+	sink     obs.Sink
 	deliver  DeliverFunc
 }
 
 // NewFabric creates a fabric for n processes whose links all start with the
-// given default profile. The stats and log sinks may be nil.
-func NewFabric(k *sim.Kernel, n int, def Profile, stats *metrics.MessageStats, log *trace.Log) (*Fabric, error) {
+// given default profile. Every message event is reported to sink (nil for
+// no instrumentation); compose observers with obs.Tee.
+func NewFabric(k *sim.Kernel, n int, def Profile, sink obs.Sink) (*Fabric, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("network: fabric needs at least one process, got %d", n)
 	}
 	if err := def.Validate(); err != nil {
 		return nil, fmt.Errorf("default profile: %w", err)
+	}
+	if sink == nil {
+		sink = obs.Nop{}
 	}
 	f := &Fabric{
 		kernel:   k,
@@ -42,8 +44,7 @@ func NewFabric(k *sim.Kernel, n int, def Profile, stats *metrics.MessageStats, l
 		gst:      sim.TimeZero,
 		profiles: make([]Profile, n*n),
 		cut:      make([]bool, n*n),
-		stats:    stats,
-		log:      log,
+		sink:     sink,
 	}
 	for i := range f.profiles {
 		f.profiles[i] = def
@@ -170,30 +171,15 @@ func (f *Fabric) Send(from, to int, kind string, payload any) {
 	}
 	now := f.kernel.Now()
 	idx := f.index(from, to)
-	if f.stats != nil {
-		f.stats.RecordSend(now, from, to, kind)
-	}
-	if f.log != nil {
-		f.log.Add(trace.Entry{T: now, Kind: trace.KindSend, Node: from, Peer: to, Msg: kind})
-	}
+	k := obs.Intern(kind)
+	f.sink.OnSend(now, from, to, k)
 	delay, ok := f.profiles[idx].transmit(now >= f.gst, f.kernel.Rand())
 	if !ok || f.cut[idx] {
-		if f.stats != nil {
-			f.stats.RecordDrop(now, from, to, kind)
-		}
-		if f.log != nil {
-			f.log.Add(trace.Entry{T: now, Kind: trace.KindDrop, Node: from, Peer: to, Msg: kind})
-		}
+		f.sink.OnDrop(now, from, to, k)
 		return
 	}
 	f.kernel.Schedule(delay, func() {
-		at := f.kernel.Now()
-		if f.stats != nil {
-			f.stats.RecordDeliver(at, from, to, kind)
-		}
-		if f.log != nil {
-			f.log.Add(trace.Entry{T: at, Kind: trace.KindDeliver, Node: to, Peer: from, Msg: kind})
-		}
+		f.sink.OnDeliver(f.kernel.Now(), from, to, k)
 		f.deliver(from, to, payload)
 	})
 }

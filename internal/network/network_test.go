@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -21,7 +22,7 @@ func newTestFabric(t *testing.T, n int, def Profile, gst sim.Time) (*sim.Kernel,
 	t.Helper()
 	k := sim.NewKernel(1)
 	stats := metrics.NewMessageStats(n)
-	f, err := NewFabric(k, n, def, stats, trace.NewLog())
+	f, err := NewFabric(k, n, def, obs.Tee(stats, trace.NewLog().MessageSink()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestSelfSendPanics(t *testing.T) {
 
 func TestSendBeforeDeliverPanics(t *testing.T) {
 	k := sim.NewKernel(1)
-	f, err := NewFabric(k, 2, Timely(ms), nil, nil)
+	f, err := NewFabric(k, 2, Timely(ms), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,10 +272,10 @@ func TestSendBeforeDeliverPanics(t *testing.T) {
 
 func TestNewFabricRejectsBadConfig(t *testing.T) {
 	k := sim.NewKernel(1)
-	if _, err := NewFabric(k, 0, Timely(ms), nil, nil); err == nil {
+	if _, err := NewFabric(k, 0, Timely(ms), nil); err == nil {
 		t.Fatal("n=0 accepted")
 	}
-	if _, err := NewFabric(k, 2, Profile{Kind: LinkTimely}, nil, nil); err == nil {
+	if _, err := NewFabric(k, 2, Profile{Kind: LinkTimely}, nil); err == nil {
 		t.Fatal("invalid default profile accepted")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -32,6 +33,12 @@ type WorldConfig struct {
 	// (the process "does not exist yet"), which is how real deployments
 	// behave during rollout.
 	StartAt []sim.Time
+	// Observer is an optional extra obs.Sink teed with the world's stats
+	// and trace; it sees every send/deliver/drop.
+	Observer obs.Sink
+	// RecordWindow bounds the per-sender send log retained for checker
+	// queries (0 = metrics.DefaultWindow). Counters are never windowed.
+	RecordWindow int
 }
 
 // World is a complete simulated system: kernel, fabric, and n processes
@@ -74,10 +81,11 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		return nil, fmt.Errorf("node: StartAt has %d entries for %d processes", len(cfg.StartAt), cfg.N)
 	}
 	k := sim.NewKernel(cfg.Seed)
-	stats := metrics.NewMessageStats(cfg.N)
+	stats := metrics.NewMessageStatsWindow(cfg.N, cfg.RecordWindow)
 	log := trace.NewLog()
 	log.SetEnabled(cfg.EnableTrace)
-	fabric, err := network.NewFabric(k, cfg.N, cfg.DefaultLink, stats, log)
+	fabric, err := network.NewFabric(k, cfg.N, cfg.DefaultLink,
+		obs.Tee(stats, log.MessageSink(), cfg.Observer))
 	if err != nil {
 		return nil, err
 	}

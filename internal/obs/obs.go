@@ -1,0 +1,156 @@
+// Package obs defines the observer pipeline shared by the deterministic
+// simulator and the live transports: a single Sink interface through which
+// every message event (send, deliver, drop) is reported, with message
+// kinds pre-interned to small integer IDs so the hot path never hashes
+// strings or takes a global lock.
+//
+// The simulator's network.Fabric and the live clusters in
+// internal/transport all report through a Sink; metrics.MessageStats and
+// the trace log are Sink implementations, and Tee composes several
+// observers into one. This is what lets sim and live runs share one
+// instrumentation stack.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Kind identifies an interned message kind. IDs are process-global and
+// assigned in first-Intern order; they are dense, so observers can index
+// arrays by Kind.
+type Kind uint16
+
+// MaxKinds bounds the kind space. Message kinds are registered by
+// protocols at assembly time (the whole repository defines a few dozen),
+// so the bound exists only to let observers use fixed-size arrays.
+const MaxKinds = 256
+
+// kindTable is an immutable snapshot of the interner; lookups load it with
+// a single atomic read, so the read path is contention-free.
+type kindTable struct {
+	byName map[string]Kind
+	names  []string
+}
+
+var (
+	internMu sync.Mutex
+	kinds    atomic.Pointer[kindTable]
+)
+
+func init() {
+	kinds.Store(&kindTable{byName: map[string]Kind{}})
+}
+
+// Intern returns the ID for a kind name, assigning one on first use.
+// Lookups of known names are lock-free.
+func Intern(name string) Kind {
+	if k, ok := kinds.Load().byName[name]; ok {
+		return k
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	t := kinds.Load()
+	if k, ok := t.byName[name]; ok {
+		return k
+	}
+	if len(t.names) >= MaxKinds {
+		panic(fmt.Sprintf("obs: more than %d message kinds (interning %q)", MaxKinds, name))
+	}
+	next := &kindTable{
+		byName: make(map[string]Kind, len(t.byName)+1),
+		names:  append(append(make([]string, 0, len(t.names)+1), t.names...), name),
+	}
+	for n, k := range t.byName {
+		next.byName[n] = k
+	}
+	k := Kind(len(t.names))
+	next.byName[name] = k
+	kinds.Store(next)
+	return k
+}
+
+// Lookup returns the ID for a kind name without interning it.
+func Lookup(name string) (Kind, bool) {
+	k, ok := kinds.Load().byName[name]
+	return k, ok
+}
+
+// KindName returns the name interned for k.
+func KindName(k Kind) string {
+	t := kinds.Load()
+	if int(k) < len(t.names) {
+		return t.names[k]
+	}
+	return fmt.Sprintf("KIND(%d)", uint16(k))
+}
+
+// NumKinds returns how many kinds have been interned so far.
+func NumKinds() int { return len(kinds.Load().names) }
+
+// Sink observes message-level events. Implementations must be safe for
+// concurrent use: the live transports report from one goroutine per
+// process plus delivery callbacks.
+type Sink interface {
+	// OnSend reports that from handed a message of the given kind to the
+	// from→to link at t.
+	OnSend(t sim.Time, from, to int, kind Kind)
+	// OnDeliver reports that a message arrived at to.
+	OnDeliver(t sim.Time, from, to int, kind Kind)
+	// OnDrop reports that the from→to link lost a message.
+	OnDrop(t sim.Time, from, to int, kind Kind)
+}
+
+// Nop is a Sink that discards everything.
+type Nop struct{}
+
+// OnSend implements Sink.
+func (Nop) OnSend(sim.Time, int, int, Kind) {}
+
+// OnDeliver implements Sink.
+func (Nop) OnDeliver(sim.Time, int, int, Kind) {}
+
+// OnDrop implements Sink.
+func (Nop) OnDrop(sim.Time, int, int, Kind) {}
+
+// multi fans events out to several sinks in order.
+type multi []Sink
+
+func (m multi) OnSend(t sim.Time, from, to int, kind Kind) {
+	for _, s := range m {
+		s.OnSend(t, from, to, kind)
+	}
+}
+
+func (m multi) OnDeliver(t sim.Time, from, to int, kind Kind) {
+	for _, s := range m {
+		s.OnDeliver(t, from, to, kind)
+	}
+}
+
+func (m multi) OnDrop(t sim.Time, from, to int, kind Kind) {
+	for _, s := range m {
+		s.OnDrop(t, from, to, kind)
+	}
+}
+
+// Tee composes sinks into one, skipping nils. Zero live sinks yield a Nop,
+// one is returned unwrapped, several fan out in argument order.
+func Tee(sinks ...Sink) Sink {
+	live := make(multi, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop{}
+	case 1:
+		return live[0]
+	}
+	return live
+}

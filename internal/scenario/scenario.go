@@ -324,7 +324,7 @@ func (s *System) CommEffReport(checkFrom sim.Time) check.CommEffReport {
 	if leader == node.None {
 		leader = 0
 	}
-	return check.CommEff(s.World.Stats, leader, checkFrom, s.World.Kernel.Now(), s.Config.Eta)
+	return check.CommEff(s.World.Stats.Snapshot(), leader, checkFrom, s.World.Kernel.Now(), s.Config.Eta)
 }
 
 // Leaders returns each process's current output.

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -180,6 +181,25 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	return total, nil
+}
+
+// MessageSink adapts the log to the observer pipeline: message events
+// reported through the returned obs.Sink become SEND/DELIVER/DROP entries.
+// Recording still honors SetEnabled.
+func (l *Log) MessageSink() obs.Sink { return msgSink{l} }
+
+type msgSink struct{ l *Log }
+
+func (m msgSink) OnSend(t sim.Time, from, to int, kind obs.Kind) {
+	m.l.Add(Entry{T: t, Kind: KindSend, Node: from, Peer: to, Msg: obs.KindName(kind)})
+}
+
+func (m msgSink) OnDeliver(t sim.Time, from, to int, kind obs.Kind) {
+	m.l.Add(Entry{T: t, Kind: KindDeliver, Node: to, Peer: from, Msg: obs.KindName(kind)})
+}
+
+func (m msgSink) OnDrop(t sim.Time, from, to int, kind obs.Kind) {
+	m.l.Add(Entry{T: t, Kind: KindDrop, Node: from, Peer: to, Msg: obs.KindName(kind)})
 }
 
 // Tail returns the last n entries (or all of them if fewer exist).

@@ -1,7 +1,7 @@
 // Package transport runs the protocol automatons on real time and real
 // concurrency instead of the deterministic simulator: one goroutine per
 // process, wall-clock timers, and either an in-memory network with
-// injected delay/loss or real UDP sockets on the loopback interface.
+// injected delay/loss or real UDP/TCP sockets on the loopback interface.
 // Messages cross process boundaries through the binary codec
 // (internal/wire), so live runs exercise serialization exactly as a
 // deployment would. The examples/livecluster program demonstrates it.
@@ -9,13 +9,17 @@ package transport
 
 import "sync"
 
-// mailbox is an unbounded FIFO queue with a wake-up channel. Senders never
-// block (deliveries and timer callbacks originate in arbitrary goroutines,
-// so a bounded channel could deadlock the node loop); the consumer waits on
-// C and drains with pop.
+// mailbox is an unbounded FIFO ring buffer with a wake-up channel. Senders
+// never block (deliveries and timer callbacks originate in arbitrary
+// goroutines, so a bounded channel could deadlock the node loop); the
+// consumer waits on C and empties the ring with drain — one lock
+// acquisition per batch, not per event. Drained slots are zeroed so the
+// mailbox never retains references to consumed events.
 type mailbox struct {
 	mu     sync.Mutex
-	items  []event
+	ring   []event // oldest at head, newest at (head+count-1) mod len
+	head   int
+	count  int
 	closed bool
 
 	// C receives a token whenever the mailbox may have items. It has
@@ -36,7 +40,11 @@ func (m *mailbox) push(e event) {
 		m.mu.Unlock()
 		return
 	}
-	m.items = append(m.items, e)
+	if m.count == len(m.ring) {
+		m.grow()
+	}
+	m.ring[(m.head+m.count)%len(m.ring)] = e
+	m.count++
 	m.mu.Unlock()
 	select {
 	case m.C <- struct{}{}:
@@ -44,24 +52,43 @@ func (m *mailbox) push(e event) {
 	}
 }
 
-// pop removes and returns the oldest event, if any.
-func (m *mailbox) pop() (event, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.items) == 0 {
-		return event{}, false
+// grow doubles the ring, unwrapping it so head returns to zero.
+func (m *mailbox) grow() {
+	newCap := 2 * len(m.ring)
+	if newCap == 0 {
+		newCap = 16
 	}
-	e := m.items[0]
-	m.items[0] = event{}
-	m.items = m.items[1:]
-	return e, true
+	next := make([]event, newCap)
+	for i := 0; i < m.count; i++ {
+		next[i] = m.ring[(m.head+i)%len(m.ring)]
+	}
+	m.ring = next
+	m.head = 0
+}
+
+// drain appends all pending events to dst in FIFO order and empties the
+// mailbox, zeroing the vacated slots. It takes the lock once regardless of
+// how many events are pending; callers reuse dst across batches.
+func (m *mailbox) drain(dst []event) []event {
+	m.mu.Lock()
+	for i := 0; i < m.count; i++ {
+		idx := (m.head + i) % len(m.ring)
+		dst = append(dst, m.ring[idx])
+		m.ring[idx] = event{}
+	}
+	m.head = 0
+	m.count = 0
+	m.mu.Unlock()
+	return dst
 }
 
 // close marks the mailbox closed and wakes the consumer so it can exit.
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
-	m.items = nil
+	m.ring = nil
+	m.head = 0
+	m.count = 0
 	m.mu.Unlock()
 	select {
 	case m.C <- struct{}{}:

@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/node"
+)
+
+// boxMsg is a heap-allocated payload so the retention test has a real
+// pointer to look for in the ring.
+type boxMsg struct{ payload []byte }
+
+func (boxMsg) Kind() string { return "BOX" }
+
+func TestMailboxFIFOAcrossGrowth(t *testing.T) {
+	m := newMailbox()
+	const total = 100 // forces several doublings from the initial 16
+	for i := 0; i < total; i++ {
+		m.push(event{from: node.ID(i)})
+	}
+	got := m.drain(nil)
+	if len(got) != total {
+		t.Fatalf("drained %d events, want %d", len(got), total)
+	}
+	for i, e := range got {
+		if e.from != node.ID(i) {
+			t.Fatalf("event %d has from=%d, want %d (FIFO order broken)", i, e.from, i)
+		}
+	}
+}
+
+func TestMailboxFIFOAcrossWrap(t *testing.T) {
+	m := newMailbox()
+	// Interleave pushes and drains so head moves off zero and the ring
+	// wraps without growing.
+	next, seen := 0, 0
+	var batch []event
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 11; i++ { // 11 is coprime with the ring size 16
+			m.push(event{from: node.ID(next)})
+			next++
+		}
+		batch = m.drain(batch[:0])
+		for _, e := range batch {
+			if e.from != node.ID(seen) {
+				t.Fatalf("got event %d, want %d (FIFO order broken across wrap)", e.from, seen)
+			}
+			seen++
+		}
+	}
+	if seen != next {
+		t.Fatalf("drained %d events, pushed %d", seen, next)
+	}
+}
+
+// TestMailboxDrainReleasesReferences is the regression test for the old
+// pop-based mailbox, which kept consumed events alive in the slice backing
+// array. A drained mailbox must hold no references to the events it handed
+// out: every ring slot must be the zero event.
+func TestMailboxDrainReleasesReferences(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 40; i++ {
+		m.push(event{from: 1, msg: boxMsg{payload: make([]byte, 1024)}})
+	}
+	got := m.drain(nil)
+	if len(got) != 40 {
+		t.Fatalf("drained %d events, want 40", len(got))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.count != 0 || m.head != 0 {
+		t.Fatalf("drained mailbox has count=%d head=%d, want 0 0", m.count, m.head)
+	}
+	for i, e := range m.ring {
+		if e != (event{}) {
+			t.Fatalf("ring slot %d still holds %+v after drain", i, e)
+		}
+	}
+}
+
+func TestMailboxPushAfterCloseIsDropped(t *testing.T) {
+	m := newMailbox()
+	m.push(event{from: 1})
+	m.close()
+	m.push(event{from: 2})
+	if !m.isClosed() {
+		t.Fatal("mailbox not closed")
+	}
+	if got := m.drain(nil); len(got) != 0 {
+		t.Fatalf("closed mailbox drained %d events, want 0", len(got))
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -28,6 +29,13 @@ type Config struct {
 	Codec *wire.Codec
 	// Quiet suppresses per-process logging.
 	Quiet bool
+	// Observer is an optional extra obs.Sink teed with the cluster's
+	// stats; it sees every send/deliver/drop. Implementations must be
+	// safe for concurrent use.
+	Observer obs.Sink
+	// RecordWindow bounds the per-sender send log retained for queries
+	// (0 = metrics.DefaultWindow). Counters are never windowed.
+	RecordWindow int
 }
 
 func (c *Config) fill() error {
@@ -56,6 +64,7 @@ type Cluster struct {
 	cfg      Config
 	stations []*station
 	stats    *metrics.MessageStats
+	sink     obs.Sink
 	start    time.Time
 
 	mu  sync.Mutex
@@ -77,10 +86,11 @@ func NewCluster(cfg Config, automatons []node.Automaton) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg:   cfg,
-		stats: metrics.NewMessageStats(cfg.N),
+		stats: metrics.NewMessageStatsWindow(cfg.N, cfg.RecordWindow),
 		start: time.Now(),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	c.sink = obs.Tee(c.stats, cfg.Observer)
 	logf := func(string, ...any) {}
 	c.stations = make([]*station, cfg.N)
 	for i := range c.stations {
@@ -129,13 +139,17 @@ type memNet Cluster
 func (m *memNet) send(from, to node.ID, msg node.Message) {
 	c := (*Cluster)(m)
 	now := c.stations[from].Now()
-	c.stats.RecordSend(now, int(from), int(to), msg.Kind())
+	k := obs.Intern(msg.Kind())
+	c.sink.OnSend(now, int(from), int(to), k)
 	// Serialize immediately: the receiver must observe an independent
-	// copy, exactly as over a socket.
-	data, err := c.cfg.Codec.Marshal(msg)
+	// copy, exactly as over a socket. The buffer is pooled and returned
+	// once the receiver has decoded (or the message is dropped).
+	bp := encBufs.Get().(*[]byte)
+	data, err := c.cfg.Codec.MarshalAppend((*bp)[:0], msg)
 	if err != nil {
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
+	*bp = data
 	c.mu.Lock()
 	drop := c.cfg.DropProb > 0 && c.rng.Float64() < c.cfg.DropProb
 	span := c.cfg.MaxDelay - c.cfg.MinDelay
@@ -145,15 +159,17 @@ func (m *memNet) send(from, to node.ID, msg node.Message) {
 	}
 	c.mu.Unlock()
 	if drop {
-		c.stats.RecordDrop(now, int(from), int(to), msg.Kind())
+		c.sink.OnDrop(now, int(from), int(to), k)
+		encBufs.Put(bp)
 		return
 	}
 	time.AfterFunc(delay, func() {
 		decoded, err := c.cfg.Codec.Unmarshal(data)
+		encBufs.Put(bp) // Unmarshal copies what it keeps
 		if err != nil {
 			panic(fmt.Sprintf("transport: unmarshal: %v", err))
 		}
-		c.stats.RecordDeliver(c.stations[to].Now(), int(from), int(to), decoded.Kind())
+		c.sink.OnDeliver(c.stations[to].Now(), int(from), int(to), k)
 		c.stations[to].deliver(from, decoded)
 	})
 }

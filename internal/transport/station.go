@@ -64,18 +64,24 @@ func newStation(id node.ID, n int, a node.Automaton, net sender, start time.Time
 	}
 }
 
-// run is the node loop; it returns when the mailbox closes.
+// run is the node loop; it returns when the mailbox closes. Each wake-up
+// drains the whole mailbox in one batch, so the per-event cost is a slice
+// read, not a lock acquisition.
 func (s *station) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	defer close(s.done)
 	s.automaton.Start(s)
+	var batch []event
 	for range s.mbox.C {
 		for {
-			e, ok := s.mbox.pop()
-			if !ok {
+			batch = s.mbox.drain(batch[:0])
+			if len(batch) == 0 {
 				break
 			}
-			s.dispatch(e)
+			for i := range batch {
+				s.dispatch(batch[i])
+				batch[i] = event{} // do not retain messages until the next batch
+			}
 		}
 		if s.mbox.isClosed() {
 			return

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/metrics"
 	nodepkg "repro/internal/node"
+	"repro/internal/obs"
 )
 
 // maxFrame bounds a TCP frame so a corrupt length prefix cannot trigger a
@@ -28,6 +29,7 @@ type TCPCluster struct {
 	listeners []net.Listener
 	addrs     []net.Addr
 	stats     *metrics.MessageStats
+	sink      obs.Sink
 	start     time.Time
 
 	mu       sync.Mutex
@@ -54,12 +56,13 @@ func NewTCPCluster(cfg Config, automatons []nodepkg.Automaton) (*TCPCluster, err
 	}
 	c := &TCPCluster{
 		cfg:       cfg,
-		stats:     metrics.NewMessageStats(cfg.N),
+		stats:     metrics.NewMessageStatsWindow(cfg.N, cfg.RecordWindow),
 		start:     time.Now(),
 		listeners: make([]net.Listener, cfg.N),
 		addrs:     make([]net.Addr, cfg.N),
 		conns:     make(map[connKey]net.Conn),
 	}
+	c.sink = obs.Tee(c.stats, cfg.Observer)
 	for i := 0; i < cfg.N; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -162,7 +165,7 @@ func (c *TCPCluster) readLoop(i int, conn net.Conn) {
 		if env.From < 0 || int(env.From) >= c.cfg.N {
 			continue
 		}
-		c.stats.RecordDeliver(c.stations[i].Now(), int(env.From), i, env.Msg.Kind())
+		c.sink.OnDeliver(c.stations[i].Now(), int(env.From), i, obs.Intern(env.Msg.Kind()))
 		c.stations[i].deliver(env.From, env.Msg)
 	}
 }
@@ -192,18 +195,23 @@ type tcpNet struct {
 
 func (t *tcpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	c := t.cluster
-	c.stats.RecordSend(c.stations[from].Now(), int(from), int(to), msg.Kind())
-	body, err := c.cfg.Codec.MarshalEnvelope(from, msg)
+	k := obs.Intern(msg.Kind())
+	c.sink.OnSend(c.stations[from].Now(), int(from), int(to), k)
+	// Encode the length-prefixed frame in one pooled buffer: reserve the
+	// prefix, append the envelope, then patch the length in.
+	bp := encBufs.Get().(*[]byte)
+	defer encBufs.Put(bp)
+	frame := append((*bp)[:0], 0, 0, 0, 0)
+	frame, err := c.cfg.Codec.MarshalEnvelopeAppend(frame, from, msg)
 	if err != nil {
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
-	copy(frame[4:], body)
+	*bp = frame
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 
 	conn, err := c.dial(from, to)
 	if err != nil {
-		c.stats.RecordDrop(c.stations[from].Now(), int(from), int(to), msg.Kind())
+		c.sink.OnDrop(c.stations[from].Now(), int(from), int(to), k)
 		return
 	}
 	if _, err := conn.Write(frame); err != nil {
@@ -212,7 +220,7 @@ func (t *tcpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 		// "reliable unless the process is down", which matches the
 		// crash-stop model.
 		c.dropConn(from, to, conn)
-		c.stats.RecordDrop(c.stations[from].Now(), int(from), int(to), msg.Kind())
+		c.sink.OnDrop(c.stations[from].Now(), int(from), int(to), k)
 	}
 }
 

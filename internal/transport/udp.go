@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/metrics"
 	nodepkg "repro/internal/node"
+	"repro/internal/obs"
 )
 
 // UDPCluster runs n automatons as real UDP endpoints on the loopback
@@ -22,6 +23,7 @@ type UDPCluster struct {
 	conns    []*net.UDPConn
 	addrs    []*net.UDPAddr
 	stats    *metrics.MessageStats
+	sink     obs.Sink
 	start    time.Time
 
 	wg      sync.WaitGroup
@@ -40,11 +42,12 @@ func NewUDPCluster(cfg Config, automatons []nodepkg.Automaton) (*UDPCluster, err
 	}
 	c := &UDPCluster{
 		cfg:   cfg,
-		stats: metrics.NewMessageStats(cfg.N),
+		stats: metrics.NewMessageStatsWindow(cfg.N, cfg.RecordWindow),
 		start: time.Now(),
 		conns: make([]*net.UDPConn, cfg.N),
 		addrs: make([]*net.UDPAddr, cfg.N),
 	}
+	c.sink = obs.Tee(c.stats, cfg.Observer)
 	for i := 0; i < cfg.N; i++ {
 		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
 		if err != nil {
@@ -117,7 +120,7 @@ func (c *UDPCluster) readLoop(i int) {
 		if env.From < 0 || int(env.From) >= c.cfg.N {
 			continue
 		}
-		c.stats.RecordDeliver(c.stations[i].Now(), int(env.From), i, env.Msg.Kind())
+		c.sink.OnDeliver(c.stations[i].Now(), int(env.From), i, obs.Intern(env.Msg.Kind()))
 		c.stations[i].deliver(env.From, env.Msg)
 	}
 }
@@ -146,14 +149,18 @@ type udpNet struct {
 
 func (u *udpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	c := u.cluster
-	c.stats.RecordSend(c.stations[from].Now(), int(from), int(to), msg.Kind())
-	data, err := c.cfg.Codec.MarshalEnvelope(from, msg)
+	k := obs.Intern(msg.Kind())
+	c.sink.OnSend(c.stations[from].Now(), int(from), int(to), k)
+	bp := encBufs.Get().(*[]byte)
+	data, err := c.cfg.Codec.MarshalEnvelopeAppend((*bp)[:0], from, msg)
 	if err != nil {
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
+	*bp = data
 	if _, err := c.conns[from].WriteToUDP(data, c.addrs[to]); err != nil {
 		// Socket closed during shutdown or a transient kernel error:
 		// UDP is lossy by contract, so account and move on.
-		c.stats.RecordDrop(c.stations[from].Now(), int(from), int(to), msg.Kind())
+		c.sink.OnDrop(c.stations[from].Now(), int(from), int(to), k)
 	}
+	encBufs.Put(bp)
 }

@@ -1,0 +1,13 @@
+package transport
+
+import "sync"
+
+// encBufs pools encode buffers so steady-state sends marshal into reused
+// memory instead of allocating per message. Buffers are pointers to slices
+// (the pool stores interface values; a *[]byte avoids boxing the header).
+var encBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/node"
 )
@@ -88,17 +89,34 @@ func (c *Codec) Kinds() []string {
 	return out
 }
 
+// encoders pools Encoder headers so the append-style marshal path does
+// not allocate one per message (the *Encoder escapes into the registered
+// EncodeFunc).
+var encoders = sync.Pool{New: func() any { return new(Encoder) }}
+
 // Marshal serializes m with its type code.
 func (c *Codec) Marshal(m node.Message) ([]byte, error) {
+	return c.MarshalAppend(nil, m)
+}
+
+// MarshalAppend serializes m with its type code, appending to dst and
+// returning the extended buffer. With a reused dst of sufficient capacity
+// the steady-state encode path performs no allocations.
+func (c *Codec) MarshalAppend(dst []byte, m node.Message) ([]byte, error) {
 	e, ok := c.byKind[m.Kind()]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, m.Kind())
 	}
-	enc := Encoder{buf: []byte{e.code}}
-	if err := e.enc(&enc, m); err != nil {
+	enc := encoders.Get().(*Encoder)
+	enc.buf = append(dst, e.code)
+	err := e.enc(enc, m)
+	out := enc.buf
+	enc.buf = nil
+	encoders.Put(enc)
+	if err != nil {
 		return nil, err
 	}
-	return enc.buf, nil
+	return out, nil
 }
 
 // Unmarshal parses a message produced by Marshal.
@@ -244,15 +262,15 @@ type Envelope struct {
 
 // MarshalEnvelope serializes from + message.
 func (c *Codec) MarshalEnvelope(from node.ID, m node.Message) ([]byte, error) {
-	body, err := c.Marshal(m)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, 0, len(body)+4)
+	return c.MarshalEnvelopeAppend(nil, from, m)
+}
+
+// MarshalEnvelopeAppend serializes from + message, appending to dst. The
+// body is encoded directly after the header — no intermediate copy.
+func (c *Codec) MarshalEnvelopeAppend(dst []byte, from node.ID, m node.Message) ([]byte, error) {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(from))
-	out = append(out, hdr[:]...)
-	return append(out, body...), nil
+	return c.MarshalAppend(append(dst, hdr[:]...), m)
 }
 
 // UnmarshalEnvelope parses a framed message.
