@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-micro tables
+.PHONY: all build vet test test-race bench bench-micro bench-json tables
 
 all: vet test
 
@@ -13,10 +13,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the packages with real concurrency: the live transports and
-# the sharded observer sink they record into (plus the kind interner).
+# Race-check the packages with real concurrency: the live transports, the
+# sharded observer sink they record into (plus the kind interner), and the
+# parallel sweep pool (its stress test hammers the work-claiming counter).
 test-race:
-	$(GO) test -race ./internal/transport/... ./internal/metrics/... ./internal/obs/...
+	$(GO) test -race ./internal/transport/... ./internal/metrics/... ./internal/obs/... ./internal/sweep/...
 
 # Full benchmark suite (experiment regeneration + substrate micro-benches).
 bench:
@@ -27,6 +28,12 @@ bench:
 # at 0 allocs/op.
 bench-micro:
 	$(GO) test -run '^$$' -bench 'SinkRecordSend|StatsRecordSendLegacy|Wire' -benchmem .
+
+# Hot-path benchmarks as machine-readable JSON: the kernel event pool, the
+# fabric send path, and the sweep pool. The kernel and fabric benches must
+# stay at 0 allocs/op.
+bench-json:
+	$(GO) test -run '^$$' -bench 'KernelScheduleFire|KernelScheduleCancel|FabricSendSteadyState|SweepPool' -benchmem -json ./internal/sim ./internal/network ./internal/sweep > BENCH_sweep.json
 
 # Regenerate EXPERIMENTS.md-style tables at full size.
 tables:

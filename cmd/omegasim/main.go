@@ -21,6 +21,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -44,7 +45,8 @@ func run(args []string) error {
 		runFor  = fs.Duration("run", 3*time.Second, "virtual time to simulate")
 		crashes = fs.String("crash", "", "crash plan, e.g. 0@300ms,2@1s")
 		trace   = fs.Bool("trace", false, "print the full event trace")
-		sweep   = fs.Int("sweep", 0, "run this many seeds and report aggregate verdicts")
+		sweepN  = fs.Int("sweep", 0, "run this many seeds and report aggregate verdicts")
+		jobs    = fs.Int("j", 0, "sweep workers (0 = one per core; output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,10 +56,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *sweep > 0 {
+	if *sweepN > 0 {
 		return runSweep(sweepParams{
 			n: *n, algo: *algo, regime: *regime, gst: *gst, eta: *eta,
-			drop: *drop, source: *source, runFor: *runFor, plan: plan, seeds: *sweep,
+			drop: *drop, source: *source, runFor: *runFor, plan: plan,
+			seeds: *sweepN, workers: *jobs,
 		})
 	}
 	cfg := scenario.Config{
@@ -118,25 +121,31 @@ func run(args []string) error {
 
 // sweepParams carries the scenario knobs for a multi-seed sweep.
 type sweepParams struct {
-	n      int
-	algo   string
-	regime string
-	gst    time.Duration
-	eta    time.Duration
-	drop   float64
-	source int
-	runFor time.Duration
-	plan   []scenario.Crash
-	seeds  int
+	n       int
+	algo    string
+	regime  string
+	gst     time.Duration
+	eta     time.Duration
+	drop    float64
+	source  int
+	runFor  time.Duration
+	plan    []scenario.Crash
+	seeds   int
+	workers int
 }
 
-// runSweep executes the scenario across many seeds and prints aggregate
-// Omega / communication-efficiency verdicts — a quick boundary probe
-// without the full experiment harness.
+// runSweep executes the scenario across many seeds — fanned across CPU
+// cores, one isolated System per seed — and prints aggregate Omega /
+// communication-efficiency verdicts: a quick boundary probe without the
+// full experiment harness. Per-seed results are aggregated in seed order,
+// so the output is identical for any worker count.
 func runSweep(p sweepParams) error {
-	holds, efficient := 0, 0
-	var worstChanges int
-	for seed := 0; seed < p.seeds; seed++ {
+	type verdict struct {
+		holds, efficient bool
+		changes          int
+		err              error
+	}
+	results := sweep.Map(sweep.New(p.workers), p.seeds, func(seed int) verdict {
 		sys, err := scenario.Build(scenario.Config{
 			N: p.n, Seed: int64(seed),
 			Algorithm: scenario.Algorithm(p.algo),
@@ -145,18 +154,31 @@ func runSweep(p sweepParams) error {
 			Source: node.ID(p.source), Crashes: p.plan,
 		})
 		if err != nil {
-			return err
+			return verdict{err: err}
 		}
 		sys.Run(p.runFor)
 		rep := sys.OmegaReport()
+		v := verdict{changes: rep.Changes}
 		if rep.Holds && rep.StabilizedAt <= sim.At(p.runFor*3/4) {
-			holds++
-			if sys.CommEffReport(sim.At(p.runFor * 3 / 4)).Efficient {
-				efficient++
-			}
+			v.holds = true
+			v.efficient = sys.CommEffReport(sim.At(p.runFor * 3 / 4)).Efficient
 		}
-		if rep.Changes > worstChanges {
-			worstChanges = rep.Changes
+		return v
+	})
+	holds, efficient := 0, 0
+	var worstChanges int
+	for _, v := range results {
+		if v.err != nil {
+			return v.err
+		}
+		if v.holds {
+			holds++
+		}
+		if v.efficient {
+			efficient++
+		}
+		if v.changes > worstChanges {
+			worstChanges = v.changes
 		}
 	}
 	fmt.Printf("sweep:    %d seeds × %v, n=%d algo=%s regime=%s\n",

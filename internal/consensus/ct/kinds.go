@@ -1,0 +1,28 @@
+package ct
+
+import "repro/internal/obs"
+
+// Kind ids are interned once at package init so the consensus send path
+// (node.KindIDer fast path) never hashes a kind string.
+var (
+	kindEstimateID = obs.Intern(KindEstimate)
+	kindProposalID = obs.Intern(KindProposal)
+	kindAckID      = obs.Intern(KindAck)
+	kindNackID     = obs.Intern(KindNack)
+	kindDecideID   = obs.Intern(KindDecide)
+)
+
+// KindID implements node.KindIDer.
+func (EstimateMsg) KindID() obs.Kind { return kindEstimateID }
+
+// KindID implements node.KindIDer.
+func (ProposalMsg) KindID() obs.Kind { return kindProposalID }
+
+// KindID implements node.KindIDer.
+func (AckMsg) KindID() obs.Kind { return kindAckID }
+
+// KindID implements node.KindIDer.
+func (NackMsg) KindID() obs.Kind { return kindNackID }
+
+// KindID implements node.KindIDer.
+func (DecideMsg) KindID() obs.Kind { return kindDecideID }

@@ -1,0 +1,40 @@
+package synod
+
+import "repro/internal/obs"
+
+// Kind ids are interned once at package init so the consensus send path
+// (node.KindIDer fast path) never hashes a kind string.
+var (
+	kindRequestID  = obs.Intern(KindRequest)
+	kindPrepareID  = obs.Intern(KindPrepare)
+	kindPromiseID  = obs.Intern(KindPromise)
+	kindNackID     = obs.Intern(KindNack)
+	kindAcceptID   = obs.Intern(KindAccept)
+	kindAcceptedID = obs.Intern(KindAccepted)
+	kindDecideID   = obs.Intern(KindDecide)
+	kindLearnID    = obs.Intern(KindLearn)
+)
+
+// KindID implements node.KindIDer.
+func (RequestMsg) KindID() obs.Kind { return kindRequestID }
+
+// KindID implements node.KindIDer.
+func (PrepareMsg) KindID() obs.Kind { return kindPrepareID }
+
+// KindID implements node.KindIDer.
+func (PromiseMsg) KindID() obs.Kind { return kindPromiseID }
+
+// KindID implements node.KindIDer.
+func (NackMsg) KindID() obs.Kind { return kindNackID }
+
+// KindID implements node.KindIDer.
+func (AcceptMsg) KindID() obs.Kind { return kindAcceptID }
+
+// KindID implements node.KindIDer.
+func (AcceptedMsg) KindID() obs.Kind { return kindAcceptedID }
+
+// KindID implements node.KindIDer.
+func (DecideMsg) KindID() obs.Kind { return kindDecideID }
+
+// KindID implements node.KindIDer.
+func (LearnMsg) KindID() obs.Kind { return kindLearnID }

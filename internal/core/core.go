@@ -60,6 +60,7 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/node"
+	"repro/internal/obs"
 )
 
 // Message kind tags.
@@ -72,6 +73,14 @@ const (
 	KindRebuff = "REBUFF"
 )
 
+// Kind ids are interned once at package init so the steady-state send path
+// (a leader heartbeat every η) never hashes a kind string.
+var (
+	kindLeaderID = obs.Intern(KindLeader)
+	kindAccuseID = obs.Intern(KindAccuse)
+	kindRebuffID = obs.Intern(KindRebuff)
+)
+
 // LeaderMsg is the heartbeat a self-believed leader broadcasts every η.
 // Epoch is the sender's own accusation count, letting receivers max-merge.
 type LeaderMsg struct {
@@ -80,6 +89,9 @@ type LeaderMsg struct {
 
 // Kind implements node.Message.
 func (LeaderMsg) Kind() string { return KindLeader }
+
+// KindID implements node.KindIDer.
+func (LeaderMsg) KindID() obs.Kind { return kindLeaderID }
 
 // AccuseMsg tells its receiver "I timed out on you while you were my leader
 // during your reign Epoch".
@@ -90,6 +102,9 @@ type AccuseMsg struct {
 // Kind implements node.Message.
 func (AccuseMsg) Kind() string { return KindAccuse }
 
+// KindID implements node.KindIDer.
+func (AccuseMsg) KindID() obs.Kind { return kindAccuseID }
+
 // RebuffMsg tells a stale self-believed leader "your accusation count is
 // really Epoch" (see WithRebuff). It merges existing lattice information;
 // it never invents accusations.
@@ -99,6 +114,9 @@ type RebuffMsg struct {
 
 // Kind implements node.Message.
 func (RebuffMsg) Kind() string { return KindRebuff }
+
+// KindID implements node.KindIDer.
+func (RebuffMsg) KindID() obs.Kind { return kindRebuffID }
 
 // Timer keys.
 const (

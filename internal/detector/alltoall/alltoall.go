@@ -16,16 +16,23 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/node"
+	"repro/internal/obs"
 )
 
 // KindAlive tags heartbeat broadcasts.
 const KindAlive = "ALIVE"
+
+// kindAliveID is interned once so the per-η broadcast never hashes a string.
+var kindAliveID = obs.Intern(KindAlive)
 
 // AliveMsg is the periodic heartbeat.
 type AliveMsg struct{}
 
 // Kind implements node.Message.
 func (AliveMsg) Kind() string { return KindAlive }
+
+// KindID implements node.KindIDer.
+func (AliveMsg) KindID() obs.Kind { return kindAliveID }
 
 const timerHeartbeat = "alltoall/hb"
 

@@ -21,10 +21,14 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/node"
+	"repro/internal/obs"
 )
 
 // KindAlive tags the counter-carrying heartbeat.
 const KindAlive = "ALIVE-V"
+
+// kindAliveID is interned once so the per-η broadcast never hashes a string.
+var kindAliveID = obs.Intern(KindAlive)
 
 // AliveMsg is the periodic heartbeat carrying the sender's accusation
 // counter vector. The slice is copied at construction and must not be
@@ -35,6 +39,9 @@ type AliveMsg struct {
 
 // Kind implements node.Message.
 func (AliveMsg) Kind() string { return KindAlive }
+
+// KindID implements node.KindIDer.
+func (AliveMsg) KindID() obs.Kind { return kindAliveID }
 
 // NewAliveMsg builds a heartbeat with a defensive copy of counters.
 func NewAliveMsg(counters []uint64) AliveMsg {

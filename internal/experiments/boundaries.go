@@ -43,32 +43,51 @@ func E8AssumptionMatrix(o Opts) Table {
 		Columns: append([]string{"algorithm"}, regimeNames(regimes)...),
 	}
 	algos := []scenario.Algorithm{scenario.AlgoCore, scenario.AlgoAllToAll, scenario.AlgoSource}
+	type cell struct {
+		algo   scenario.Algorithm
+		regime scenario.Regime
+	}
+	var cells []cell
 	for _, algo := range algos {
-		row := []string{string(algo)}
 		for _, regime := range regimes {
+			cells = append(cells, cell{algo: algo, regime: regime})
+		}
+	}
+	type run struct {
+		holds, eff bool
+	}
+	res := sweepCells(o, cells, func(c cell, seed int) run {
+		cfg := scenario.Config{
+			N: 4, Seed: int64(seed), Algorithm: c.algo, Regime: c.regime,
+			Eta: Eta, MaxDelay: 40 * time.Millisecond, DropProb: 0.3,
+		}
+		if c.regime == scenario.RegimeLossy {
+			cfg.DropProb = 1.0
+		}
+		s, err := scenario.Build(cfg)
+		if err != nil {
+			panic(err)
+		}
+		s.Run(horizon)
+		rep := s.OmegaReport()
+		// "Holds" requires agreement AND stability margin: no change in
+		// the final third of the run.
+		if !rep.Holds || rep.StabilizedAt > sim.At(horizon*2/3) {
+			return run{}
+		}
+		ce := s.CommEffReport(sim.At(horizon * 2 / 3))
+		return run{holds: true, eff: ce.Efficient}
+	})
+	for ci := 0; ci < len(cells); ci += len(regimes) {
+		row := []string{string(cells[ci].algo)}
+		for ri := range regimes {
 			holds, eff := 0, 0
-			for seed := 0; seed < o.Seeds; seed++ {
-				cfg := scenario.Config{
-					N: 4, Seed: int64(seed), Algorithm: algo, Regime: regime,
-					Eta: Eta, MaxDelay: 40 * time.Millisecond, DropProb: 0.3,
-				}
-				if regime == scenario.RegimeLossy {
-					cfg.DropProb = 1.0
-				}
-				s, err := scenario.Build(cfg)
-				if err != nil {
-					panic(err)
-				}
-				s.Run(horizon)
-				rep := s.OmegaReport()
-				// "Holds" requires agreement AND stability margin: no
-				// change in the final third of the run.
-				if rep.Holds && rep.StabilizedAt <= sim.At(horizon*2/3) {
+			for _, r := range res[ci+ri] {
+				if r.holds {
 					holds++
-					ce := s.CommEffReport(sim.At(horizon * 2 / 3))
-					if ce.Efficient {
-						eff++
-					}
+				}
+				if r.eff {
+					eff++
 				}
 			}
 			row = append(row, fmt.Sprintf("%d/%d · %d/%d", holds, o.Seeds, eff, o.Seeds))
@@ -135,11 +154,6 @@ func E9Ablations(o Opts) Table {
 			panic(err)
 		}
 	}
-	for _, algo := range []scenario.Algorithm{scenario.AlgoCore, scenario.AlgoCoreNoGrowth} {
-		row := append([]string{"slow timely links (delay ≤ 5η)"}, run(algo, slowLinks, 20*time.Second, 1)...)
-		t.Rows = append(t.Rows, row)
-	}
-
 	// (b) stale accusations: fully asynchronous reliable links, no timely
 	// source. Several followers accuse the same reign concurrently; the
 	// epoch guard keeps the accused's counter at one increment per reign,
@@ -149,20 +163,35 @@ func E9Ablations(o Opts) Table {
 			panic(err)
 		}
 	}
-	for _, algo := range []scenario.Algorithm{scenario.AlgoCore, scenario.AlgoCoreNoGuard} {
-		row := append([]string{"async delays ≤ 8η (duplicate accusations)"}, run(algo, asyncLinks, 30*time.Second, 2)...)
-		t.Rows = append(t.Rows, row)
-	}
-
 	// (c) asymmetric dead link p0→p1.
 	cutLink := func(s *scenario.System) {
 		if err := s.World.Fabric.SetProfile(0, 1, network.Down()); err != nil {
 			panic(err)
 		}
 	}
+
+	type cell struct {
+		label   string
+		algo    scenario.Algorithm
+		mutate  func(*scenario.System)
+		horizon time.Duration
+		seed    int64
+	}
+	var cells []cell
+	for _, algo := range []scenario.Algorithm{scenario.AlgoCore, scenario.AlgoCoreNoGrowth} {
+		cells = append(cells, cell{"slow timely links (delay ≤ 5η)", algo, slowLinks, 20 * time.Second, 1})
+	}
+	for _, algo := range []scenario.Algorithm{scenario.AlgoCore, scenario.AlgoCoreNoGuard} {
+		cells = append(cells, cell{"async delays ≤ 8η (duplicate accusations)", algo, asyncLinks, 30 * time.Second, 2})
+	}
 	for _, algo := range []scenario.Algorithm{scenario.AlgoCore, scenario.AlgoCoreNoAccuse} {
-		row := append([]string{"dead link p0→p1 (split-brain bait)"}, run(algo, cutLink, 40*time.Second, 3)...)
-		t.Rows = append(t.Rows, row)
+		cells = append(cells, cell{"dead link p0→p1 (split-brain bait)", algo, cutLink, 40 * time.Second, 3})
+	}
+	rows := sweepEach(o, cells, func(c cell) []string {
+		return run(c.algo, c.mutate, c.horizon, c.seed)
+	})
+	for ci, c := range cells {
+		t.Rows = append(t.Rows, append([]string{c.label}, rows[ci]...))
 	}
 	return t
 }

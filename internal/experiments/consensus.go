@@ -134,26 +134,42 @@ func E6ConsensusCost(o Opts) Table {
 		{"synod+Ω (×)", synodRun, true},
 		{"ct-rotating (×)", ctRun, true},
 	}
+	type cell struct {
+		n int
+		p proto
+	}
+	var cells []cell
 	for _, n := range sizes {
 		for _, p := range protos {
-			var msgs, lats []float64
-			decided := 0
-			for seed := 0; seed < o.Seeds; seed++ {
-				lat, m, ok := p.run(n, int64(seed), p.crash)
-				if ok {
-					decided++
-					msgs = append(msgs, float64(m))
-					lats = append(lats, float64(lat)/float64(time.Millisecond))
-				}
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", n),
-				p.name,
-				fmt.Sprintf("%.0f", mean(msgs)),
-				fmt.Sprintf("%.1fms", mean(lats)),
-				fmt.Sprintf("%d/%d", decided, o.Seeds),
-			})
+			cells = append(cells, cell{n: n, p: p})
 		}
+	}
+	type run struct {
+		lat  time.Duration
+		msgs uint64
+		ok   bool
+	}
+	res := sweepCells(o, cells, func(c cell, seed int) run {
+		lat, m, ok := c.p.run(c.n, int64(seed), c.p.crash)
+		return run{lat: lat, msgs: m, ok: ok}
+	})
+	for ci, c := range cells {
+		var msgs, lats []float64
+		decided := 0
+		for _, r := range res[ci] {
+			if r.ok {
+				decided++
+				msgs = append(msgs, float64(r.msgs))
+				lats = append(lats, float64(r.lat)/float64(time.Millisecond))
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c.n),
+			c.p.name,
+			fmt.Sprintf("%.0f", mean(msgs)),
+			fmt.Sprintf("%.1fms", mean(lats)),
+			fmt.Sprintf("%d/%d", decided, o.Seeds),
+		})
 	}
 	return t
 }

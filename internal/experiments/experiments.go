@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Eta is the heartbeat period every experiment uses.
@@ -28,6 +29,11 @@ type Opts struct {
 	Quick bool
 	// Seeds is the number of seeds per cell (default 5, quick 2).
 	Seeds int
+	// Workers is the parallel sweep width: independent (cell, seed) runs
+	// are fanned across this many workers. <= 0 means one per schedulable
+	// core; 1 runs everything inline. Results are merged in (cell, seed)
+	// order, so output is byte-identical for every worker count.
+	Workers int
 }
 
 func (o *Opts) fill() {
@@ -38,6 +44,31 @@ func (o *Opts) fill() {
 			o.Seeds = 5
 		}
 	}
+}
+
+// pool returns the sweep pool experiments fan their independent runs on.
+func (o Opts) pool() *sweep.Pool { return sweep.New(o.Workers) }
+
+// sweepCells runs fn(cell, seed) for every cell × seed pair on o's pool and
+// returns the results indexed [cell][seed]. fn must be self-contained: each
+// call builds its own System/World on its own kernel, so runs can execute
+// on any worker in any order. The merge is in (cell, seed) order, which
+// keeps tables byte-identical to the sequential double loop they replace.
+func sweepCells[C, T any](o Opts, cells []C, fn func(cell C, seed int) T) [][]T {
+	flat := sweep.Map(o.pool(), len(cells)*o.Seeds, func(i int) T {
+		return fn(cells[i/o.Seeds], i%o.Seeds)
+	})
+	out := make([][]T, len(cells))
+	for ci := range cells {
+		out[ci] = flat[ci*o.Seeds : (ci+1)*o.Seeds]
+	}
+	return out
+}
+
+// sweepEach is sweepCells for experiments without a seed dimension: one
+// independent run per cell, merged in cell order.
+func sweepEach[C, T any](o Opts, cells []C, fn func(cell C) T) []T {
+	return sweep.Map(o.pool(), len(cells), func(i int) T { return fn(cells[i]) })
 }
 
 // Table is a rendered experiment result.

@@ -35,16 +35,28 @@ func E11FSourceBoundary(o Opts) Table {
 			n, n-1, horizon, o.Seeds),
 		Columns: []string{"k (timely out-links)", "Ω holds", "mean leader changes", "mean msgs/η (tail)"},
 	}
-	for k := 0; k <= n-1; k++ {
+	ks := make([]int, n)
+	for k := range ks {
+		ks[k] = k
+	}
+	type run struct {
+		holds   bool
+		changes int
+		rate    float64
+	}
+	res := sweepCells(o, ks, func(k, seed int) run {
+		h, ch, rate := fSourceRun(n, k, int64(seed), horizon)
+		return run{holds: h, changes: ch, rate: rate}
+	})
+	for ki, k := range ks {
 		holds := 0
 		var changes, rates []float64
-		for seed := 0; seed < o.Seeds; seed++ {
-			h, ch, rate := fSourceRun(n, k, int64(seed), horizon)
-			if h {
+		for _, r := range res[ki] {
+			if r.holds {
 				holds++
 			}
-			changes = append(changes, float64(ch))
-			rates = append(rates, rate)
+			changes = append(changes, float64(r.changes))
+			rates = append(rates, r.rate)
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", k),

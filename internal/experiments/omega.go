@@ -35,40 +35,62 @@ func E1SteadyStateMessages(o Opts) Table {
 			tail, horizon),
 		Columns: []string{"n", "algorithm", "msgs/η", "predicted", "senders"},
 	}
-	for _, n := range sizes {
-		for _, algo := range omegaAlgos {
-			var rates []float64
-			senders := 0
-			for seed := 0; seed < o.Seeds; seed++ {
-				s, err := scenario.Build(scenario.Config{
-					N: n, Seed: int64(seed), Algorithm: algo,
-					Regime: scenario.RegimeAllET, Eta: Eta, GST: etaT(20),
-				})
-				if err != nil {
-					panic(err)
-				}
-				s.Run(time.Duration(horizon) * Eta)
-				from := etaT(horizon - tail)
-				rep := s.CommEffReport(from)
-				rates = append(rates, rep.MessagesPerPeriod)
-				if len(rep.Senders) > senders {
-					senders = len(rep.Senders)
-				}
-			}
-			predicted := n * (n - 1)
-			if algo == scenario.AlgoCore {
-				predicted = n - 1
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", n),
-				string(algo),
-				fmt.Sprintf("%.1f", mean(rates)),
-				fmt.Sprintf("%d", predicted),
-				fmt.Sprintf("%d", senders),
-			})
+	cells := sizeAlgoCells(sizes)
+	type run struct {
+		rate    float64
+		senders int
+	}
+	res := sweepCells(o, cells, func(c sizeAlgo, seed int) run {
+		s, err := scenario.Build(scenario.Config{
+			N: c.n, Seed: int64(seed), Algorithm: c.algo,
+			Regime: scenario.RegimeAllET, Eta: Eta, GST: etaT(20),
+		})
+		if err != nil {
+			panic(err)
 		}
+		s.Run(time.Duration(horizon) * Eta)
+		rep := s.CommEffReport(etaT(horizon - tail))
+		return run{rate: rep.MessagesPerPeriod, senders: len(rep.Senders)}
+	})
+	for ci, c := range cells {
+		var rates []float64
+		senders := 0
+		for _, r := range res[ci] {
+			rates = append(rates, r.rate)
+			if r.senders > senders {
+				senders = r.senders
+			}
+		}
+		predicted := c.n * (c.n - 1)
+		if c.algo == scenario.AlgoCore {
+			predicted = c.n - 1
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c.n),
+			string(c.algo),
+			fmt.Sprintf("%.1f", mean(rates)),
+			fmt.Sprintf("%d", predicted),
+			fmt.Sprintf("%d", senders),
+		})
 	}
 	return t
+}
+
+// sizeAlgo is one (system size, algorithm) sweep cell.
+type sizeAlgo struct {
+	n    int
+	algo scenario.Algorithm
+}
+
+// sizeAlgoCells enumerates sizes × omegaAlgos in table-row order.
+func sizeAlgoCells(sizes []int) []sizeAlgo {
+	cells := make([]sizeAlgo, 0, len(sizes)*len(omegaAlgos))
+	for _, n := range sizes {
+		for _, algo := range omegaAlgos {
+			cells = append(cells, sizeAlgo{n: n, algo: algo})
+		}
+	}
+	return cells
 }
 
 // E2ConvergenceSeries regenerates Figure 1: messages per η over time for
@@ -88,7 +110,10 @@ func E2ConvergenceSeries(o Opts) Series {
 		XLabel: "t (η)",
 		YLabel: "msgs/η",
 	}
-	for _, algo := range omegaAlgos {
+	type curve struct {
+		xs, ys []float64
+	}
+	curves := sweepEach(o, omegaAlgos, func(algo scenario.Algorithm) curve {
 		sys, err := scenario.Build(scenario.Config{
 			N: n, Seed: 1, Algorithm: algo,
 			Regime: scenario.RegimeAllET, Eta: Eta, GST: etaT(gstPeriods),
@@ -98,20 +123,23 @@ func E2ConvergenceSeries(o Opts) Series {
 		}
 		sys.Run(time.Duration(horizon) * Eta)
 		buckets := sys.World.Stats.Snapshot().Series(Eta, etaT(horizon))
-		var xs, ys []float64
+		var c curve
 		for i := 0; i+step <= len(buckets); i += step {
 			var sum uint64
 			for j := 0; j < step; j++ {
 				sum += buckets[i+j]
 			}
-			xs = append(xs, float64(i))
-			ys = append(ys, float64(sum)/float64(step))
+			c.xs = append(c.xs, float64(i))
+			c.ys = append(c.ys, float64(sum)/float64(step))
 		}
+		return c
+	})
+	for ci, algo := range omegaAlgos {
 		if s.X == nil {
-			s.X = xs
+			s.X = curves[ci].xs
 		}
 		s.Names = append(s.Names, string(algo))
-		s.Y = append(s.Y, ys)
+		s.Y = append(s.Y, curves[ci].ys)
 	}
 	return s
 }
@@ -131,32 +159,48 @@ func E3StabilizationVsGST(o Opts) Table {
 		Note:    "all links eventually timely; stabilization = last leader change at any correct process; grows with GST for every algorithm",
 		Columns: []string{"GST (η)", "algorithm", "stabilized (mean)", "stabilized (max)", "converged"},
 	}
+	type cell struct {
+		gst  int
+		algo scenario.Algorithm
+	}
+	var cells []cell
 	for _, gst := range gsts {
 		for _, algo := range omegaAlgos {
-			var times []float64
-			converged := 0
-			for seed := 0; seed < o.Seeds; seed++ {
-				s, err := scenario.Build(scenario.Config{
-					N: 10, Seed: int64(seed), Algorithm: algo,
-					Regime: scenario.RegimeAllET, Eta: Eta, GST: etaT(gst),
-				})
-				if err != nil {
-					panic(err)
-				}
-				s.Run(time.Duration(gst)*Eta + 200*Eta)
-				if at, ok := sysConvergence(s); ok {
-					converged++
-					times = append(times, float64(at)/float64(Eta.Nanoseconds()))
-				}
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", gst),
-				string(algo),
-				fmt.Sprintf("%.0fη", mean(times)),
-				fmt.Sprintf("%.0fη", maxOf(times)),
-				fmt.Sprintf("%d/%d", converged, o.Seeds),
-			})
+			cells = append(cells, cell{gst: gst, algo: algo})
 		}
+	}
+	type run struct {
+		at float64
+		ok bool
+	}
+	res := sweepCells(o, cells, func(c cell, seed int) run {
+		s, err := scenario.Build(scenario.Config{
+			N: 10, Seed: int64(seed), Algorithm: c.algo,
+			Regime: scenario.RegimeAllET, Eta: Eta, GST: etaT(c.gst),
+		})
+		if err != nil {
+			panic(err)
+		}
+		s.Run(time.Duration(c.gst)*Eta + 200*Eta)
+		at, ok := sysConvergence(s)
+		return run{at: float64(at) / float64(Eta.Nanoseconds()), ok: ok}
+	})
+	for ci, c := range cells {
+		var times []float64
+		converged := 0
+		for _, r := range res[ci] {
+			if r.ok {
+				converged++
+				times = append(times, r.at)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c.gst),
+			string(c.algo),
+			fmt.Sprintf("%.0fη", mean(times)),
+			fmt.Sprintf("%.0fη", maxOf(times)),
+			fmt.Sprintf("%d/%d", converged, o.Seeds),
+		})
 	}
 	return t
 }
@@ -184,39 +228,48 @@ func E4CrashRecovery(o Opts) Table {
 		Note:    "all links timely, leader p0 crashes at 100η; latency = last leader change − crash time",
 		Columns: []string{"n", "algorithm", "latency (mean)", "latency (max)", "new leader"},
 	}
-	for _, n := range sizes {
-		for _, algo := range omegaAlgos {
-			var lats []float64
-			leaderOK := true
-			for seed := 0; seed < o.Seeds; seed++ {
-				s, err := scenario.Build(scenario.Config{
-					N: n, Seed: int64(seed), Algorithm: algo,
-					Regime: scenario.RegimeAllTimely, Eta: Eta,
-					Crashes: []scenario.Crash{{ID: 0, At: crashAt}},
-				})
-				if err != nil {
-					panic(err)
-				}
-				s.Run(400 * Eta)
-				rep := s.OmegaReport()
-				if !rep.Holds || rep.Leader == 0 {
-					leaderOK = false
-					continue
-				}
-				lats = append(lats, float64(rep.StabilizedAt-crashAt)/float64(time.Millisecond))
-			}
-			status := "p1"
-			if !leaderOK {
-				status = "FAILED"
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", n),
-				string(algo),
-				fmt.Sprintf("%.1fms", mean(lats)),
-				fmt.Sprintf("%.1fms", maxOf(lats)),
-				status,
-			})
+	cells := sizeAlgoCells(sizes)
+	type run struct {
+		lat float64
+		ok  bool
+	}
+	res := sweepCells(o, cells, func(c sizeAlgo, seed int) run {
+		s, err := scenario.Build(scenario.Config{
+			N: c.n, Seed: int64(seed), Algorithm: c.algo,
+			Regime: scenario.RegimeAllTimely, Eta: Eta,
+			Crashes: []scenario.Crash{{ID: 0, At: crashAt}},
+		})
+		if err != nil {
+			panic(err)
 		}
+		s.Run(400 * Eta)
+		rep := s.OmegaReport()
+		if !rep.Holds || rep.Leader == 0 {
+			return run{}
+		}
+		return run{lat: float64(rep.StabilizedAt-crashAt) / float64(time.Millisecond), ok: true}
+	})
+	for ci, c := range cells {
+		var lats []float64
+		leaderOK := true
+		for _, r := range res[ci] {
+			if !r.ok {
+				leaderOK = false
+				continue
+			}
+			lats = append(lats, r.lat)
+		}
+		status := "p1"
+		if !leaderOK {
+			status = "FAILED"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c.n),
+			string(c.algo),
+			fmt.Sprintf("%.1fms", mean(lats)),
+			fmt.Sprintf("%.1fms", maxOf(lats)),
+			status,
+		})
 	}
 	return t
 }
@@ -238,27 +291,28 @@ func E5LinksUsed(o Opts) Table {
 		Note:    fmt.Sprintf("all links timely; links counted over the final %dη of %dη", tail, horizon),
 		Columns: []string{"n", "algorithm", "links used", "predicted"},
 	}
-	for _, n := range sizes {
-		for _, algo := range omegaAlgos {
-			s, err := scenario.Build(scenario.Config{
-				N: n, Seed: 7, Algorithm: algo, Regime: scenario.RegimeAllTimely, Eta: Eta,
-			})
-			if err != nil {
-				panic(err)
-			}
-			s.Run(time.Duration(horizon) * Eta)
-			links := s.World.Stats.Snapshot().LinksUsedSince(etaT(horizon - tail))
-			predicted := n * (n - 1)
-			if algo == scenario.AlgoCore {
-				predicted = n - 1
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", n),
-				string(algo),
-				fmt.Sprintf("%d", links),
-				fmt.Sprintf("%d", predicted),
-			})
+	cells := sizeAlgoCells(sizes)
+	links := sweepEach(o, cells, func(c sizeAlgo) int {
+		s, err := scenario.Build(scenario.Config{
+			N: c.n, Seed: 7, Algorithm: c.algo, Regime: scenario.RegimeAllTimely, Eta: Eta,
+		})
+		if err != nil {
+			panic(err)
 		}
+		s.Run(time.Duration(horizon) * Eta)
+		return s.World.Stats.Snapshot().LinksUsedSince(etaT(horizon - tail))
+	})
+	for ci, c := range cells {
+		predicted := c.n * (c.n - 1)
+		if c.algo == scenario.AlgoCore {
+			predicted = c.n - 1
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c.n),
+			string(c.algo),
+			fmt.Sprintf("%d", links[ci]),
+			fmt.Sprintf("%d", predicted),
+		})
 	}
 	return t
 }

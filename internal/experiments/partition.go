@@ -40,7 +40,12 @@ func E13PartitionHeal(o Opts) Table {
 		scenario.AlgoAllToAll,
 		scenario.AlgoSource,
 	}
-	for _, algo := range algos {
+	type run struct {
+		holds   string
+		senders int
+		changes int
+	}
+	res := sweepEach(o, algos, func(algo scenario.Algorithm) run {
 		sys, err := scenario.Build(scenario.Config{
 			N: 5, Seed: 1, Algorithm: algo, Regime: scenario.RegimeAllTimely, Eta: Eta,
 		})
@@ -56,10 +61,13 @@ func E13PartitionHeal(o Opts) Table {
 		if rep.Holds && rep.StabilizedAt <= sim.At(horizon*3/4) {
 			holds = "yes"
 		}
+		return run{holds: holds, senders: len(ce.Senders), changes: rep.Changes}
+	})
+	for ci, algo := range algos {
 		t.Rows = append(t.Rows, []string{
-			string(algo), holds,
-			fmt.Sprintf("%d", len(ce.Senders)),
-			fmt.Sprintf("%d", rep.Changes),
+			string(algo), res[ci].holds,
+			fmt.Sprintf("%d", res[ci].senders),
+			fmt.Sprintf("%d", res[ci].changes),
 		})
 	}
 	return t

@@ -32,20 +32,35 @@ func E12PiggybackAblation(o Opts) Table {
 			n, cmds, 3*(n-1), 2*(n-1)),
 		Columns: []string{"workload", "variant", "msgs/cmd", "DECIDEs", "LEARNs"},
 	}
+	type cell struct {
+		workload  string
+		piggyback bool
+	}
+	var cells []cell
 	for _, workload := range []string{"streaming", "burst"} {
 		for _, piggyback := range []bool{false, true} {
-			perCmd, decides, learns := piggybackRun(n, cmds, workload == "streaming", piggyback)
-			name := "plain"
-			if piggyback {
-				name = "piggyback"
-			}
-			t.Rows = append(t.Rows, []string{
-				workload, name,
-				fmt.Sprintf("%.1f", perCmd),
-				fmt.Sprintf("%d", decides),
-				fmt.Sprintf("%d", learns),
-			})
+			cells = append(cells, cell{workload: workload, piggyback: piggyback})
 		}
+	}
+	type run struct {
+		perCmd          float64
+		decides, learns uint64
+	}
+	res := sweepEach(o, cells, func(c cell) run {
+		perCmd, decides, learns := piggybackRun(n, cmds, c.workload == "streaming", c.piggyback)
+		return run{perCmd: perCmd, decides: decides, learns: learns}
+	})
+	for ci, c := range cells {
+		name := "plain"
+		if c.piggyback {
+			name = "piggyback"
+		}
+		t.Rows = append(t.Rows, []string{
+			c.workload, name,
+			fmt.Sprintf("%.1f", res[ci].perCmd),
+			fmt.Sprintf("%d", res[ci].decides),
+			fmt.Sprintf("%d", res[ci].learns),
+		})
 	}
 	return t
 }

@@ -34,21 +34,33 @@ func E10RelayedPaths(o Opts) Table {
 			horizon),
 		Columns: []string{"variant", "Ω holds", "agreed leader", "originators (tail)", "msgs/η (tail)", "leader changes"},
 	}
-	for _, relayOn := range []bool{true, false} {
+	type run struct {
+		holds   string
+		leader  node.ID
+		origins int
+		rate    float64
+		changes int
+	}
+	variants := []bool{true, false}
+	res := sweepEach(o, variants, func(relayOn bool) run {
 		holds, leader, origins, rate, changes := relayRun(relayOn, horizon, 9)
+		return run{holds: holds, leader: leader, origins: origins, rate: rate, changes: changes}
+	})
+	for ci, relayOn := range variants {
+		r := res[ci]
 		name := "core bare"
 		if relayOn {
 			name = "core + relay"
 		}
 		leaderStr := "—"
-		if leader != node.None {
-			leaderStr = fmt.Sprintf("p%d", leader)
+		if r.leader != node.None {
+			leaderStr = fmt.Sprintf("p%d", r.leader)
 		}
 		t.Rows = append(t.Rows, []string{
-			name, holds, leaderStr,
-			fmt.Sprintf("%d", origins),
-			fmt.Sprintf("%.1f", rate),
-			fmt.Sprintf("%d", changes),
+			name, r.holds, leaderStr,
+			fmt.Sprintf("%d", r.origins),
+			fmt.Sprintf("%.1f", r.rate),
+			fmt.Sprintf("%d", r.changes),
 		})
 	}
 	return t

@@ -15,6 +15,10 @@ type DeliverFunc func(from, to int, payload any)
 // directed links has its own Profile; the fabric owns the global
 // stabilization time (GST) that eventually-timely links refer to, and a
 // "cut" overlay for injecting partitions on top of any profile.
+//
+// The send path is allocation-free in steady state: in-flight messages ride
+// pooled delivery records (see delivery) instead of per-send closures, and
+// SendKind takes a pre-interned kind id so no string is hashed.
 type Fabric struct {
 	kernel   *sim.Kernel
 	n        int
@@ -23,6 +27,51 @@ type Fabric struct {
 	cut      []bool
 	sink     obs.Sink
 	deliver  DeliverFunc
+
+	// freeDeliveries is the delivery-record free list. The fabric is
+	// single-threaded (it lives inside one kernel), so no lock is needed.
+	freeDeliveries *inFlight
+}
+
+// inFlight is one in-flight message. Each record binds its fire method to a
+// func() exactly once, at pool-creation time, so scheduling a delivery
+// reuses that method value instead of allocating a fresh closure per send.
+type inFlight struct {
+	f       *Fabric
+	from    int32
+	to      int32
+	kind    obs.Kind
+	payload any
+	run     func()
+	next    *inFlight // free-list link
+}
+
+// fire hands the message to its destination and returns the record to the
+// pool. The record is released before the delivery callback runs, so sends
+// performed inside the callback reuse the hot record.
+func (d *inFlight) fire() {
+	f := d.f
+	from, to, kind, payload := int(d.from), int(d.to), d.kind, d.payload
+	d.payload = nil
+	d.next = f.freeDeliveries
+	f.freeDeliveries = d
+	f.sink.OnDeliver(f.kernel.Now(), from, to, kind)
+	f.deliver(from, to, payload)
+}
+
+// newDelivery takes a record from the pool, or mints one with its run
+// method value bound (the only allocation this path can make, amortized to
+// zero in steady state).
+func (f *Fabric) newDelivery() *inFlight {
+	d := f.freeDeliveries
+	if d == nil {
+		d = &inFlight{f: f}
+		d.run = d.fire
+		return d
+	}
+	f.freeDeliveries = d.next
+	d.next = nil
+	return d
 }
 
 // NewFabric creates a fabric for n processes whose links all start with the
@@ -161,8 +210,15 @@ func (f *Fabric) Rejoin(id int) {
 
 // Send transmits payload on the from→to directed link. The message is
 // dropped or scheduled for delivery according to the link profile; kind is
-// used only for accounting.
+// used only for accounting. Hot paths should pre-intern the kind and call
+// SendKind directly.
 func (f *Fabric) Send(from, to int, kind string, payload any) {
+	f.SendKind(from, to, obs.Intern(kind), payload)
+}
+
+// SendKind is Send with a pre-interned kind id: the steady-state send path
+// for protocol messages, performing zero map lookups and zero allocations.
+func (f *Fabric) SendKind(from, to int, kind obs.Kind, payload any) {
 	if f.deliver == nil {
 		panic("network: Send before SetDeliver")
 	}
@@ -171,17 +227,15 @@ func (f *Fabric) Send(from, to int, kind string, payload any) {
 	}
 	now := f.kernel.Now()
 	idx := f.index(from, to)
-	k := obs.Intern(kind)
-	f.sink.OnSend(now, from, to, k)
+	f.sink.OnSend(now, from, to, kind)
 	delay, ok := f.profiles[idx].transmit(now >= f.gst, f.kernel.Rand())
 	if !ok || f.cut[idx] {
-		f.sink.OnDrop(now, from, to, k)
+		f.sink.OnDrop(now, from, to, kind)
 		return
 	}
-	f.kernel.Schedule(delay, func() {
-		f.sink.OnDeliver(f.kernel.Now(), from, to, k)
-		f.deliver(from, to, payload)
-	})
+	d := f.newDelivery()
+	d.from, d.to, d.kind, d.payload = int32(from), int32(to), kind, payload
+	f.kernel.Schedule(delay, d.run)
 }
 
 // MaxDelta returns the largest Delta across all timely or eventually-timely

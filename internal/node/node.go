@@ -10,6 +10,7 @@ package node
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -25,6 +26,23 @@ const None ID = -1
 // carrying slices must copy them at construction.
 type Message interface {
 	Kind() string
+}
+
+// KindIDer is optionally implemented by messages that pre-intern their kind
+// tag (typically in a package-level var at init). Runtimes use it to skip
+// the obs.Intern map lookup on every send, which keeps the steady-state
+// send path allocation- and hash-free. KindID must equal obs.Intern(Kind()).
+type KindIDer interface {
+	KindID() obs.Kind
+}
+
+// MessageKind returns m's interned kind id, using the KindID fast path when
+// the message provides one and falling back to interning the kind string.
+func MessageKind(m Message) obs.Kind {
+	if k, ok := m.(KindIDer); ok {
+		return k.KindID()
+	}
+	return obs.Intern(m.Kind())
 }
 
 // Env is the runtime handle an Automaton uses to interact with the world.

@@ -63,7 +63,26 @@ type proc struct {
 	alive     bool
 	started   bool
 	rate      float64
-	timers    map[string]*sim.Event
+	timers    map[string]*timerRec
+}
+
+// timerRec is one named timer's slot. Keys are stable per protocol, so the
+// record — and the callback bound once at creation — is reused across
+// re-arms: arming a heartbeat timer every η allocates nothing.
+type timerRec struct {
+	p      *proc
+	key    string
+	handle sim.Handle
+	run    func()
+}
+
+// fire delivers the timer tick. The kernel has already retired the handle,
+// so a StopTimer or re-arm from inside the automaton behaves correctly.
+func (r *timerRec) fire() {
+	if !r.p.alive {
+		return
+	}
+	r.p.automaton.Tick(r.key)
 }
 
 var _ Env = (*proc)(nil)
@@ -109,7 +128,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 			id:     ID(i),
 			alive:  true,
 			rate:   rate,
-			timers: make(map[string]*sim.Event),
+			timers: make(map[string]*timerRec),
 		}
 	}
 	fabric.SetDeliver(w.deliverPayload)
@@ -176,10 +195,10 @@ func (w *World) Crash(id ID) {
 		return
 	}
 	p.alive = false
-	for _, e := range p.timers {
-		e.Cancel()
+	for _, r := range p.timers {
+		r.handle.Cancel()
 	}
-	p.timers = make(map[string]*sim.Event)
+	p.timers = make(map[string]*timerRec)
 	w.crashedAt[id] = w.Kernel.Now()
 	w.Trace.Add(trace.Entry{T: w.Kernel.Now(), Kind: trace.KindCrash, Node: int(id), Peer: -1})
 }
@@ -250,7 +269,7 @@ func (p *proc) Send(to ID, m Message) {
 	if to == p.id {
 		panic(fmt.Sprintf("node: process %d sending to itself", p.id))
 	}
-	p.world.Fabric.Send(int(p.id), int(to), m.Kind(), m)
+	p.world.Fabric.SendKind(int(p.id), int(to), MessageKind(m), m)
 }
 
 func (p *proc) Broadcast(m Message) {
@@ -265,25 +284,23 @@ func (p *proc) SetTimer(key string, d time.Duration) {
 	if !p.alive {
 		return
 	}
-	if old, ok := p.timers[key]; ok {
-		old.Cancel()
+	r, ok := p.timers[key]
+	if !ok {
+		r = &timerRec{p: p, key: key}
+		r.run = r.fire
+		p.timers[key] = r
+	} else {
+		r.handle.Cancel()
 	}
 	if p.rate != 1.0 {
 		d = time.Duration(float64(d) * p.rate)
 	}
-	p.timers[key] = p.world.Kernel.Schedule(d, func() {
-		if !p.alive {
-			return
-		}
-		delete(p.timers, key)
-		p.automaton.Tick(key)
-	})
+	r.handle = p.world.Kernel.Schedule(d, r.run)
 }
 
 func (p *proc) StopTimer(key string) {
-	if e, ok := p.timers[key]; ok {
-		e.Cancel()
-		delete(p.timers, key)
+	if r, ok := p.timers[key]; ok {
+		r.handle.Cancel()
 	}
 }
 

@@ -22,9 +22,11 @@ package relay
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -45,6 +47,22 @@ type Msg struct {
 
 // Kind implements node.Message.
 func (m Msg) Kind() string { return KindRelay + "/" + m.Inner.Kind() }
+
+// relayKindIDs caches the interned "RELAY/<inner>" id per inner kind id
+// (+1, so zero means unset), so flooding a heartbeat neither concatenates
+// nor hashes strings after the first envelope of each inner kind.
+var relayKindIDs [obs.MaxKinds]atomic.Uint32
+
+// KindID implements node.KindIDer.
+func (m Msg) KindID() obs.Kind {
+	inner := node.MessageKind(m.Inner)
+	if v := relayKindIDs[inner].Load(); v != 0 {
+		return obs.Kind(v - 1)
+	}
+	k := obs.Intern(KindRelay + "/" + obs.KindName(inner))
+	relayKindIDs[inner].Store(uint32(k) + 1)
+	return k
+}
 
 // Wrapper runs an inner automaton behind a flooding relay. It implements
 // node.Automaton; the inner automaton sees a node.Env whose sends are

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelScheduleFire measures the schedule-one-fire-one cycle that
+// dominates every simulation run. It must stay at 0 allocs/op: events are
+// recycled through the kernel's free list.
+func BenchmarkKernelScheduleFire(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	// Warm the free list and the heap's backing array.
+	k.Schedule(time.Microsecond, fn)
+	k.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(time.Microsecond, fn)
+		k.Step()
+	}
+}
+
+// BenchmarkKernelScheduleCancel measures the schedule-then-cancel cycle
+// (every heartbeat timer re-arm takes this path).
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := k.Schedule(time.Microsecond, fn)
+		e.Cancel()
+		k.RunFor(10 * time.Microsecond)
+	}
+}

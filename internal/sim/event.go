@@ -1,30 +1,77 @@
 package sim
 
-// Event is a handle to a scheduled callback. It can be cancelled up until it
-// fires; cancelling a fired or already-cancelled event is a no-op.
+// Event is one scheduled callback's slot in the kernel. Slots are owned and
+// recycled by the kernel's free list: once an event fires or a cancelled
+// event is collected, its slot is reused for a later Schedule call. Code
+// outside the kernel never holds an *Event — it holds a Handle, which pins
+// the slot's generation so operations through stale handles are no-ops.
 type Event struct {
 	at        Time
 	seq       uint64
 	fn        func()
 	cancelled bool
-	fired     bool
+
+	// gen is bumped every time the slot is recycled; a Handle is live only
+	// while its generation matches. doneGen/doneFired record the outcome of
+	// the most recently completed generation so a handle observed right
+	// after completion still answers Fired/Cancelled correctly.
+	gen       uint64
+	doneGen   uint64
+	doneFired bool
 }
+
+// Handle refers to one scheduled callback. The zero Handle is valid and
+// refers to nothing; all methods on it are no-ops. Handles stay safe after
+// their event completes: the kernel recycles event slots, and a handle
+// whose generation no longer matches simply does nothing.
+type Handle struct {
+	e   *Event
+	gen uint64
+	at  Time
+}
+
+// live reports whether the handle's generation is still current, i.e. the
+// event is queued (possibly cancelled but not yet collected).
+func (h Handle) live() bool { return h.e != nil && h.e.gen == h.gen }
 
 // At returns the virtual instant the event is (or was) scheduled for.
-func (e *Event) At() Time { return e.at }
+func (h Handle) At() Time { return h.at }
 
-// Cancel prevents the event from firing. It is safe to call repeatedly and
-// after the event has fired.
-func (e *Event) Cancel() {
-	e.cancelled = true
-	e.fn = nil // release references for the garbage collector
+// Pending reports whether the event is still queued and will fire.
+func (h Handle) Pending() bool { return h.live() && !h.e.cancelled }
+
+// Cancel prevents the event from firing. It is safe to call repeatedly,
+// after the event has fired, and after the event's slot has been recycled
+// for an unrelated callback (the generation check makes it a no-op then).
+func (h Handle) Cancel() {
+	if !h.Pending() {
+		return
+	}
+	h.e.cancelled = true
+	h.e.fn = nil // release references for the garbage collector
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Cancelled reports whether this handle's event was cancelled before
+// firing. Once the event's slot has been reused by a *second* later
+// callback the answer degrades to false; Cancel itself is always safe.
+func (h Handle) Cancelled() bool {
+	if h.e == nil {
+		return false
+	}
+	if h.live() {
+		return h.e.cancelled
+	}
+	return h.e.doneGen == h.gen && !h.e.doneFired
+}
 
-// Fired reports whether the event's callback has run.
-func (e *Event) Fired() bool { return e.fired }
+// Fired reports whether this handle's event ran, with the same slot-reuse
+// caveat as Cancelled.
+func (h Handle) Fired() bool {
+	if h.e == nil || h.live() {
+		return false
+	}
+	return h.e.doneGen == h.gen && h.e.doneFired
+}
 
 // eventHeap is a binary min-heap ordered by (at, seq). The seq tie-break
 // guarantees that events scheduled for the same instant fire in scheduling

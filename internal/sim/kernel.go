@@ -9,11 +9,18 @@ import (
 // Kernel is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all scheduled callbacks run on the caller's goroutine
 // inside Step/Run, which is exactly what makes executions deterministic.
+//
+// Event slots are recycled through a per-kernel free list, so the
+// schedule → fire cycle allocates nothing in steady state; see Handle for
+// how stale references to recycled slots stay safe.
 type Kernel struct {
 	now  Time
 	heap eventHeap
 	seq  uint64
 	rng  *rand.Rand
+
+	// free is the event slot free list (LIFO for cache locality).
+	free []*Event
 
 	// processed counts events that have fired (excluding cancelled ones).
 	processed uint64
@@ -28,6 +35,25 @@ func NewKernel(seed int64) *Kernel {
 	return &Kernel{rng: rand.New(rand.NewSource(seed))}
 }
 
+// Reset returns the kernel to the state NewKernel(seed) would produce —
+// clock at zero, queue empty, counters cleared, random source reseeded —
+// while keeping the event heap's backing array and the slot free list, so
+// sweep workers can reuse one kernel across many runs without reallocating.
+func (k *Kernel) Reset(seed int64) {
+	for {
+		e := k.heap.Pop()
+		if e == nil {
+			break
+		}
+		k.recycle(e, false)
+	}
+	k.now = TimeZero
+	k.seq = 0
+	k.processed = 0
+	k.limit = 0
+	k.rng.Seed(seed)
+}
+
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
@@ -36,7 +62,7 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Pending returns the number of events currently queued (including
-// cancelled events that have not been popped yet).
+// cancelled events that have not been collected yet).
 func (k *Kernel) Pending() int { return k.heap.Len() }
 
 // Processed returns the number of events that have fired so far.
@@ -46,10 +72,45 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 // the limit. It exists to catch accidental event storms in tests.
 func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
 
+// alloc takes an event slot from the free list, or mints one.
+func (k *Kernel) alloc() *Event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// recycle retires a popped event's generation and returns its slot to the
+// free list. fired records the generation's outcome for Handle queries.
+func (k *Kernel) recycle(e *Event, fired bool) {
+	e.doneGen, e.doneFired = e.gen, fired
+	e.gen++
+	e.fn = nil
+	e.cancelled = false
+	k.free = append(k.free, e)
+}
+
+// fire advances the clock to e and runs its callback. e must already be
+// popped from the heap; its slot is recycled before the callback runs, so
+// callbacks that schedule immediately reuse the hot slot.
+func (k *Kernel) fire(e *Event) {
+	k.now = e.at
+	fn := e.fn
+	k.recycle(e, true)
+	k.processed++
+	if k.limit != 0 && k.processed > k.limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
+	}
+	fn()
+}
+
 // Schedule runs fn after virtual duration d (from now). A negative or zero
 // d schedules fn for the current instant; it will still run after all
 // callbacks already queued for this instant, preserving causal order.
-func (k *Kernel) Schedule(d time.Duration, fn func()) *Event {
+func (k *Kernel) Schedule(d time.Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -58,21 +119,22 @@ func (k *Kernel) Schedule(d time.Duration, fn func()) *Event {
 
 // ScheduleAt runs fn at absolute virtual instant t. Instants in the past
 // are clamped to now.
-func (k *Kernel) ScheduleAt(t Time, fn func()) *Event {
+func (k *Kernel) ScheduleAt(t Time, fn func()) Handle {
 	if fn == nil {
 		panic("sim: ScheduleAt called with nil callback")
 	}
 	if t < k.now {
 		t = k.now
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn}
+	e := k.alloc()
+	e.at, e.seq, e.fn = t, k.seq, fn
 	k.seq++
 	k.heap.Push(e)
-	return e
+	return Handle{e: e, gen: e.gen, at: t}
 }
 
 // Step fires the next event, advancing the clock to its instant. It returns
-// false when no events remain. Cancelled events are skipped silently.
+// false when no events remain. Cancelled events are collected silently.
 func (k *Kernel) Step() bool {
 	for {
 		e := k.heap.Pop()
@@ -80,17 +142,10 @@ func (k *Kernel) Step() bool {
 			return false
 		}
 		if e.cancelled {
+			k.recycle(e, false)
 			continue
 		}
-		k.now = e.at
-		e.fired = true
-		fn := e.fn
-		e.fn = nil
-		k.processed++
-		if k.limit != 0 && k.processed > k.limit {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
-		}
-		fn()
+		k.fire(e)
 		return true
 	}
 }
@@ -103,12 +158,15 @@ func (k *Kernel) RunUntil(horizon Time, stop func() bool) RunResult {
 		if stop != nil && stop() {
 			return RunStopped
 		}
-		next := k.heap.Peek()
-		for next != nil && next.cancelled {
-			k.heap.Pop()
-			next = k.heap.Peek()
+		// One pop per event: cancelled events are drained in the same
+		// pass, and the survivor is fired directly instead of being
+		// re-popped by Step.
+		e := k.heap.Pop()
+		for e != nil && e.cancelled {
+			k.recycle(e, false)
+			e = k.heap.Pop()
 		}
-		if next == nil {
+		if e == nil {
 			// Simulate-until semantics: the clock reaches the horizon
 			// even when nothing is left to do (except for the "run
 			// forever" sentinel, which would wedge the clock at the
@@ -118,13 +176,15 @@ func (k *Kernel) RunUntil(horizon Time, stop func() bool) RunResult {
 			}
 			return RunDrained
 		}
-		if next.at > horizon {
-			// Do not fire past the horizon, but advance the clock to
-			// it so repeated RunUntil calls observe monotonic time.
+		if e.at > horizon {
+			// Do not fire past the horizon: put the event back (its seq
+			// is unchanged, so ordering is preserved) and advance the
+			// clock so repeated RunUntil calls observe monotonic time.
+			k.heap.Push(e)
 			k.now = horizon
 			return RunHorizon
 		}
-		k.Step()
+		k.fire(e)
 	}
 }
 
@@ -168,7 +228,8 @@ func (k *Kernel) Every(initial, period time.Duration, fn func()) *Ticker {
 		panic("sim: Every called with non-positive period")
 	}
 	t := &Ticker{kernel: k, period: period, fn: fn}
-	t.next = k.Schedule(initial, t.tick)
+	t.tickFn = t.tick // bound once so re-arming allocates nothing
+	t.next = k.Schedule(initial, t.tickFn)
 	return t
 }
 
@@ -177,7 +238,8 @@ type Ticker struct {
 	kernel  *Kernel
 	period  time.Duration
 	fn      func()
-	next    *Event
+	tickFn  func()
+	next    Handle
 	stopped bool
 }
 
@@ -185,17 +247,15 @@ func (t *Ticker) tick() {
 	if t.stopped {
 		return
 	}
-	t.next = t.kernel.Schedule(t.period, t.tick)
+	t.next = t.kernel.Schedule(t.period, t.tickFn)
 	t.fn()
 }
 
 // Stop halts the ticker. It is safe to call repeatedly.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.next != nil {
-		t.next.Cancel()
-		t.next = nil
-	}
+	t.next.Cancel()
+	t.next = Handle{}
 }
 
 // Stopped reports whether Stop has been called.

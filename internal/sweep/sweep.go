@@ -1,0 +1,128 @@
+// Package sweep fans independent simulation runs across CPU cores while
+// keeping output deterministic. A parameter sweep is a grid of (cell, seed)
+// pairs; each pair builds its own scenario.System on its own sim.Kernel, so
+// the runs share no mutable state and can execute on any worker in any
+// order. Results are written into index-addressed slots and consumed in
+// index order, so the merged output is byte-identical to a sequential run
+// regardless of how the scheduler interleaves workers.
+//
+// Work is claimed from a shared atomic counter rather than pre-partitioned,
+// which is a simple form of work stealing: a worker that draws short runs
+// keeps claiming more, so a few long cells cannot strand the rest of the
+// pool behind one slow worker.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs batches of independent tasks on a fixed number of workers.
+// A Pool is stateless between Run calls and safe for reuse; the zero value
+// is not usable, call New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given number of workers. workers <= 0 means
+// runtime.GOMAXPROCS(0), i.e. one worker per schedulable core.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes task(i) for every i in [0, n), spread across the pool's
+// workers. It returns when all n tasks have finished. Tasks must be
+// independent: they may not share mutable state without their own
+// synchronization. If any task panics, Run re-panics the first panic on the
+// calling goroutine after all workers have stopped claiming work.
+//
+// With one worker (or n <= 1) the tasks run inline on the calling
+// goroutine, so single-worker sweeps have sequential semantics exactly —
+// no extra goroutine, no channel, no atomics on the task path.
+func (p *Pool) Run(n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed task index
+		panicked atomic.Bool  // a task has panicked; stop claiming
+		firstPan atomic.Pointer[panicInfo]
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if panicked.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runOne(task, i, &panicked, &firstPan)
+			}
+		}()
+	}
+	wg.Wait()
+	if pi := firstPan.Load(); pi != nil {
+		panic(fmt.Sprintf("sweep: task %d panicked: %v", pi.index, pi.value))
+	}
+}
+
+type panicInfo struct {
+	index int
+	value any
+}
+
+// runOne executes one task, converting a panic into a recorded panicInfo so
+// the pool can drain cleanly and re-panic on the caller's goroutine.
+func runOne(task func(int), i int, panicked *atomic.Bool, first *atomic.Pointer[panicInfo]) {
+	defer func() {
+		if r := recover(); r != nil {
+			first.CompareAndSwap(nil, &panicInfo{index: i, value: r})
+			panicked.Store(true)
+		}
+	}()
+	task(i)
+}
+
+// Map runs f(i) for every i in [0, n) on the pool and returns the results
+// in index order. Because each result lands in its own pre-allocated slot,
+// the returned slice is identical to a sequential
+//
+//	for i := range out { out[i] = f(i) }
+//
+// no matter how many workers ran or how the runs interleaved. This is the
+// deterministic-merge primitive every experiment sweep builds on.
+func Map[T any](p *Pool, n int, f func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	p.Run(n, func(i int) {
+		out[i] = f(i)
+	})
+	return out
+}

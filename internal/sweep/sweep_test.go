@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		p := New(workers)
+		const n = 203
+		var hits [n]atomic.Int32
+		p.Run(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(-3).Workers() = %d, want %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("New(7).Workers() = %d, want 7", got)
+	}
+}
+
+func TestRunZeroAndOneTasks(t *testing.T) {
+	p := New(4)
+	p.Run(0, func(i int) { t.Fatalf("task ran for n=0") })
+	ran := false
+	p.Run(1, func(i int) { ran = true })
+	if !ran {
+		t.Fatalf("task did not run for n=1")
+	}
+}
+
+func TestMapResultsAreIndexOrdered(t *testing.T) {
+	// The result slice must match a sequential fill exactly, independent of
+	// worker count — this is the determinism guarantee experiments rely on.
+	want := Map(New(1), 100, func(i int) int { return i * i })
+	for _, workers := range []int{2, 4, 16} {
+		got := Map(New(workers), 100, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunPropagatesFirstPanic(t *testing.T) {
+	p := New(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic to propagate")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic %q does not carry the task's value", r)
+		}
+	}()
+	p.Run(64, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}
+
+func TestRunPanicSequential(t *testing.T) {
+	p := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic from inline path")
+		}
+	}()
+	p.Run(3, func(i int) { panic("inline") })
+}
+
+// TestRunStress hammers the pool with many small batches from a racy-looking
+// (but correctly synchronized) counter workload. Run under -race this is the
+// sweep-pool stress test wired into make test-race.
+func TestRunStress(t *testing.T) {
+	p := New(8)
+	var total atomic.Int64
+	for round := 0; round < 50; round++ {
+		var sum atomic.Int64
+		n := 1 + round%97
+		p.Run(n, func(i int) { sum.Add(int64(i + 1)) })
+		want := int64(n * (n + 1) / 2)
+		if got := sum.Load(); got != want {
+			t.Fatalf("round %d: sum = %d, want %d", round, got, want)
+		}
+		total.Add(sum.Load())
+	}
+	if total.Load() == 0 {
+		t.Fatalf("stress loop did no work")
+	}
+}
+
+func BenchmarkSweepPool(b *testing.B) {
+	p := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Run(64, func(int) {})
+	}
+}

@@ -139,7 +139,7 @@ type memNet Cluster
 func (m *memNet) send(from, to node.ID, msg node.Message) {
 	c := (*Cluster)(m)
 	now := c.stations[from].Now()
-	k := obs.Intern(msg.Kind())
+	k := node.MessageKind(msg)
 	c.sink.OnSend(now, int(from), int(to), k)
 	// Serialize immediately: the receiver must observe an independent
 	// copy, exactly as over a socket. The buffer is pooled and returned

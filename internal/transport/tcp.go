@@ -165,7 +165,7 @@ func (c *TCPCluster) readLoop(i int, conn net.Conn) {
 		if env.From < 0 || int(env.From) >= c.cfg.N {
 			continue
 		}
-		c.sink.OnDeliver(c.stations[i].Now(), int(env.From), i, obs.Intern(env.Msg.Kind()))
+		c.sink.OnDeliver(c.stations[i].Now(), int(env.From), i, nodepkg.MessageKind(env.Msg))
 		c.stations[i].deliver(env.From, env.Msg)
 	}
 }
@@ -195,7 +195,7 @@ type tcpNet struct {
 
 func (t *tcpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	c := t.cluster
-	k := obs.Intern(msg.Kind())
+	k := nodepkg.MessageKind(msg)
 	c.sink.OnSend(c.stations[from].Now(), int(from), int(to), k)
 	// Encode the length-prefixed frame in one pooled buffer: reserve the
 	// prefix, append the envelope, then patch the length in.

@@ -120,7 +120,7 @@ func (c *UDPCluster) readLoop(i int) {
 		if env.From < 0 || int(env.From) >= c.cfg.N {
 			continue
 		}
-		c.sink.OnDeliver(c.stations[i].Now(), int(env.From), i, obs.Intern(env.Msg.Kind()))
+		c.sink.OnDeliver(c.stations[i].Now(), int(env.From), i, nodepkg.MessageKind(env.Msg))
 		c.stations[i].deliver(env.From, env.Msg)
 	}
 }
@@ -149,7 +149,7 @@ type udpNet struct {
 
 func (u *udpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	c := u.cluster
-	k := obs.Intern(msg.Kind())
+	k := nodepkg.MessageKind(msg)
 	c.sink.OnSend(c.stations[from].Now(), int(from), int(to), k)
 	bp := encBufs.Get().(*[]byte)
 	data, err := c.cfg.Codec.MarshalEnvelopeAppend((*bp)[:0], from, msg)
