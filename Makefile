@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-micro bench-json tables
+.PHONY: all build vet test test-race soak bench bench-micro bench-json tables
 
 all: vet test
 
@@ -14,10 +14,18 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with real concurrency: the live transports, the
-# sharded observer sink they record into (plus the kind interner), and the
-# parallel sweep pool (its stress test hammers the work-claiming counter).
+# fault injector, the sharded observer sink they record into (plus the kind
+# interner), and the parallel sweep pool (its stress test hammers the
+# work-claiming counter). -short trims the chaos soaks' wall-clock GST.
 test-race:
-	$(GO) test -race ./internal/transport/... ./internal/metrics/... ./internal/obs/... ./internal/sweep/...
+	$(GO) test -race -short ./internal/transport/... ./internal/faultline/... ./internal/metrics/... ./internal/obs/... ./internal/sweep/...
+
+# Full chaos soak under the race detector: live UDP and TCP clusters
+# through leader crash, asymmetric partition + heal, and pre-GST link
+# chaos, with consensus safety checked at the end (see DESIGN.md §10).
+soak:
+	$(GO) test -race -count=1 -run 'ChaosSoak' -v ./internal/transport/
+	$(GO) test -race -count=1 ./cmd/chaossoak/
 
 # Full benchmark suite (experiment regeneration + substrate micro-benches).
 bench:

@@ -1,0 +1,368 @@
+// Command chaossoak runs a live cluster — real UDP or TCP sockets on
+// loopback, or the in-process mem transport — under a scripted fault
+// plan: seeded per-link chaos, scheduled leader crashes, runtime
+// partitions and heals. It drives replicated-state-machine traffic
+// through the surviving majority and verifies, at the end, that leader
+// election converged and that no consensus instance ever decided two
+// values.
+//
+// Usage examples:
+//
+//	chaossoak -transport udp -plan full -n 5 -seed 42
+//	chaossoak -transport tcp -plan crash -n 3
+//	chaossoak -transport udp -plan chaos -gst 2s -bound 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/rsm"
+	"repro/internal/core"
+	"repro/internal/faultline"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// cluster is the transport surface the soak drives; all three live
+// clusters satisfy it.
+type cluster interface {
+	Start()
+	Stop()
+	Crash(node.ID)
+	Inject(from, to node.ID, m node.Message)
+	Stats() *metrics.MessageStats
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chaossoak", flag.ContinueOnError)
+	var (
+		transportName = fs.String("transport", "udp", "live transport: mem, udp, tcp")
+		n             = fs.Int("n", 5, "number of processes (full/partition plans need n >= 5 for quorum math)")
+		seed          = fs.Int64("seed", 42, "fault-injection seed (same seed + plan = same drop/delay decisions)")
+		eta           = fs.Duration("eta", 5*time.Millisecond, "heartbeat period η")
+		planName      = fs.String("plan", "full", "fault plan: crash, partition, chaos, full")
+		gst           = fs.Duration("gst", 1500*time.Millisecond, "global stabilization time for the chaos plan")
+		bound         = fs.Duration("bound", 30*time.Second, "per-phase convergence bound")
+		commands      = fs.Int("commands", 5, "consensus instances to commit per traffic phase")
+		drop          = fs.Float64("drop", 0.4, "pre-GST drop probability for the chaos plan")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := &soak{eta: *eta, bound: *bound, commands: *commands}
+	switch *planName {
+	case "crash", "partition", "full":
+		if *n < 3 {
+			return fmt.Errorf("plan %s needs n >= 3, got %d", *planName, *n)
+		}
+		if (*planName == "partition" || *planName == "full") && *n < 5 {
+			return fmt.Errorf("plan %s needs n >= 5 (crash + minority cut must leave a quorum), got %d", *planName, *n)
+		}
+		inj, err := faultline.New(*n, *seed, faultline.Plan{})
+		if err != nil {
+			return err
+		}
+		s.inj = inj
+	case "chaos":
+		// Pre-GST chaos via the scenario bridge: the simulator's all-et
+		// regime, replayed on live sockets. The simulated regime is
+		// lossless (wild delays only), so layer pre-GST loss on top — the
+		// combination the soak tests exercise.
+		plan, err := scenario.LiveFaultPlan(scenario.Config{
+			N:      *n,
+			Regime: scenario.RegimeAllET,
+			Delta:  2 * time.Millisecond,
+			Eta:    *eta,
+			GST:    sim.At(*gst),
+		})
+		if err != nil {
+			return err
+		}
+		if *drop > 0 {
+			plan.Default = network.EventuallyTimely(2*time.Millisecond, 30*time.Millisecond, *drop)
+		}
+		inj, err := faultline.New(*n, *seed, plan)
+		if err != nil {
+			return err
+		}
+		s.inj = inj
+	default:
+		return fmt.Errorf("unknown plan %q (want crash, partition, chaos, full)", *planName)
+	}
+
+	autos := s.buildReplicas(*n)
+	cfg := transport.Config{N: *n, Seed: *seed, Quiet: true, Fault: s.inj, WriteTimeout: 200 * time.Millisecond}
+	var c cluster
+	var err error
+	switch *transportName {
+	case "mem":
+		c, err = transport.NewCluster(cfg, autos)
+	case "udp":
+		c, err = transport.NewUDPCluster(cfg, autos)
+	case "tcp":
+		c, err = transport.NewTCPCluster(cfg, autos)
+	default:
+		return fmt.Errorf("unknown transport %q (want mem, udp, tcp)", *transportName)
+	}
+	if err != nil {
+		return err
+	}
+	s.c = c
+	c.Start()
+	defer c.Stop()
+
+	fmt.Printf("chaossoak: transport=%s plan=%s n=%d seed=%d eta=%v\n", *transportName, *planName, *n, *seed, *eta)
+	switch *planName {
+	case "crash":
+		err = s.runCrash()
+	case "partition":
+		err = s.runPartition(false)
+	case "chaos":
+		err = s.runChaos(*gst)
+	case "full":
+		err = s.runPartition(true)
+	}
+	if err != nil {
+		return err
+	}
+	if err := s.checkSafety(); err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Printf("traffic:   sent=%d delivered=%d dropped=%d\n", st.TotalSent(), st.Delivered(), st.Dropped())
+	fmt.Println("verdict:   PASS — single leader converged, consensus safety holds")
+	return nil
+}
+
+// soak holds the replicas and fault handles for one run.
+type soak struct {
+	eta      time.Duration
+	bound    time.Duration
+	commands int
+	inj      *faultline.Injector
+	c        cluster
+	dets     []*core.Detector
+	logs     []*rsm.Node
+}
+
+// buildReplicas composes one rebuff-hardened detector plus a replicated
+// log per process. Rebuff matters here: chaos plans lose accusations,
+// and the base algorithm (built for reliable links) can deadlock after a
+// heal with every process electing itself.
+func (s *soak) buildReplicas(n int) []node.Automaton {
+	autos := make([]node.Automaton, n)
+	s.dets = make([]*core.Detector, n)
+	s.logs = make([]*rsm.Node, n)
+	for i := 0; i < n; i++ {
+		s.dets[i] = core.New(core.WithEta(s.eta), core.WithRebuff())
+		s.logs[i] = rsm.New(s.dets[i], rsm.Config{DriveInterval: 2 * s.eta})
+		autos[i] = node.Compose(s.dets[i], s.logs[i])
+	}
+	return autos
+}
+
+// agreement reports the common leader among processes not in skip.
+func (s *soak) agreement(skip map[int]bool) (node.ID, bool) {
+	leader := node.None
+	for i, d := range s.dets {
+		if skip[i] {
+			continue
+		}
+		l := d.History().Current()
+		if leader == node.None {
+			leader = l
+		} else if l != leader {
+			return node.None, false
+		}
+	}
+	return leader, leader != node.None
+}
+
+// waitFor polls cond until it holds or the phase bound expires.
+func (s *soak) waitFor(cond func() bool, what string) error {
+	deadline := time.Now().Add(s.bound)
+	for time.Now().Before(deadline) {
+		if cond() {
+			fmt.Printf("phase:     %s ok\n", what)
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("timed out after %v waiting for %s", s.bound, what)
+}
+
+// pump keeps injecting client requests at the current leader until every
+// replica in correct has decided target instances.
+func (s *soak) pump(correct []int, prefix string, target int) error {
+	i := 0
+	return s.waitFor(func() bool {
+		if l, ok := s.agreement(skipAllBut(len(s.dets), correct)); ok {
+			from := node.ID(correct[0])
+			if from == l {
+				from = node.ID(correct[1])
+			}
+			s.c.Inject(from, l, rsm.RequestMsg{V: consensus.Value(fmt.Sprintf("%s-%d", prefix, i))})
+			i++
+		}
+		for _, p := range correct {
+			if s.logs[p].Recorder().Count() < target {
+				return false
+			}
+		}
+		return true
+	}, prefix+" consensus progress")
+}
+
+func skipAllBut(n int, keep []int) map[int]bool {
+	skip := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		skip[i] = true
+	}
+	for _, p := range keep {
+		skip[p] = false
+	}
+	return skip
+}
+
+func ints(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// runCrash commits a batch, crashes the leader, and requires re-election
+// plus renewed consensus progress among the survivors.
+func (s *soak) runCrash() error {
+	n := len(s.dets)
+	if err := s.waitFor(func() bool { _, ok := s.agreement(nil); return ok }, "initial agreement"); err != nil {
+		return err
+	}
+	if err := s.pump(ints(0, n), "pre", s.commands); err != nil {
+		return err
+	}
+	leader, _ := s.agreement(nil)
+	s.c.Crash(leader)
+	fmt.Printf("fault:     crashed leader p%v\n", leader)
+	skip := map[int]bool{int(leader): true}
+	survivors := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if node.ID(i) != leader {
+			survivors = append(survivors, i)
+		}
+	}
+	if err := s.waitFor(func() bool {
+		l, ok := s.agreement(skip)
+		return ok && l != leader
+	}, "re-election after crash"); err != nil {
+		return err
+	}
+	return s.pump(survivors, "post", 2*s.commands)
+}
+
+// runPartition runs the full acceptance script: optional leader crash,
+// then a minority cut, majority progress, heal, and convergence.
+func (s *soak) runPartition(crashFirst bool) error {
+	n := len(s.dets)
+	if err := s.waitFor(func() bool { _, ok := s.agreement(nil); return ok }, "initial agreement"); err != nil {
+		return err
+	}
+	if err := s.pump(ints(0, n), "pre", s.commands); err != nil {
+		return err
+	}
+	skip := map[int]bool{}
+	correct := ints(0, n)
+	if crashFirst {
+		s.c.Crash(0)
+		fmt.Println("fault:     crashed p0")
+		skip[0] = true
+		correct = ints(1, n)
+		if err := s.waitFor(func() bool {
+			l, ok := s.agreement(skip)
+			return ok && l != 0
+		}, "re-election after crash"); err != nil {
+			return err
+		}
+	}
+	// Cut the highest id away from the rest; the majority side keeps a
+	// quorum and must keep deciding.
+	minority := node.ID(n - 1)
+	majority := correct[:len(correct)-1]
+	s.inj.Cut([]node.ID{minority}, idsOf(majority))
+	fmt.Printf("fault:     cut p%v from %v\n", minority, majority)
+	if err := s.waitFor(func() bool {
+		l, ok := s.agreement(skipAllBut(n, majority))
+		return ok && !skip[int(l)] && l != minority
+	}, "majority agreement during partition"); err != nil {
+		return err
+	}
+	if err := s.pump(majority, "cut", s.commands+1); err != nil {
+		return err
+	}
+	s.inj.Heal()
+	fmt.Println("fault:     healed all partitions")
+	if err := s.waitFor(func() bool {
+		l, ok := s.agreement(skip)
+		return ok && !skip[int(l)]
+	}, "convergence after heal"); err != nil {
+		return err
+	}
+	return s.pump(correct, "post", s.commands+2)
+}
+
+// runChaos rides out pre-GST link chaos and requires stabilization — a
+// single common leader — once the wall-clock GST has passed.
+func (s *soak) runChaos(gst time.Duration) error {
+	start := time.Now()
+	time.Sleep(gst / 2)
+	if s.c.Stats().Dropped() == 0 {
+		return fmt.Errorf("pre-GST chaos injected no drops")
+	}
+	fmt.Printf("fault:     pre-GST chaos dropped %d messages\n", s.c.Stats().Dropped())
+	if err := s.waitFor(func() bool {
+		_, ok := s.agreement(nil)
+		return ok && time.Since(start) > gst
+	}, "post-GST stabilization"); err != nil {
+		return err
+	}
+	return s.pump(ints(0, len(s.dets)), "post-gst", s.commands)
+}
+
+// checkSafety verifies no consensus instance decided two values anywhere
+// — crashed and once-partitioned replicas included.
+func (s *soak) checkSafety() error {
+	recs := make([]*consensus.Recorder, len(s.logs))
+	for i, l := range s.logs {
+		recs[i] = l.Recorder()
+	}
+	rep := consensus.CheckSafety(consensus.SafetyInput{Recorders: recs})
+	if !rep.Agreement {
+		return fmt.Errorf("consensus disagreement: %v", rep.Violations)
+	}
+	return nil
+}
+
+func idsOf(ps []int) []node.ID {
+	out := make([]node.ID, len(ps))
+	for i, p := range ps {
+		out[i] = node.ID(p)
+	}
+	return out
+}

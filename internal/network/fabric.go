@@ -228,7 +228,7 @@ func (f *Fabric) SendKind(from, to int, kind obs.Kind, payload any) {
 	now := f.kernel.Now()
 	idx := f.index(from, to)
 	f.sink.OnSend(now, from, to, kind)
-	delay, ok := f.profiles[idx].transmit(now >= f.gst, f.kernel.Rand())
+	delay, ok := f.profiles[idx].Transmit(now >= f.gst, f.kernel.Rand())
 	if !ok || f.cut[idx] {
 		f.sink.OnDrop(now, from, to, kind)
 		return

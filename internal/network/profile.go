@@ -136,9 +136,11 @@ func Lossy(minDelay, maxDelay time.Duration, drop float64) Profile {
 // Down returns a link that never delivers.
 func Down() Profile { return Profile{Kind: LinkDown} }
 
-// transmit decides the fate of a message sent now: lost, or delivered
+// Transmit decides the fate of a message sent now: lost, or delivered
 // after the returned delay. afterGST tells whether now >= the fabric GST.
-func (p Profile) transmit(afterGST bool, rng *rand.Rand) (time.Duration, bool) {
+// It is exported so the live fault injector (internal/faultline) applies
+// the exact same link semantics as the simulator's Fabric.
+func (p Profile) Transmit(afterGST bool, rng *rand.Rand) (time.Duration, bool) {
 	switch p.Kind {
 	case LinkTimely:
 		return sampleDelay(rng, p.MinDelay, p.Delta), true

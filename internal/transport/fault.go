@@ -1,0 +1,25 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/faultline"
+	"repro/internal/node"
+)
+
+// scheduleCrashes arms one timer per entry in the injector's crash plan,
+// calling crash from the timer goroutine (crash-stop is an atomic flag
+// flip, safe from anywhere). The returned timers let Stop cancel pending
+// crashes.
+func scheduleCrashes(fault *faultline.Injector, crash func(node.ID)) []*time.Timer {
+	if fault == nil {
+		return nil
+	}
+	plan := fault.Crashes()
+	timers := make([]*time.Timer, 0, len(plan))
+	for _, cr := range plan {
+		id := cr.ID
+		timers = append(timers, time.AfterFunc(cr.After, func() { crash(id) }))
+	}
+	return timers
+}

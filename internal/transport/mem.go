@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultline"
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/obs"
@@ -36,6 +37,23 @@ type Config struct {
 	// RecordWindow bounds the per-sender send log retained for queries
 	// (0 = metrics.DefaultWindow). Counters are never windowed.
 	RecordWindow int
+	// Fault optionally subjects every link to a faultline.Injector: each
+	// send consults the injector for a drop/delay decision, and the
+	// injector's crash plan is armed at Start. Injected drops are
+	// reported through the cluster's obs.Sink exactly like organic loss.
+	// The injector must be built for the same N and must not be shared
+	// between clusters (sharing desynchronizes its decision streams).
+	Fault *faultline.Injector
+	// WriteTimeout bounds each socket write — a TCP frame or a UDP
+	// datagram — so a peer that stops reading can never wedge a sender
+	// (default 1s).
+	WriteTimeout time.Duration
+	// DialTimeout bounds each TCP dial attempt (default 1s).
+	DialTimeout time.Duration
+	// SendQueue bounds each TCP per-peer outbound queue; when a link's
+	// queue is full the message is dropped, never blocking the node loop
+	// (default 128).
+	SendQueue int
 }
 
 func (c *Config) fill() error {
@@ -54,6 +72,18 @@ func (c *Config) fill() error {
 	if c.Codec == nil {
 		c.Codec = wire.NewCodec()
 	}
+	if c.Fault != nil && c.Fault.N() != c.N {
+		return fmt.Errorf("transport: fault injector built for n=%d, cluster has N=%d", c.Fault.N(), c.N)
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.SendQueue <= 0 {
+		c.SendQueue = 128
+	}
 	return nil
 }
 
@@ -67,8 +97,9 @@ type Cluster struct {
 	sink     obs.Sink
 	start    time.Time
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu       sync.Mutex
+	rng      *rand.Rand
+	crashers []*time.Timer
 
 	wg      sync.WaitGroup
 	started bool
@@ -106,7 +137,7 @@ func NewCluster(cfg Config, automatons []node.Automaton) (*Cluster, error) {
 // Stats returns the cluster's message accounting.
 func (c *Cluster) Stats() *metrics.MessageStats { return c.stats }
 
-// Start boots every process.
+// Start boots every process and arms the fault plan's scheduled crashes.
 func (c *Cluster) Start() {
 	if c.started {
 		return
@@ -116,10 +147,19 @@ func (c *Cluster) Start() {
 	for _, s := range c.stations {
 		go s.run(&c.wg)
 	}
+	c.mu.Lock()
+	c.crashers = scheduleCrashes(c.cfg.Fault, c.Crash)
+	c.mu.Unlock()
 }
 
 // Crash makes process id inert (crash-stop).
 func (c *Cluster) Crash(id node.ID) { c.stations[id].crash() }
+
+// Inject hands m to the cluster's send path as if process from had sent
+// it to process to — the entry point for external clients (tests, the
+// chaossoak runner) to drive requests into the cluster. Safe to call from
+// any goroutine.
+func (c *Cluster) Inject(from, to node.ID, m node.Message) { (*memNet)(c).send(from, to, m) }
 
 // Stop shuts the cluster down and waits for every node loop to exit.
 func (c *Cluster) Stop() {
@@ -127,6 +167,11 @@ func (c *Cluster) Stop() {
 		return
 	}
 	c.stopped = true
+	c.mu.Lock()
+	for _, t := range c.crashers {
+		t.Stop()
+	}
+	c.mu.Unlock()
 	for _, s := range c.stations {
 		s.mbox.close()
 	}
@@ -158,6 +203,14 @@ func (m *memNet) send(from, to node.ID, msg node.Message) {
 		delay += time.Duration(c.rng.Int63n(int64(span) + 1))
 	}
 	c.mu.Unlock()
+	// Consult the injector even when the cluster's own loss already chose
+	// to drop, so the injector's per-link decision stream stays indexed
+	// purely by send count.
+	if c.cfg.Fault != nil {
+		extra, ok := c.cfg.Fault.Transmit(from, to, time.Since(c.start))
+		drop = drop || !ok
+		delay += extra
+	}
 	if drop {
 		c.sink.OnDrop(now, int(from), int(to), k)
 		encBufs.Put(bp)

@@ -2,13 +2,14 @@ package transport
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/faultline"
 	"repro/internal/metrics"
 	nodepkg "repro/internal/node"
 	"repro/internal/obs"
@@ -18,11 +19,22 @@ import (
 // huge allocation.
 const maxFrame = 1 << 20
 
+// Reconnect backoff bounds for the per-peer senders: capped exponential
+// with jitter, so a flapping peer neither gets hammered nor starves.
+const (
+	dialBackoffBase = 10 * time.Millisecond
+	dialBackoffCap  = 500 * time.Millisecond
+)
+
 // TCPCluster runs n automatons as TCP endpoints on the loopback interface.
-// Each process listens on a kernel-assigned port; senders dial lazily and
-// keep the connection open, writing length-prefixed wire envelopes. TCP
-// gives reliable, ordered per-connection delivery — the "reliable link"
-// regime of the paper, live.
+// Each process listens on a kernel-assigned port. Every directed link is
+// owned by a dedicated sender goroutine with a bounded outbound queue:
+// the node loop hands a frame over with a non-blocking enqueue, and the
+// sender dials (with capped exponential backoff plus jitter), applies
+// write deadlines, and reconnects on failure. A dead or stalled peer
+// therefore costs at most a queue-full drop — it can never block another
+// link or a station's node loop. TCP gives reliable, ordered
+// per-connection delivery — the "reliable link" regime of the paper, live.
 type TCPCluster struct {
 	cfg       Config
 	stations  []*station
@@ -31,18 +43,16 @@ type TCPCluster struct {
 	stats     *metrics.MessageStats
 	sink      obs.Sink
 	start     time.Time
+	senders   []*tcpSender // n*n row-major, nil on the diagonal
+	stopCh    chan struct{}
 
 	mu       sync.Mutex
-	conns    map[connKey]net.Conn // sender-side cache
-	accepted []net.Conn           // receiver-side, for shutdown
+	accepted []net.Conn   // receiver-side, for shutdown
+	crashers []*time.Timer // armed fault-plan crashes
 
 	wg      sync.WaitGroup
 	started bool
 	stopped bool
-}
-
-type connKey struct {
-	from, to nodepkg.ID
 }
 
 // NewTCPCluster builds a TCP cluster on 127.0.0.1; automatons[i] runs as
@@ -60,7 +70,8 @@ func NewTCPCluster(cfg Config, automatons []nodepkg.Automaton) (*TCPCluster, err
 		start:     time.Now(),
 		listeners: make([]net.Listener, cfg.N),
 		addrs:     make([]net.Addr, cfg.N),
-		conns:     make(map[connKey]net.Conn),
+		senders:   make([]*tcpSender, cfg.N*cfg.N),
+		stopCh:    make(chan struct{}),
 	}
 	c.sink = obs.Tee(c.stats, cfg.Observer)
 	for i := 0; i < cfg.N; i++ {
@@ -71,6 +82,20 @@ func NewTCPCluster(cfg Config, automatons []nodepkg.Automaton) (*TCPCluster, err
 		}
 		c.listeners[i] = ln
 		c.addrs[i] = ln.Addr()
+	}
+	for from := 0; from < cfg.N; from++ {
+		for to := 0; to < cfg.N; to++ {
+			if from == to {
+				continue
+			}
+			c.senders[from*cfg.N+to] = &tcpSender{
+				c:     c,
+				from:  nodepkg.ID(from),
+				to:    nodepkg.ID(to),
+				queue: make(chan tcpFrame, cfg.SendQueue),
+				rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(from*cfg.N+to+1))),
+			}
+		}
 	}
 	quiet := func(string, ...any) {}
 	c.stations = make([]*station, cfg.N)
@@ -91,9 +116,6 @@ func (c *TCPCluster) closeAll() {
 		}
 	}
 	c.mu.Lock()
-	for _, conn := range c.conns {
-		_ = conn.Close()
-	}
 	for _, conn := range c.accepted {
 		_ = conn.Close()
 	}
@@ -106,7 +128,12 @@ func (c *TCPCluster) Stats() *metrics.MessageStats { return c.stats }
 // Addr returns the TCP address of process id.
 func (c *TCPCluster) Addr(id nodepkg.ID) net.Addr { return c.addrs[id] }
 
-// Start boots every process: one accept loop and one node loop each.
+// Fault returns the cluster's fault injector (nil when none configured).
+func (c *TCPCluster) Fault() *faultline.Injector { return c.cfg.Fault }
+
+// Start boots every process: one accept loop, one node loop, and one
+// sender goroutine per outgoing link each, and arms the fault plan's
+// scheduled crashes.
 func (c *TCPCluster) Start() {
 	if c.started {
 		return
@@ -117,6 +144,16 @@ func (c *TCPCluster) Start() {
 		go s.run(&c.wg)
 		go c.acceptLoop(i)
 	}
+	for _, s := range c.senders {
+		if s == nil {
+			continue
+		}
+		c.wg.Add(1)
+		go s.run()
+	}
+	c.mu.Lock()
+	c.crashers = scheduleCrashes(c.cfg.Fault, c.Crash)
+	c.mu.Unlock()
 }
 
 // acceptLoop accepts inbound connections for process i and spawns a frame
@@ -141,7 +178,11 @@ func (c *TCPCluster) acceptLoop(i int) {
 	}
 }
 
-// readLoop decodes length-prefixed envelopes from one connection.
+// readLoop decodes length-prefixed envelopes from one connection. Any
+// sign of a corrupt stream — an oversized length prefix or an envelope
+// that fails to decode — closes the connection: framing cannot be trusted
+// past the first bad byte, and the peer's sender re-establishes the link.
+// The station itself is never affected.
 func (c *TCPCluster) readLoop(i int, conn net.Conn) {
 	defer c.wg.Done()
 	var header [4]byte
@@ -159,11 +200,9 @@ func (c *TCPCluster) readLoop(i int, conn net.Conn) {
 			return
 		}
 		env, err := c.cfg.Codec.UnmarshalEnvelope(body)
-		if err != nil {
-			continue // a corrupt frame must not kill the endpoint
-		}
-		if env.From < 0 || int(env.From) >= c.cfg.N {
-			continue
+		if err != nil || env.From < 0 || int(env.From) >= c.cfg.N {
+			_ = conn.Close()
+			return
 		}
 		c.sink.OnDeliver(c.stations[i].Now(), int(env.From), i, nodepkg.MessageKind(env.Msg))
 		c.stations[i].deliver(env.From, env.Msg)
@@ -173,14 +212,27 @@ func (c *TCPCluster) readLoop(i int, conn net.Conn) {
 // Crash makes process id inert (crash-stop).
 func (c *TCPCluster) Crash(id nodepkg.ID) { c.stations[id].crash() }
 
+// Inject hands m to the cluster's send path as if process from had sent
+// it to process to, over the from→to link's sender — the entry point for
+// external clients (tests, the chaossoak runner). Safe to call from any
+// goroutine.
+func (c *TCPCluster) Inject(from, to nodepkg.ID, m nodepkg.Message) {
+	(&tcpNet{cluster: c}).send(from, to, m)
+}
+
 // Stop closes all sockets and waits for every goroutine.
 func (c *TCPCluster) Stop() {
+	c.mu.Lock()
 	if c.stopped || !c.started {
+		c.mu.Unlock()
 		return
 	}
-	c.mu.Lock()
 	c.stopped = true
+	for _, t := range c.crashers {
+		t.Stop()
+	}
 	c.mu.Unlock()
+	close(c.stopCh)
 	c.closeAll()
 	for _, s := range c.stations {
 		s.mbox.close()
@@ -188,7 +240,7 @@ func (c *TCPCluster) Stop() {
 	c.wg.Wait()
 }
 
-// tcpNet implements sender over cached per-destination connections.
+// tcpNet hands frames to the per-link sender goroutines.
 type tcpNet struct {
 	cluster *TCPCluster
 }
@@ -196,60 +248,157 @@ type tcpNet struct {
 func (t *tcpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	c := t.cluster
 	k := nodepkg.MessageKind(msg)
-	c.sink.OnSend(c.stations[from].Now(), int(from), int(to), k)
+	now := c.stations[from].Now()
+	c.sink.OnSend(now, int(from), int(to), k)
+	select {
+	case <-c.stopCh:
+		c.sink.OnDrop(now, int(from), int(to), k)
+		return
+	default:
+	}
+	var delay time.Duration
+	if c.cfg.Fault != nil {
+		d, ok := c.cfg.Fault.Transmit(from, to, time.Since(c.start))
+		if !ok {
+			c.sink.OnDrop(now, int(from), int(to), k)
+			return
+		}
+		delay = d
+	}
 	// Encode the length-prefixed frame in one pooled buffer: reserve the
 	// prefix, append the envelope, then patch the length in.
 	bp := encBufs.Get().(*[]byte)
-	defer encBufs.Put(bp)
 	frame := append((*bp)[:0], 0, 0, 0, 0)
 	frame, err := c.cfg.Codec.MarshalEnvelopeAppend(frame, from, msg)
 	if err != nil {
+		encBufs.Put(bp)
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
 	*bp = frame
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 
-	conn, err := c.dial(from, to)
-	if err != nil {
-		c.sink.OnDrop(c.stations[from].Now(), int(from), int(to), k)
+	s := c.senders[int(from)*c.cfg.N+int(to)]
+	select {
+	case s.queue <- tcpFrame{buf: bp, kind: k, delay: delay}:
+	default:
+		// Queue full: the peer is dead or stalled. The message is lost —
+		// never block the node loop waiting for a sick link.
+		c.sink.OnDrop(now, int(from), int(to), k)
+		encBufs.Put(bp)
+	}
+}
+
+// tcpFrame is one encoded, length-prefixed envelope queued on a link.
+type tcpFrame struct {
+	buf   *[]byte
+	kind  obs.Kind
+	delay time.Duration // injected link delay, applied before the write
+}
+
+// tcpSender owns one directed link: its queue, its connection, and its
+// reconnect state. All dialing and writing happens here, so a slow dial
+// or a stalled write can only ever delay this link's own frames.
+type tcpSender struct {
+	c        *TCPCluster
+	from, to nodepkg.ID
+	queue    chan tcpFrame
+	rng      *rand.Rand
+
+	conn     net.Conn
+	backoff  time.Duration
+	nextDial time.Time
+}
+
+func (s *tcpSender) run() {
+	defer s.c.wg.Done()
+	defer s.closeConn()
+	for {
+		select {
+		case <-s.c.stopCh:
+			return
+		default:
+		}
+		select {
+		case <-s.c.stopCh:
+			return
+		case f := <-s.queue:
+			s.transmit(f)
+		}
+	}
+}
+
+// transmit applies the frame's injected delay, then writes it, dialing if
+// needed. Failures account a drop and schedule a reconnect.
+func (s *tcpSender) transmit(f tcpFrame) {
+	if f.delay > 0 {
+		t := time.NewTimer(f.delay)
+		select {
+		case <-t.C:
+		case <-s.c.stopCh:
+			t.Stop()
+			s.drop(f)
+			return
+		}
+	}
+	if s.conn == nil && !s.redial() {
+		s.drop(f)
 		return
 	}
-	if _, err := conn.Write(frame); err != nil {
-		// Connection broke: drop it so the next send re-dials. TCP's
+	_ = s.conn.SetWriteDeadline(time.Now().Add(s.c.cfg.WriteTimeout))
+	if _, err := s.conn.Write(*f.buf); err != nil {
+		// Broken or stalled connection: drop the frame, tear the
+		// connection down, and back off before re-dialing. TCP's
 		// reliability is per-connection; across reconnects the link is
 		// "reliable unless the process is down", which matches the
 		// crash-stop model.
-		c.dropConn(from, to, conn)
-		c.sink.OnDrop(c.stations[from].Now(), int(from), int(to), k)
+		s.closeConn()
+		s.scheduleRedial()
+		s.drop(f)
+		return
 	}
+	s.backoff = 0
+	encBufs.Put(f.buf)
 }
 
-// dial returns the cached connection from→to, establishing it if needed.
-func (c *TCPCluster) dial(from, to nodepkg.ID) (net.Conn, error) {
-	key := connKey{from: from, to: to}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.stopped {
-		return nil, errors.New("transport: cluster stopped")
+// redial re-establishes the connection, honouring the backoff window.
+// Frames arriving while the link is down are dropped immediately — like
+// packets sent into a dead link — so send latency stays bounded.
+func (s *tcpSender) redial() bool {
+	if !s.nextDial.IsZero() && time.Now().Before(s.nextDial) {
+		return false
 	}
-	if conn, ok := c.conns[key]; ok {
-		return conn, nil
-	}
-	conn, err := net.DialTimeout("tcp", c.addrs[to].String(), time.Second)
+	conn, err := net.DialTimeout("tcp", s.c.addrs[s.to].String(), s.c.cfg.DialTimeout)
 	if err != nil {
-		return nil, err
+		s.scheduleRedial()
+		return false
 	}
-	c.conns[key] = conn
-	return conn, nil
+	s.conn = conn
+	s.backoff = 0
+	s.nextDial = time.Time{}
+	return true
 }
 
-// dropConn evicts a broken cached connection.
-func (c *TCPCluster) dropConn(from, to nodepkg.ID, conn net.Conn) {
-	_ = conn.Close()
-	key := connKey{from: from, to: to}
-	c.mu.Lock()
-	if c.conns[key] == conn {
-		delete(c.conns, key)
+// scheduleRedial advances the capped exponential backoff and jitters the
+// next dial time over [backoff/2, backoff].
+func (s *tcpSender) scheduleRedial() {
+	if s.backoff == 0 {
+		s.backoff = dialBackoffBase
+	} else if s.backoff *= 2; s.backoff > dialBackoffCap {
+		s.backoff = dialBackoffCap
 	}
-	c.mu.Unlock()
+	wait := s.backoff/2 + time.Duration(s.rng.Int63n(int64(s.backoff/2)+1))
+	s.nextDial = time.Now().Add(wait)
+}
+
+func (s *tcpSender) closeConn() {
+	if s.conn != nil {
+		_ = s.conn.Close()
+		s.conn = nil
+	}
+}
+
+func (s *tcpSender) drop(f tcpFrame) {
+	c := s.c
+	c.sink.OnDrop(c.stations[s.from].Now(), int(s.from), int(s.to), f.kind)
+	encBufs.Put(f.buf)
 }

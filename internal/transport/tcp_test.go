@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"encoding/binary"
+	"net"
 	"testing"
 	"time"
 
@@ -56,13 +58,7 @@ func TestTCPClusterCommunicationEfficiency(t *testing.T) {
 		l, ok := agreement(dets, nil)
 		return ok && l == 0
 	}, "agreement")
-	time.Sleep(300 * time.Millisecond)
-	mark := c.stations[0].Now()
-	time.Sleep(300 * time.Millisecond)
-	senders := c.Stats().SendersSince(mark)
-	if len(senders) != 1 || senders[0] != 0 {
-		t.Fatalf("steady-state senders = %v, want [0]", senders)
-	}
+	expectSteadySender(t, c.stations[0], c.Stats(), 0)
 }
 
 func TestTCPStopIsIdempotentAndClean(t *testing.T) {
@@ -75,6 +71,125 @@ func TestTCPStopIsIdempotentAndClean(t *testing.T) {
 	time.Sleep(50 * time.Millisecond)
 	c.Stop()
 	c.Stop()
+}
+
+// hostileConn dials process id's listener and returns the raw connection,
+// for injecting malformed frames.
+func hostileConn(t *testing.T, c *TCPCluster, id node.ID) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", c.Addr(id).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// expectClosed asserts the peer closes conn within the deadline (reads
+// drain anything pending, then hit EOF/reset).
+func expectClosed(t *testing.T, conn net.Conn, what string) {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func TestTCPOversizedFrameDropsConnectionNotStation(t *testing.T) {
+	autos, dets := liveDetectors(3)
+	c, err := NewTCPCluster(Config{N: 3, Seed: 16, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "agreement before attack")
+
+	conn := hostileConn(t, c, 0)
+	defer conn.Close()
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], maxFrame+1)
+	if _, err := conn.Write(header[:]); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn, "oversized frame")
+
+	// The station survived: the cluster keeps its leader and traffic.
+	sent := c.Stats().TotalSent()
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0 && c.Stats().TotalSent() > sent
+	}, "agreement after oversized frame")
+}
+
+func TestTCPCorruptEnvelopeDropsConnectionNotStation(t *testing.T) {
+	autos, dets := liveDetectors(3)
+	c, err := NewTCPCluster(Config{N: 3, Seed: 17, Quiet: true}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "agreement before attack")
+
+	conn := hostileConn(t, c, 0)
+	defer conn.Close()
+	// A well-framed but undecodable envelope: framing can no longer be
+	// trusted, so the receiver must cut the connection.
+	garbage := []byte{0xff, 0xfe, 0xfd, 0xfc, 0xfb}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(garbage)))
+	if _, err := conn.Write(append(header[:], garbage...)); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn, "corrupt envelope")
+
+	sent := c.Stats().TotalSent()
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0 && c.Stats().TotalSent() > sent
+	}, "agreement after corrupt envelope")
+}
+
+func TestTCPReconnectRecoversDelivery(t *testing.T) {
+	autos, dets := liveDetectors(3)
+	c, err := NewTCPCluster(Config{N: 3, Seed: 18, Quiet: true, WriteTimeout: 200 * time.Millisecond}, autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitFor(t, 10*time.Second, func() bool {
+		l, ok := agreement(dets, nil)
+		return ok && l == 0
+	}, "agreement before reset")
+
+	// Sever every established connection server-side. The per-peer
+	// senders must notice the broken links, back off, re-dial, and
+	// restore delivery without any station dying.
+	c.mu.Lock()
+	for _, conn := range c.accepted {
+		_ = conn.Close()
+	}
+	c.accepted = c.accepted[:0]
+	c.mu.Unlock()
+
+	// The lost heartbeats may cost p0 an accusation, legitimately moving
+	// leadership — what must hold is that delivery resumes and every
+	// process converges on one leader again.
+	delivered := c.Stats().Delivered()
+	waitFor(t, 15*time.Second, func() bool {
+		_, ok := agreement(dets, nil)
+		return ok && c.Stats().Delivered() > delivered+20
+	}, "delivery recovery after connection reset")
 }
 
 func TestTCPSendAfterStopDropsQuietly(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/consensus/rsm"
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/metrics"
 	"repro/internal/node"
 )
 
@@ -98,13 +99,27 @@ func TestMemClusterCommunicationEfficiency(t *testing.T) {
 		l, ok := agreement(dets, nil)
 		return ok && l == 0
 	}, "agreement")
-	// Settle, then measure who talks.
-	time.Sleep(300 * time.Millisecond)
-	mark := c.stations[0].Now()
-	time.Sleep(300 * time.Millisecond)
-	senders := c.Stats().SendersSince(mark)
-	if len(senders) != 1 || senders[0] != 0 {
-		t.Fatalf("steady-state senders = %v, want [0]", senders)
+	expectSteadySender(t, c.stations[0], c.Stats(), 0)
+}
+
+// expectSteadySender polls 300ms windows until one passes in which only
+// leader sent — the steady-state communication-efficiency property.
+// Polling (rather than one fixed settle-then-measure window) keeps the
+// check robust on a loaded machine, where a late heartbeat can trigger a
+// stray accusation well after initial agreement.
+func expectSteadySender(t *testing.T, clock *station, stats *metrics.MessageStats, leader int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mark := clock.Now()
+		time.Sleep(300 * time.Millisecond)
+		senders := stats.SendersSince(mark)
+		if len(senders) == 1 && senders[0] == leader {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("steady-state senders = %v, want [%d]", senders, leader)
+		}
 	}
 }
 

@@ -26,6 +26,9 @@ type UDPCluster struct {
 	sink     obs.Sink
 	start    time.Time
 
+	mu       sync.Mutex
+	crashers []*time.Timer
+
 	wg      sync.WaitGroup
 	started bool
 	stopped bool
@@ -88,7 +91,8 @@ func (c *UDPCluster) Stats() *metrics.MessageStats { return c.stats }
 // Addr returns the UDP address of process id.
 func (c *UDPCluster) Addr(id nodepkg.ID) *net.UDPAddr { return c.addrs[id] }
 
-// Start boots every process: one reader goroutine and one node loop each.
+// Start boots every process — one reader goroutine and one node loop each
+// — and arms the fault plan's scheduled crashes.
 func (c *UDPCluster) Start() {
 	if c.started {
 		return
@@ -99,9 +103,15 @@ func (c *UDPCluster) Start() {
 		go s.run(&c.wg)
 		go c.readLoop(i)
 	}
+	c.mu.Lock()
+	c.crashers = scheduleCrashes(c.cfg.Fault, c.Crash)
+	c.mu.Unlock()
 }
 
-// readLoop decodes datagrams for process i into its mailbox.
+// readLoop decodes datagrams for process i into its mailbox. Only a
+// closed socket ends the loop: transient kernel errors (buffer pressure,
+// ICMP-induced errors) are logged and survived, so a live endpoint is
+// never silently killed.
 func (c *UDPCluster) readLoop(i int) {
 	defer c.wg.Done()
 	buf := make([]byte, 64*1024)
@@ -111,7 +121,8 @@ func (c *UDPCluster) readLoop(i int) {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
-			return
+			c.stations[i].logf("udp read: %v (continuing)", err)
+			continue
 		}
 		env, err := c.cfg.Codec.UnmarshalEnvelope(buf[:n])
 		if err != nil {
@@ -129,12 +140,25 @@ func (c *UDPCluster) readLoop(i int) {
 // late datagrams do not pile up in kernel buffers.
 func (c *UDPCluster) Crash(id nodepkg.ID) { c.stations[id].crash() }
 
+// Inject hands m to the cluster's send path as if process from had sent
+// it to process to, through a real datagram — the entry point for
+// external clients (tests, the chaossoak runner). Safe to call from any
+// goroutine.
+func (c *UDPCluster) Inject(from, to nodepkg.ID, m nodepkg.Message) {
+	(&udpNet{cluster: c}).send(from, to, m)
+}
+
 // Stop closes every socket and waits for all goroutines.
 func (c *UDPCluster) Stop() {
 	if c.stopped || !c.started {
 		return
 	}
 	c.stopped = true
+	c.mu.Lock()
+	for _, t := range c.crashers {
+		t.Stop()
+	}
+	c.mu.Unlock()
 	c.closeConns()
 	for _, s := range c.stations {
 		s.mbox.close()
@@ -150,16 +174,43 @@ type udpNet struct {
 func (u *udpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	c := u.cluster
 	k := nodepkg.MessageKind(msg)
-	c.sink.OnSend(c.stations[from].Now(), int(from), int(to), k)
+	now := c.stations[from].Now()
+	c.sink.OnSend(now, int(from), int(to), k)
+	var delay time.Duration
+	if c.cfg.Fault != nil {
+		d, ok := c.cfg.Fault.Transmit(from, to, time.Since(c.start))
+		if !ok {
+			c.sink.OnDrop(now, int(from), int(to), k)
+			return
+		}
+		delay = d
+	}
 	bp := encBufs.Get().(*[]byte)
 	data, err := c.cfg.Codec.MarshalEnvelopeAppend((*bp)[:0], from, msg)
 	if err != nil {
+		encBufs.Put(bp)
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
 	*bp = data
-	if _, err := c.conns[from].WriteToUDP(data, c.addrs[to]); err != nil {
-		// Socket closed during shutdown or a transient kernel error:
-		// UDP is lossy by contract, so account and move on.
+	if delay > 0 {
+		// Injected link delay: the datagram leaves later, from a timer
+		// goroutine (net.UDPConn is safe for concurrent writes). The
+		// pooled buffer is retained until the deferred write completes.
+		time.AfterFunc(delay, func() { c.writeDatagram(bp, from, to, k) })
+		return
+	}
+	c.writeDatagram(bp, from, to, k)
+}
+
+// writeDatagram writes one encoded envelope with a bounded deadline, so a
+// peer (or kernel) that stops accepting writes can never wedge the caller
+// — the station's node loop in the direct path.
+func (c *UDPCluster) writeDatagram(bp *[]byte, from, to nodepkg.ID, k obs.Kind) {
+	conn := c.conns[from]
+	_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	if _, err := conn.WriteToUDP(*bp, c.addrs[to]); err != nil {
+		// Socket closed during shutdown, a write timeout, or a transient
+		// kernel error: UDP is lossy by contract, so account and move on.
 		c.sink.OnDrop(c.stations[from].Now(), int(from), int(to), k)
 	}
 	encBufs.Put(bp)
