@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race soak bench bench-micro bench-json tables
+.PHONY: all build vet test test-race soak bench bench-micro bench-json bench-wire tables
 
 all: vet test
 
@@ -15,10 +15,13 @@ test:
 
 # Race-check the packages with real concurrency: the live transports, the
 # fault injector, the sharded observer sink they record into (plus the kind
-# interner), and the parallel sweep pool (its stress test hammers the
-# work-claiming counter). -short trims the chaos soaks' wall-clock GST.
+# interner), the parallel sweep pool (its stress test hammers the
+# work-claiming counter), the wire codec (which replays the committed
+# FuzzEnvelopeRoundTrip seed corpus in testdata/), and the wireload
+# throughput-harness smoke tests. -short trims the chaos soaks'
+# wall-clock GST.
 test-race:
-	$(GO) test -race -short ./internal/transport/... ./internal/faultline/... ./internal/metrics/... ./internal/obs/... ./internal/sweep/...
+	$(GO) test -race -short ./internal/transport/... ./internal/faultline/... ./internal/metrics/... ./internal/obs/... ./internal/sweep/... ./internal/wire/... ./cmd/wireload/
 
 # Full chaos soak under the race detector: live UDP and TCP clusters
 # through leader crash, asymmetric partition + heal, and pre-GST link
@@ -42,6 +45,14 @@ bench-micro:
 # stay at 0 allocs/op.
 bench-json:
 	$(GO) test -run '^$$' -bench 'KernelScheduleFire|KernelScheduleCancel|FabricSendSteadyState|SweepPool' -benchmem -json ./internal/sim ./internal/network ./internal/sweep > BENCH_sweep.json
+	$(GO) test -run '^$$' -bench 'Envelope|TCPSend|UDPReceiveSteadyState' -benchmem -benchtime 3s -json ./internal/wire ./internal/transport > BENCH_wire.json
+
+# Just the wire + live-transport benchmarks, human-readable. The batched
+# TCP sender must stay >= 3x the per-frame baseline's msgs/sec, and the
+# Envelope and UDPReceive benches must stay at 0 allocs/op. -benchtime 3s
+# steadies the socket-bound TCP numbers.
+bench-wire:
+	$(GO) test -run '^$$' -bench 'Envelope|TCPSend|UDPReceiveSteadyState' -benchmem -benchtime 3s ./internal/wire ./internal/transport
 
 # Regenerate EXPERIMENTS.md-style tables at full size.
 tables:

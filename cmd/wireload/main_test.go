@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// The smoke tests run a short burst on each transport and rely on run's
+// own sanity check (delivered > 0). They ride in `make test-race`.
+
+func TestRunMem(t *testing.T) {
+	if err := run([]string{"-transport", "mem", "-n", "3", "-rate", "500", "-dur", "300ms"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUDP(t *testing.T) {
+	if err := run([]string{"-transport", "udp", "-n", "3", "-rate", "500", "-dur", "300ms"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTCPBothVersions(t *testing.T) {
+	for _, v := range []string{"varint", "fixed"} {
+		if err := run([]string{"-transport", "tcp", "-n", "3", "-rate", "500", "-dur", "300ms", "-version", v}, os.Stdout); err != nil {
+			t.Fatalf("version %s: %v", v, err)
+		}
+	}
+}
+
+func TestRunTCPPerFrameBaseline(t *testing.T) {
+	if err := run([]string{"-transport", "tcp", "-n", "2", "-rate", "500", "-dur", "300ms", "-batch-frames", "1"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVectorPayload(t *testing.T) {
+	if err := run([]string{"-transport", "mem", "-n", "3", "-rate", "500", "-dur", "300ms", "-msg", "vector"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown transport": {"-transport", "smoke-signal"},
+		"unknown version":   {"-version", "v3"},
+		"unknown msg":       {"-msg", "jumbo"},
+		"n too small":       {"-n", "1"},
+		"zero rate":         {"-rate", "0"},
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Fatalf("%s: accepted %v", name, args)
+		}
+	}
+}

@@ -49,11 +49,13 @@ type shard struct {
 	sentBy    atomic.Uint64
 	delivered atomic.Uint64 // messages received by this process
 	dropped   atomic.Uint64 // messages lost on this process's out-links
+	bytesOut  atomic.Uint64 // wire bytes handed to this process's out-links
 
 	link          []atomic.Uint64 // out-link counts, indexed by destination
 	kindSent      [obs.MaxKinds]atomic.Uint64
 	kindDelivered [obs.MaxKinds]atomic.Uint64
 	kindDropped   [obs.MaxKinds]atomic.Uint64
+	kindBytes     [obs.MaxKinds]atomic.Uint64
 
 	// The send ring: oldest record at head, newest at (head+count-1) mod
 	// len(ring). ring grows by doubling until window, then wraps, evicting
@@ -201,6 +203,15 @@ func (s *MessageStats) OnDrop(t sim.Time, from, to int, kind obs.Kind) {
 	sh.kindDropped[kind].Add(1)
 }
 
+// OnWireBytes implements obs.ByteSink: the from→to link was handed n
+// encoded bytes for one message of the given kind. Only the serializing
+// transports report it; simulator runs carry no wire bytes.
+func (s *MessageStats) OnWireBytes(t sim.Time, from, to int, kind obs.Kind, n int) {
+	sh := s.shards[from]
+	sh.bytesOut.Add(uint64(n))
+	sh.kindBytes[kind].Add(uint64(n))
+}
+
 // RecordSend notes that from sent a message of the given kind to to at t.
 // It interns the kind name; hot paths should pre-intern and call OnSend.
 func (s *MessageStats) RecordSend(t sim.Time, from, to int, kind string) {
@@ -248,6 +259,29 @@ func (s *MessageStats) Dropped() uint64 {
 
 // SentBy returns how many messages process id has sent.
 func (s *MessageStats) SentBy(id int) uint64 { return s.shards[id].sentBy.Load() }
+
+// WireBytes returns the total encoded bytes handed to the links. Zero on
+// runs whose transport never serializes (the simulator).
+func (s *MessageStats) WireBytes() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.bytesOut.Load()
+	}
+	return total
+}
+
+// WireBytesBy returns the encoded bytes process id handed to its
+// out-links.
+func (s *MessageStats) WireBytesBy(id int) uint64 { return s.shards[id].bytesOut.Load() }
+
+// WireBytesByKind returns the encoded bytes sent for the given kind.
+func (s *MessageStats) WireBytesByKind(kind string) uint64 {
+	id, ok := obs.Lookup(kind)
+	if !ok {
+		return 0
+	}
+	return s.sumKind(func(sh *shard) *atomic.Uint64 { return &sh.kindBytes[id] })
+}
 
 // LinkCount returns how many messages were sent on the from→to link.
 func (s *MessageStats) LinkCount(from, to int) uint64 { return s.shards[from].link[to].Load() }

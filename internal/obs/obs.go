@@ -104,6 +104,27 @@ type Sink interface {
 	OnDrop(t sim.Time, from, to int, kind Kind)
 }
 
+// ByteSink is an optional extension of Sink for observers that account
+// bytes on the wire. Transports that serialize messages report each
+// frame's encoded size (as handed to the link, length prefixes included)
+// alongside the OnSend event. Implementations must be safe for concurrent
+// use, like Sink.
+type ByteSink interface {
+	// OnWireBytes reports that the from→to link was handed n encoded
+	// bytes for one message of the given kind at t.
+	OnWireBytes(t sim.Time, from, to int, kind Kind, n int)
+}
+
+// Bytes returns s's byte-accounting extension, or nil when s does not
+// implement it. Callers hold the result so the hot path pays one nil
+// check per message instead of a type assertion.
+func Bytes(s Sink) ByteSink {
+	if bs, ok := s.(ByteSink); ok {
+		return bs
+	}
+	return nil
+}
+
 // Nop is a Sink that discards everything.
 type Nop struct{}
 
@@ -134,6 +155,17 @@ func (m multi) OnDeliver(t sim.Time, from, to int, kind Kind) {
 func (m multi) OnDrop(t sim.Time, from, to int, kind Kind) {
 	for _, s := range m {
 		s.OnDrop(t, from, to, kind)
+	}
+}
+
+// OnWireBytes implements ByteSink, forwarding to every member that
+// accounts bytes. A multi always presents the extension; members that
+// lack it are skipped.
+func (m multi) OnWireBytes(t sim.Time, from, to int, kind Kind, n int) {
+	for _, s := range m {
+		if bs, ok := s.(ByteSink); ok {
+			bs.OnWireBytes(t, from, to, kind, n)
+		}
 	}
 }
 

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// countingAutomaton counts deliveries and nothing else — the receive side
+// of the throughput benchmarks.
+type countingAutomaton struct{ delivered atomic.Uint64 }
+
+func (a *countingAutomaton) Start(node.Env)                {}
+func (a *countingAutomaton) Tick(string)                   {}
+func (a *countingAutomaton) Deliver(node.ID, node.Message) { a.delivered.Add(1) }
+
+// benchTCPSend measures end-to-end TCP link throughput: inject heartbeats
+// on the 0→1 link as fast as the sender drains them and time until every
+// one is delivered. Injection runs ahead of the sender (bounded by half
+// the queue, so nothing ever hits the queue-full drop path), which is
+// exactly the regime coalescing exists for: the sender finds frames
+// already queued and flushes them with one vectored write. The reported
+// msgs/sec for batchFrames = 32 versus 1 is the batching win.
+func benchTCPSend(b *testing.B, batchFrames int) {
+	const queue = 1 << 14
+	recv := &countingAutomaton{}
+	autos := []node.Automaton{&countingAutomaton{}, recv}
+	c, err := NewTCPCluster(Config{
+		N: 2, Seed: 1, Quiet: true,
+		SendQueue:   queue,
+		BatchFrames: batchFrames,
+	}, autos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	// Warm the link so the dial is outside the timed region.
+	c.Inject(0, 1, core.LeaderMsg{Epoch: 0})
+	for recv.delivered.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A steady-state heartbeat: the epoch is small and stable, so boxing
+	// it into node.Message hits the runtime's static cache — the injection
+	// path stays allocation-free, as it is in a real cluster.
+	hb := core.LeaderMsg{Epoch: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for int64(i)+1-int64(recv.delivered.Load()) > queue/2 {
+			time.Sleep(20 * time.Microsecond)
+		}
+		c.Inject(0, 1, hb)
+	}
+	total := uint64(b.N) + 1
+	for recv.delivered.Load() < total {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	if dropped := c.Stats().Dropped(); dropped != 0 {
+		b.Fatalf("%d drops during benchmark — backpressure bound failed", dropped)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+}
+
+// BenchmarkTCPSendBatched is the coalescing sender at its default batch
+// cap: queued frames go out in one vectored write per flush.
+func BenchmarkTCPSendBatched(b *testing.B) { benchTCPSend(b, 0) }
+
+// BenchmarkTCPSendPerFrame pins the pre-batching baseline — BatchFrames=1
+// makes every frame its own write syscall, the behaviour this PR replaced.
+func BenchmarkTCPSendPerFrame(b *testing.B) { benchTCPSend(b, 1) }
+
+// BenchmarkUDPReceiveSteadyState times the full datagram receive path —
+// kernel read, envelope decode — over real loopback sockets. It must run
+// at 0 allocs/op: one reusable read buffer, an address returned by value,
+// and the pooled decoder (TestUDPSteadyStateReceiveAllocs pins the same
+// invariant as a test; this feeds BENCH_wire.json).
+func BenchmarkUDPReceiveSteadyState(b *testing.B) {
+	codec := wire.NewCodec()
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer send.Close()
+	dst := recv.LocalAddr().(*net.UDPAddr).AddrPort()
+	_ = recv.SetReadDeadline(time.Now().Add(10 * time.Minute))
+
+	frame, err := codec.MarshalEnvelope(1, core.LeaderMsg{Epoch: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64*1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := send.WriteToUDPAddrPort(frame, dst); err != nil {
+			b.Fatal(err)
+		}
+		n, _, err := recv.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env, err := codec.UnmarshalEnvelope(buf[:n])
+		if err != nil || env.From != 1 {
+			b.Fatal("bad datagram")
+		}
+	}
+}

@@ -26,9 +26,9 @@ func bigMsg(size int) node.Message {
 // by hand and only care about transport mechanics, not protocol traffic.
 type idleAutomaton struct{}
 
-func (idleAutomaton) Start(node.Env)              {}
+func (idleAutomaton) Start(node.Env)                {}
 func (idleAutomaton) Deliver(node.ID, node.Message) {}
-func (idleAutomaton) Tick(string)                 {}
+func (idleAutomaton) Tick(string)                   {}
 
 func idleAutomatons(n int) []node.Automaton {
 	autos := make([]node.Automaton, n)

@@ -54,6 +54,12 @@ type Config struct {
 	// queue is full the message is dropped, never blocking the node loop
 	// (default 128).
 	SendQueue int
+	// BatchFrames caps how many queued frames a TCP sender coalesces
+	// into one vectored write (default 256; 1 disables coalescing).
+	BatchFrames int
+	// BatchBytes caps the payload bytes a TCP sender coalesces into one
+	// vectored write (default 64 KiB).
+	BatchBytes int
 }
 
 func (c *Config) fill() error {
@@ -84,6 +90,12 @@ func (c *Config) fill() error {
 	if c.SendQueue <= 0 {
 		c.SendQueue = 128
 	}
+	if c.BatchFrames <= 0 {
+		c.BatchFrames = 256
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 64 << 10
+	}
 	return nil
 }
 
@@ -95,6 +107,7 @@ type Cluster struct {
 	stations []*station
 	stats    *metrics.MessageStats
 	sink     obs.Sink
+	bytes    obs.ByteSink // byte-accounting view of sink, nil if unsupported
 	start    time.Time
 
 	mu       sync.Mutex
@@ -122,6 +135,7 @@ func NewCluster(cfg Config, automatons []node.Automaton) (*Cluster, error) {
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	c.sink = obs.Tee(c.stats, cfg.Observer)
+	c.bytes = obs.Bytes(c.sink)
 	logf := func(string, ...any) {}
 	c.stations = make([]*station, cfg.N)
 	for i := range c.stations {
@@ -189,12 +203,16 @@ func (m *memNet) send(from, to node.ID, msg node.Message) {
 	// Serialize immediately: the receiver must observe an independent
 	// copy, exactly as over a socket. The buffer is pooled and returned
 	// once the receiver has decoded (or the message is dropped).
-	bp := encBufs.Get().(*[]byte)
+	bp := encBufs.get()
 	data, err := c.cfg.Codec.MarshalAppend((*bp)[:0], msg)
 	if err != nil {
+		encBufs.put(bp)
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
 	*bp = data
+	if c.bytes != nil {
+		c.bytes.OnWireBytes(now, int(from), int(to), k, len(data))
+	}
 	c.mu.Lock()
 	drop := c.cfg.DropProb > 0 && c.rng.Float64() < c.cfg.DropProb
 	span := c.cfg.MaxDelay - c.cfg.MinDelay
@@ -213,12 +231,12 @@ func (m *memNet) send(from, to node.ID, msg node.Message) {
 	}
 	if drop {
 		c.sink.OnDrop(now, int(from), int(to), k)
-		encBufs.Put(bp)
+		encBufs.put(bp)
 		return
 	}
 	time.AfterFunc(delay, func() {
 		decoded, err := c.cfg.Codec.Unmarshal(data)
-		encBufs.Put(bp) // Unmarshal copies what it keeps
+		encBufs.put(bp) // Unmarshal copies what it keeps
 		if err != nil {
 			panic(fmt.Sprintf("transport: unmarshal: %v", err))
 		}

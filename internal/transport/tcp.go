@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -33,8 +34,11 @@ const (
 // sender dials (with capped exponential backoff plus jitter), applies
 // write deadlines, and reconnects on failure. A dead or stalled peer
 // therefore costs at most a queue-full drop — it can never block another
-// link or a station's node loop. TCP gives reliable, ordered
-// per-connection delivery — the "reliable link" regime of the paper, live.
+// link or a station's node loop. The sender coalesces whatever is already
+// queued (up to Config.BatchFrames / Config.BatchBytes) into one vectored
+// write, so n frames per interval cost one writev syscall, not n write
+// syscalls. TCP gives reliable, ordered per-connection delivery — the
+// "reliable link" regime of the paper, live.
 type TCPCluster struct {
 	cfg       Config
 	stations  []*station
@@ -42,12 +46,13 @@ type TCPCluster struct {
 	addrs     []net.Addr
 	stats     *metrics.MessageStats
 	sink      obs.Sink
+	bytes     obs.ByteSink // byte-accounting view of sink, nil if unsupported
 	start     time.Time
 	senders   []*tcpSender // n*n row-major, nil on the diagonal
 	stopCh    chan struct{}
 
 	mu       sync.Mutex
-	accepted []net.Conn   // receiver-side, for shutdown
+	accepted []net.Conn    // receiver-side, for shutdown
 	crashers []*time.Timer // armed fault-plan crashes
 
 	wg      sync.WaitGroup
@@ -74,6 +79,7 @@ func NewTCPCluster(cfg Config, automatons []nodepkg.Automaton) (*TCPCluster, err
 		stopCh:    make(chan struct{}),
 	}
 	c.sink = obs.Tee(c.stats, cfg.Observer)
+	c.bytes = obs.Bytes(c.sink)
 	for i := 0; i < cfg.N; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -178,16 +184,23 @@ func (c *TCPCluster) acceptLoop(i int) {
 	}
 }
 
-// readLoop decodes length-prefixed envelopes from one connection. Any
-// sign of a corrupt stream — an oversized length prefix or an envelope
-// that fails to decode — closes the connection: framing cannot be trusted
-// past the first bad byte, and the peer's sender re-establishes the link.
-// The station itself is never affected.
+// readLoop decodes length-prefixed envelopes from one connection. Reads
+// go through a buffered reader sized to the sender's batch cap, so a
+// coalesced vectored write arriving as one TCP segment costs one read
+// syscall for the whole batch, not two per frame. The body buffer is
+// per-connection and reused across frames (the codec copies anything it
+// keeps), so a steady-state receive performs no allocations. Any sign of
+// a corrupt stream — an oversized length prefix or an envelope that fails
+// to decode — closes the connection: framing cannot be trusted past the
+// first bad byte, and the peer's sender re-establishes the link. The
+// station itself is never affected.
 func (c *TCPCluster) readLoop(i int, conn net.Conn) {
 	defer c.wg.Done()
 	var header [4]byte
+	body := make([]byte, 4096)
+	br := bufio.NewReaderSize(conn, c.cfg.BatchBytes)
 	for {
-		if _, err := io.ReadFull(conn, header[:]); err != nil {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
 			return
 		}
 		size := binary.BigEndian.Uint32(header[:])
@@ -195,8 +208,11 @@ func (c *TCPCluster) readLoop(i int, conn net.Conn) {
 			_ = conn.Close()
 			return
 		}
-		body := make([]byte, size)
-		if _, err := io.ReadFull(conn, body); err != nil {
+		if int(size) > cap(body) {
+			body = make([]byte, size)
+		}
+		body = body[:size]
+		if _, err := io.ReadFull(br, body); err != nil {
 			return
 		}
 		env, err := c.cfg.Codec.UnmarshalEnvelope(body)
@@ -238,6 +254,23 @@ func (c *TCPCluster) Stop() {
 		s.mbox.close()
 	}
 	c.wg.Wait()
+	// The senders have exited and nothing enqueues after stopCh closes;
+	// whatever frames remain queued are dead. Account and release them so
+	// the pool balance stays exact.
+	for _, s := range c.senders {
+		if s == nil {
+			continue
+		}
+	drain:
+		for {
+			select {
+			case f := <-s.queue:
+				s.dropFrame(f)
+			default:
+				break drain
+			}
+		}
+	}
 }
 
 // tcpNet hands frames to the per-link sender goroutines.
@@ -267,15 +300,18 @@ func (t *tcpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	}
 	// Encode the length-prefixed frame in one pooled buffer: reserve the
 	// prefix, append the envelope, then patch the length in.
-	bp := encBufs.Get().(*[]byte)
+	bp := encBufs.get()
 	frame := append((*bp)[:0], 0, 0, 0, 0)
 	frame, err := c.cfg.Codec.MarshalEnvelopeAppend(frame, from, msg)
 	if err != nil {
-		encBufs.Put(bp)
+		encBufs.put(bp)
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
 	*bp = frame
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	if c.bytes != nil {
+		c.bytes.OnWireBytes(now, int(from), int(to), k, len(frame))
+	}
 
 	s := c.senders[int(from)*c.cfg.N+int(to)]
 	select {
@@ -284,7 +320,7 @@ func (t *tcpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 		// Queue full: the peer is dead or stalled. The message is lost —
 		// never block the node loop waiting for a sick link.
 		c.sink.OnDrop(now, int(from), int(to), k)
-		encBufs.Put(bp)
+		encBufs.put(bp)
 	}
 }
 
@@ -298,6 +334,11 @@ type tcpFrame struct {
 // tcpSender owns one directed link: its queue, its connection, and its
 // reconnect state. All dialing and writing happens here, so a slow dial
 // or a stalled write can only ever delay this link's own frames.
+//
+// Buffer ownership: once a frame is in s.frames, this sender owns its
+// pooled buffer and releaseBatch returns every one exactly once — whether
+// the batch was written or dropped. s.bufs is only a view for the
+// vectored write, never an owner.
 type tcpSender struct {
 	c        *TCPCluster
 	from, to nodepkg.ID
@@ -307,6 +348,10 @@ type tcpSender struct {
 	conn     net.Conn
 	backoff  time.Duration
 	nextDial time.Time
+
+	frames []tcpFrame   // collected batch (owns the buffers)
+	bufs   net.Buffers  // reusable writev view over frames
+	view   *net.Buffers // heap box handed to WriteTo, which consumes it
 }
 
 func (s *tcpSender) run() {
@@ -322,42 +367,126 @@ func (s *tcpSender) run() {
 		case <-s.c.stopCh:
 			return
 		case f := <-s.queue:
-			s.transmit(f)
+			s.collect(f)
 		}
 	}
 }
 
-// transmit applies the frame's injected delay, then writes it, dialing if
-// needed. Failures account a drop and schedule a reconnect.
-func (s *tcpSender) transmit(f tcpFrame) {
-	if f.delay > 0 {
-		t := time.NewTimer(f.delay)
-		select {
-		case <-t.C:
-		case <-s.c.stopCh:
-			t.Stop()
-			s.drop(f)
-			return
-		}
-	}
-	if s.conn == nil && !s.redial() {
-		s.drop(f)
+// collect gathers the zero-delay frames already queued behind first — up
+// to the byte/frame caps — and flushes them with one vectored write. A
+// frame carrying an injected link delay ends the batch: everything queued
+// before it is flushed first (FIFO order holds), then the delay is served
+// and the frame goes out alone, exactly as the un-batched sender did.
+// Serving the delay inside the sender goroutine is what models link
+// latency: a slow link delays only its own frames.
+func (s *tcpSender) collect(first tcpFrame) {
+	if first.delay > 0 {
+		s.delayedSingle(first)
 		return
 	}
+	s.frames = append(s.frames[:0], first)
+	bytes := len(*first.buf)
+	maxFrames, maxBytes := s.c.cfg.BatchFrames, s.c.cfg.BatchBytes
+	// len() on the buffered queue tells how many frames are ready right
+	// now; receiving that many plain (no select-with-default per frame)
+	// keeps the per-frame drain cost to a bare channel op. Frames enqueued
+	// during the drain are picked up by the next len() round or batch.
+	for len(s.frames) < maxFrames && bytes < maxBytes {
+		n := len(s.queue)
+		if n == 0 {
+			break
+		}
+		for ; n > 0 && len(s.frames) < maxFrames && bytes < maxBytes; n-- {
+			f := <-s.queue
+			if f.delay > 0 {
+				s.flush()
+				s.delayedSingle(f)
+				return
+			}
+			s.frames = append(s.frames, f)
+			bytes += len(*f.buf)
+		}
+	}
+	s.flush()
+}
+
+// delayedSingle serves f's injected delay, then writes it on its own.
+func (s *tcpSender) delayedSingle(f tcpFrame) {
+	if !s.sleep(f.delay) {
+		s.dropFrame(f) // cluster stopping
+		return
+	}
+	s.frames = append(s.frames[:0], f)
+	s.flush()
+}
+
+// sleep waits for d, returning false if the cluster stops first.
+func (s *tcpSender) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+		return true
+	case <-s.c.stopCh:
+		t.Stop()
+		return false
+	}
+}
+
+// flush writes the collected batch with one vectored write (writev on a
+// TCP connection) under one deadline, dialing first if needed. On any
+// failure the whole batch is dropped: a partial write poisons the frame
+// stream, so the connection is torn down and re-dialed with backoff. TCP's
+// reliability is per-connection; across reconnects the link is "reliable
+// unless the process is down", which matches the crash-stop model. Either
+// way every pooled buffer in the batch is released exactly once.
+func (s *tcpSender) flush() {
+	if len(s.frames) == 0 {
+		return
+	}
+	if s.conn == nil && !s.redial() {
+		s.releaseBatch(true)
+		return
+	}
+	s.bufs = s.bufs[:0]
+	for i := range s.frames {
+		s.bufs = append(s.bufs, *s.frames[i].buf)
+	}
 	_ = s.conn.SetWriteDeadline(time.Now().Add(s.c.cfg.WriteTimeout))
-	if _, err := s.conn.Write(*f.buf); err != nil {
-		// Broken or stalled connection: drop the frame, tear the
-		// connection down, and back off before re-dialing. TCP's
-		// reliability is per-connection; across reconnects the link is
-		// "reliable unless the process is down", which matches the
-		// crash-stop model.
+	// WriteTo consumes the Buffers it is called on; hand it a reusable
+	// boxed copy of the header so s.bufs keeps its backing array for the
+	// next flush and no slice header escapes per flush.
+	if s.view == nil {
+		s.view = new(net.Buffers)
+	}
+	*s.view = s.bufs
+	_, err := s.view.WriteTo(s.conn)
+	*s.view = nil
+	for i := range s.bufs {
+		s.bufs[i] = nil // do not retain pooled bytes across batches
+	}
+	s.bufs = s.bufs[:0]
+	if err != nil {
 		s.closeConn()
 		s.scheduleRedial()
-		s.drop(f)
+		s.releaseBatch(true)
 		return
 	}
 	s.backoff = 0
-	encBufs.Put(f.buf)
+	s.releaseBatch(false)
+}
+
+// releaseBatch returns every buffer in the current batch to the pool
+// exactly once, accounting each frame as dropped when drop is set.
+func (s *tcpSender) releaseBatch(drop bool) {
+	for i := range s.frames {
+		if drop {
+			s.dropFrame(s.frames[i])
+		} else {
+			encBufs.put(s.frames[i].buf)
+		}
+		s.frames[i] = tcpFrame{}
+	}
+	s.frames = s.frames[:0]
 }
 
 // redial re-establishes the connection, honouring the backoff window.
@@ -397,8 +526,9 @@ func (s *tcpSender) closeConn() {
 	}
 }
 
-func (s *tcpSender) drop(f tcpFrame) {
+// dropFrame accounts one frame as dropped and returns its buffer.
+func (s *tcpSender) dropFrame(f tcpFrame) {
 	c := s.c
 	c.sink.OnDrop(c.stations[s.from].Now(), int(s.from), int(s.to), f.kind)
-	encBufs.Put(f.buf)
+	encBufs.put(f.buf)
 }

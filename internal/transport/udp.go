@@ -24,6 +24,7 @@ type UDPCluster struct {
 	addrs    []*net.UDPAddr
 	stats    *metrics.MessageStats
 	sink     obs.Sink
+	bytes    obs.ByteSink // byte-accounting view of sink, nil if unsupported
 	start    time.Time
 
 	mu       sync.Mutex
@@ -51,6 +52,7 @@ func NewUDPCluster(cfg Config, automatons []nodepkg.Automaton) (*UDPCluster, err
 		addrs: make([]*net.UDPAddr, cfg.N),
 	}
 	c.sink = obs.Tee(c.stats, cfg.Observer)
+	c.bytes = obs.Bytes(c.sink)
 	for i := 0; i < cfg.N; i++ {
 		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
 		if err != nil {
@@ -112,11 +114,16 @@ func (c *UDPCluster) Start() {
 // closed socket ends the loop: transient kernel errors (buffer pressure,
 // ICMP-induced errors) are logged and survived, so a live endpoint is
 // never silently killed.
+//
+// The loop is allocation-free in steady state: one reusable read buffer,
+// ReadFromUDPAddrPort (which returns the source address by value instead
+// of allocating a *net.UDPAddr per datagram), and a pooled decoder inside
+// UnmarshalEnvelope that copies only what the message keeps.
 func (c *UDPCluster) readLoop(i int) {
 	defer c.wg.Done()
 	buf := make([]byte, 64*1024)
 	for {
-		n, _, err := c.conns[i].ReadFromUDP(buf)
+		n, _, err := c.conns[i].ReadFromUDPAddrPort(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return
@@ -185,13 +192,16 @@ func (u *udpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 		}
 		delay = d
 	}
-	bp := encBufs.Get().(*[]byte)
+	bp := encBufs.get()
 	data, err := c.cfg.Codec.MarshalEnvelopeAppend((*bp)[:0], from, msg)
 	if err != nil {
-		encBufs.Put(bp)
+		encBufs.put(bp)
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
 	*bp = data
+	if c.bytes != nil {
+		c.bytes.OnWireBytes(now, int(from), int(to), k, len(data))
+	}
 	if delay > 0 {
 		// Injected link delay: the datagram leaves later, from a timer
 		// goroutine (net.UDPConn is safe for concurrent writes). The
@@ -213,5 +223,5 @@ func (c *UDPCluster) writeDatagram(bp *[]byte, from, to nodepkg.ID, k obs.Kind) 
 		// kernel error: UDP is lossy by contract, so account and move on.
 		c.sink.OnDrop(c.stations[from].Now(), int(from), int(to), k)
 	}
-	encBufs.Put(bp)
+	encBufs.put(bp)
 }

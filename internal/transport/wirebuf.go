@@ -1,13 +1,43 @@
 package transport
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// encBufs pools encode buffers so steady-state sends marshal into reused
+// bufPool pools encode buffers so steady-state sends marshal into reused
 // memory instead of allocating per message. Buffers are pointers to slices
 // (the pool stores interface values; a *[]byte avoids boxing the header).
-var encBufs = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, 512)
-		return &b
+//
+// The pool counts gets and puts: every buffer handed out must come back
+// exactly once, whatever path the frame takes — written, queue-full drop,
+// injected drop, mid-batch write error, shutdown. Tests quiesce a cluster
+// and assert balance() == 0, which catches both leaks (balance stays
+// positive) and double puts (balance goes negative).
+type bufPool struct {
+	pool sync.Pool
+	gets atomic.Int64
+	puts atomic.Int64
+}
+
+var encBufs = bufPool{
+	pool: sync.Pool{
+		New: func() any {
+			b := make([]byte, 0, 512)
+			return &b
+		},
 	},
 }
+
+func (p *bufPool) get() *[]byte {
+	p.gets.Add(1)
+	return p.pool.Get().(*[]byte)
+}
+
+func (p *bufPool) put(b *[]byte) {
+	p.puts.Add(1)
+	p.pool.Put(b)
+}
+
+// balance returns the number of outstanding buffers: gets minus puts.
+func (p *bufPool) balance() int64 { return p.gets.Load() - p.puts.Load() }

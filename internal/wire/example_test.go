@@ -16,6 +16,7 @@ func Example() {
 		fmt.Println("error:", err)
 		return
 	}
+	// A varint frame: version marker + type code + varint epoch.
 	fmt.Println("encoded bytes:", len(data))
 
 	msg, err := codec.Unmarshal(data)
@@ -26,6 +27,6 @@ func Example() {
 	hb := msg.(core.LeaderMsg)
 	fmt.Println("kind:", hb.Kind(), "epoch:", hb.Epoch)
 	// Output:
-	// encoded bytes: 9
+	// encoded bytes: 3
 	// kind: LEADER epoch: 7
 }

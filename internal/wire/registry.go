@@ -14,7 +14,8 @@ import (
 )
 
 // Type codes. Codes are part of the wire format: append only, never
-// renumber.
+// renumber. The band at and above 0xF0 is reserved for frame version
+// markers (see wire.go).
 const (
 	codeCoreLeader byte = iota + 1
 	codeCoreAccuse
@@ -49,74 +50,58 @@ func badType(want string, got node.Message) error {
 	return fmt.Errorf("wire: encoder for %s got %T", want, got)
 }
 
+// reg registers kind with typed encode/decode functions, folding the
+// concrete-type assertion and badType error into the adapter so a new
+// message kind registers in a few lines. The field helpers on Encoder and
+// Decoder are version-aware, so one registration serves both the fixed and
+// varint encodings.
+func reg[M node.Message](c *Codec, code byte, kind string, enc func(*Encoder, M) error, dec func(*Decoder) (M, error)) {
+	c.Register(code, kind,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(M)
+			if !ok {
+				return badType(kind, m)
+			}
+			return enc(e, msg)
+		},
+		func(d *Decoder) (node.Message, error) {
+			return dec(d)
+		})
+}
+
 // NewCodec returns a codec with every protocol message in this repository
-// registered.
+// registered, encoding VersionVarint (decode accepts every version).
 func NewCodec() *Codec {
 	c := NewEmptyCodec()
 
-	c.Register(codeCoreLeader, core.KindLeader,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(core.LeaderMsg)
-			if !ok {
-				return badType(core.KindLeader, m)
-			}
-			e.U64(msg.Epoch)
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeCoreLeader, core.KindLeader,
+		func(e *Encoder, m core.LeaderMsg) error { e.U64(m.Epoch); return nil },
+		func(d *Decoder) (core.LeaderMsg, error) {
 			epoch, err := d.U64()
 			return core.LeaderMsg{Epoch: epoch}, err
 		})
 
-	c.Register(codeCoreAccuse, core.KindAccuse,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(core.AccuseMsg)
-			if !ok {
-				return badType(core.KindAccuse, m)
-			}
-			e.U64(msg.Epoch)
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeCoreAccuse, core.KindAccuse,
+		func(e *Encoder, m core.AccuseMsg) error { e.U64(m.Epoch); return nil },
+		func(d *Decoder) (core.AccuseMsg, error) {
 			epoch, err := d.U64()
 			return core.AccuseMsg{Epoch: epoch}, err
 		})
 
-	c.Register(codeCoreRebuff, core.KindRebuff,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(core.RebuffMsg)
-			if !ok {
-				return badType(core.KindRebuff, m)
-			}
-			e.U64(msg.Epoch)
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeCoreRebuff, core.KindRebuff,
+		func(e *Encoder, m core.RebuffMsg) error { e.U64(m.Epoch); return nil },
+		func(d *Decoder) (core.RebuffMsg, error) {
 			epoch, err := d.U64()
 			return core.RebuffMsg{Epoch: epoch}, err
 		})
 
-	c.Register(codeAllToAllAlive, alltoall.KindAlive,
-		func(e *Encoder, m node.Message) error {
-			if _, ok := m.(alltoall.AliveMsg); !ok {
-				return badType(alltoall.KindAlive, m)
-			}
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
-			return alltoall.AliveMsg{}, nil
-		})
+	reg(c, codeAllToAllAlive, alltoall.KindAlive,
+		func(e *Encoder, m alltoall.AliveMsg) error { return nil },
+		func(d *Decoder) (alltoall.AliveMsg, error) { return alltoall.AliveMsg{}, nil })
 
-	c.Register(codeSourceAlive, source.KindAlive,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(source.AliveMsg)
-			if !ok {
-				return badType(source.KindAlive, m)
-			}
-			e.U64s(msg.Counters)
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeSourceAlive, source.KindAlive,
+		func(e *Encoder, m source.AliveMsg) error { e.U64s(m.Counters); return nil },
+		func(d *Decoder) (source.AliveMsg, error) {
 			counters, err := d.U64s()
 			return source.AliveMsg{Counters: counters}, err
 		})
@@ -128,39 +113,28 @@ func NewCodec() *Codec {
 }
 
 func registerSynod(c *Codec) {
-	c.Register(codeSynodPrepare, synod.KindPrepare,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(synod.PrepareMsg)
-			if !ok {
-				return badType(synod.KindPrepare, m)
-			}
-			e.U64(uint64(msg.B))
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeSynodPrepare, synod.KindPrepare,
+		func(e *Encoder, m synod.PrepareMsg) error { e.U64(uint64(m.B)); return nil },
+		func(d *Decoder) (synod.PrepareMsg, error) {
 			b, err := d.U64()
 			return synod.PrepareMsg{B: consensus.Ballot(b)}, err
 		})
 
-	c.Register(codeSynodPromise, synod.KindPromise,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(synod.PromiseMsg)
-			if !ok {
-				return badType(synod.KindPromise, m)
-			}
-			e.U64(uint64(msg.B))
-			e.U64(uint64(msg.AccB))
-			e.Str(string(msg.AccV))
+	reg(c, codeSynodPromise, synod.KindPromise,
+		func(e *Encoder, m synod.PromiseMsg) error {
+			e.U64(uint64(m.B))
+			e.U64(uint64(m.AccB))
+			e.Str(string(m.AccV))
 			return nil
 		},
-		func(d *Decoder) (node.Message, error) {
+		func(d *Decoder) (synod.PromiseMsg, error) {
 			b, err := d.U64()
 			if err != nil {
-				return nil, err
+				return synod.PromiseMsg{}, err
 			}
 			accB, err := d.U64()
 			if err != nil {
-				return nil, err
+				return synod.PromiseMsg{}, err
 			}
 			accV, err := d.Str()
 			return synod.PromiseMsg{
@@ -170,224 +144,143 @@ func registerSynod(c *Codec) {
 			}, err
 		})
 
-	c.Register(codeSynodNack, synod.KindNack,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(synod.NackMsg)
-			if !ok {
-				return badType(synod.KindNack, m)
-			}
-			e.U64(uint64(msg.B))
-			e.U64(uint64(msg.Promised))
+	reg(c, codeSynodNack, synod.KindNack,
+		func(e *Encoder, m synod.NackMsg) error {
+			e.U64(uint64(m.B))
+			e.U64(uint64(m.Promised))
 			return nil
 		},
-		func(d *Decoder) (node.Message, error) {
+		func(d *Decoder) (synod.NackMsg, error) {
 			b, err := d.U64()
 			if err != nil {
-				return nil, err
+				return synod.NackMsg{}, err
 			}
 			p, err := d.U64()
 			return synod.NackMsg{B: consensus.Ballot(b), Promised: consensus.Ballot(p)}, err
 		})
 
-	c.Register(codeSynodAccept, synod.KindAccept,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(synod.AcceptMsg)
-			if !ok {
-				return badType(synod.KindAccept, m)
-			}
-			e.U64(uint64(msg.B))
-			e.Str(string(msg.V))
+	reg(c, codeSynodAccept, synod.KindAccept,
+		func(e *Encoder, m synod.AcceptMsg) error {
+			e.U64(uint64(m.B))
+			e.Str(string(m.V))
 			return nil
 		},
-		func(d *Decoder) (node.Message, error) {
+		func(d *Decoder) (synod.AcceptMsg, error) {
 			b, err := d.U64()
 			if err != nil {
-				return nil, err
+				return synod.AcceptMsg{}, err
 			}
 			v, err := d.Str()
 			return synod.AcceptMsg{B: consensus.Ballot(b), V: consensus.Value(v)}, err
 		})
 
-	c.Register(codeSynodAccepted, synod.KindAccepted,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(synod.AcceptedMsg)
-			if !ok {
-				return badType(synod.KindAccepted, m)
-			}
-			e.U64(uint64(msg.B))
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeSynodAccepted, synod.KindAccepted,
+		func(e *Encoder, m synod.AcceptedMsg) error { e.U64(uint64(m.B)); return nil },
+		func(d *Decoder) (synod.AcceptedMsg, error) {
 			b, err := d.U64()
 			return synod.AcceptedMsg{B: consensus.Ballot(b)}, err
 		})
 
-	c.Register(codeSynodDecide, synod.KindDecide,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(synod.DecideMsg)
-			if !ok {
-				return badType(synod.KindDecide, m)
-			}
-			e.Str(string(msg.V))
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeSynodDecide, synod.KindDecide,
+		func(e *Encoder, m synod.DecideMsg) error { e.Str(string(m.V)); return nil },
+		func(d *Decoder) (synod.DecideMsg, error) {
 			v, err := d.Str()
 			return synod.DecideMsg{V: consensus.Value(v)}, err
 		})
 
-	c.Register(codeSynodLearn, synod.KindLearn,
-		func(e *Encoder, m node.Message) error {
-			if _, ok := m.(synod.LearnMsg); !ok {
-				return badType(synod.KindLearn, m)
-			}
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
-			return synod.LearnMsg{}, nil
-		})
+	reg(c, codeSynodLearn, synod.KindLearn,
+		func(e *Encoder, m synod.LearnMsg) error { return nil },
+		func(d *Decoder) (synod.LearnMsg, error) { return synod.LearnMsg{}, nil })
 
-	c.Register(codeSynodRequest, synod.KindRequest,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(synod.RequestMsg)
-			if !ok {
-				return badType(synod.KindRequest, m)
-			}
-			e.Str(string(msg.V))
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeSynodRequest, synod.KindRequest,
+		func(e *Encoder, m synod.RequestMsg) error { e.Str(string(m.V)); return nil },
+		func(d *Decoder) (synod.RequestMsg, error) {
 			v, err := d.Str()
 			return synod.RequestMsg{V: consensus.Value(v)}, err
 		})
 }
 
 func registerCT(c *Codec) {
-	c.Register(codeCTEstimate, ct.KindEstimate,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(ct.EstimateMsg)
-			if !ok {
-				return badType(ct.KindEstimate, m)
-			}
-			if err := e.Int(msg.R); err != nil {
+	reg(c, codeCTEstimate, ct.KindEstimate,
+		func(e *Encoder, m ct.EstimateMsg) error {
+			if err := e.Int(m.R); err != nil {
 				return err
 			}
-			e.Str(string(msg.Est))
-			return e.Int(msg.TS)
+			e.Str(string(m.Est))
+			return e.Int(m.TS)
 		},
-		func(d *Decoder) (node.Message, error) {
+		func(d *Decoder) (ct.EstimateMsg, error) {
 			r, err := d.Int()
 			if err != nil {
-				return nil, err
+				return ct.EstimateMsg{}, err
 			}
 			est, err := d.Str()
 			if err != nil {
-				return nil, err
+				return ct.EstimateMsg{}, err
 			}
 			ts, err := d.Int()
 			return ct.EstimateMsg{R: r, Est: consensus.Value(est), TS: ts}, err
 		})
 
-	c.Register(codeCTProposal, ct.KindProposal,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(ct.ProposalMsg)
-			if !ok {
-				return badType(ct.KindProposal, m)
-			}
-			if err := e.Int(msg.R); err != nil {
+	reg(c, codeCTProposal, ct.KindProposal,
+		func(e *Encoder, m ct.ProposalMsg) error {
+			if err := e.Int(m.R); err != nil {
 				return err
 			}
-			e.Str(string(msg.V))
+			e.Str(string(m.V))
 			return nil
 		},
-		func(d *Decoder) (node.Message, error) {
+		func(d *Decoder) (ct.ProposalMsg, error) {
 			r, err := d.Int()
 			if err != nil {
-				return nil, err
+				return ct.ProposalMsg{}, err
 			}
 			v, err := d.Str()
 			return ct.ProposalMsg{R: r, V: consensus.Value(v)}, err
 		})
 
-	c.Register(codeCTAck, ct.KindAck,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(ct.AckMsg)
-			if !ok {
-				return badType(ct.KindAck, m)
-			}
-			return e.Int(msg.R)
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeCTAck, ct.KindAck,
+		func(e *Encoder, m ct.AckMsg) error { return e.Int(m.R) },
+		func(d *Decoder) (ct.AckMsg, error) {
 			r, err := d.Int()
 			return ct.AckMsg{R: r}, err
 		})
 
-	c.Register(codeCTNack, ct.KindNack,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(ct.NackMsg)
-			if !ok {
-				return badType(ct.KindNack, m)
-			}
-			return e.Int(msg.R)
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeCTNack, ct.KindNack,
+		func(e *Encoder, m ct.NackMsg) error { return e.Int(m.R) },
+		func(d *Decoder) (ct.NackMsg, error) {
 			r, err := d.Int()
 			return ct.NackMsg{R: r}, err
 		})
 
-	c.Register(codeCTDecide, ct.KindDecide,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(ct.DecideMsg)
-			if !ok {
-				return badType(ct.KindDecide, m)
-			}
-			e.Str(string(msg.V))
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeCTDecide, ct.KindDecide,
+		func(e *Encoder, m ct.DecideMsg) error { e.Str(string(m.V)); return nil },
+		func(d *Decoder) (ct.DecideMsg, error) {
 			v, err := d.Str()
 			return ct.DecideMsg{V: consensus.Value(v)}, err
 		})
 }
 
 func registerRSM(c *Codec) {
-	c.Register(codeRSMRequest, rsm.KindRequest,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(rsm.RequestMsg)
-			if !ok {
-				return badType(rsm.KindRequest, m)
-			}
-			e.Str(string(msg.V))
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeRSMRequest, rsm.KindRequest,
+		func(e *Encoder, m rsm.RequestMsg) error { e.Str(string(m.V)); return nil },
+		func(d *Decoder) (rsm.RequestMsg, error) {
 			v, err := d.Str()
 			return rsm.RequestMsg{V: consensus.Value(v)}, err
 		})
 
-	c.Register(codeRSMPrepare, rsm.KindPrepare,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(rsm.PrepareMsg)
-			if !ok {
-				return badType(rsm.KindPrepare, m)
-			}
-			e.U64(uint64(msg.B))
-			return nil
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeRSMPrepare, rsm.KindPrepare,
+		func(e *Encoder, m rsm.PrepareMsg) error { e.U64(uint64(m.B)); return nil },
+		func(d *Decoder) (rsm.PrepareMsg, error) {
 			b, err := d.U64()
 			return rsm.PrepareMsg{B: consensus.Ballot(b)}, err
 		})
 
-	c.Register(codeRSMPromise, rsm.KindPromise,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(rsm.PromiseMsg)
-			if !ok {
-				return badType(rsm.KindPromise, m)
-			}
-			e.U64(uint64(msg.B))
-			e.U32(uint32(len(msg.Entries)))
-			for _, ent := range msg.Entries {
+	reg(c, codeRSMPromise, rsm.KindPromise,
+		func(e *Encoder, m rsm.PromiseMsg) error {
+			e.U64(uint64(m.B))
+			e.U32(uint32(len(m.Entries)))
+			for _, ent := range m.Entries {
 				if err := e.Int(ent.Inst); err != nil {
 					return err
 				}
@@ -396,31 +289,31 @@ func registerRSM(c *Codec) {
 			}
 			return nil
 		},
-		func(d *Decoder) (node.Message, error) {
+		func(d *Decoder) (rsm.PromiseMsg, error) {
 			b, err := d.U64()
 			if err != nil {
-				return nil, err
+				return rsm.PromiseMsg{}, err
 			}
 			n, err := d.U32()
 			if err != nil {
-				return nil, err
+				return rsm.PromiseMsg{}, err
 			}
 			if n > maxElems {
-				return nil, ErrTooLarge
+				return rsm.PromiseMsg{}, ErrTooLarge
 			}
 			entries := make([]rsm.PromEntry, n)
 			for i := range entries {
 				inst, err := d.Int()
 				if err != nil {
-					return nil, err
+					return rsm.PromiseMsg{}, err
 				}
 				accB, err := d.U64()
 				if err != nil {
-					return nil, err
+					return rsm.PromiseMsg{}, err
 				}
 				accV, err := d.Str()
 				if err != nil {
-					return nil, err
+					return rsm.PromiseMsg{}, err
 				}
 				entries[i] = rsm.PromEntry{Inst: inst, AccB: consensus.Ballot(accB), AccV: consensus.Value(accV)}
 			}
@@ -430,103 +323,81 @@ func registerRSM(c *Codec) {
 			return rsm.PromiseMsg{B: consensus.Ballot(b), Entries: entries}, nil
 		})
 
-	c.Register(codeRSMNack, rsm.KindNack,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(rsm.NackMsg)
-			if !ok {
-				return badType(rsm.KindNack, m)
-			}
-			e.U64(uint64(msg.B))
-			e.U64(uint64(msg.Promised))
+	reg(c, codeRSMNack, rsm.KindNack,
+		func(e *Encoder, m rsm.NackMsg) error {
+			e.U64(uint64(m.B))
+			e.U64(uint64(m.Promised))
 			return nil
 		},
-		func(d *Decoder) (node.Message, error) {
+		func(d *Decoder) (rsm.NackMsg, error) {
 			b, err := d.U64()
 			if err != nil {
-				return nil, err
+				return rsm.NackMsg{}, err
 			}
 			p, err := d.U64()
 			return rsm.NackMsg{B: consensus.Ballot(b), Promised: consensus.Ballot(p)}, err
 		})
 
-	c.Register(codeRSMAccept, rsm.KindAccept,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(rsm.AcceptMsg)
-			if !ok {
-				return badType(rsm.KindAccept, m)
-			}
-			e.U64(uint64(msg.B))
-			if err := e.Int(msg.Inst); err != nil {
+	reg(c, codeRSMAccept, rsm.KindAccept,
+		func(e *Encoder, m rsm.AcceptMsg) error {
+			e.U64(uint64(m.B))
+			if err := e.Int(m.Inst); err != nil {
 				return err
 			}
-			e.Str(string(msg.V))
-			return e.Int(msg.CommitUpTo)
+			e.Str(string(m.V))
+			return e.Int(m.CommitUpTo)
 		},
-		func(d *Decoder) (node.Message, error) {
+		func(d *Decoder) (rsm.AcceptMsg, error) {
 			b, err := d.U64()
 			if err != nil {
-				return nil, err
+				return rsm.AcceptMsg{}, err
 			}
 			inst, err := d.Int()
 			if err != nil {
-				return nil, err
+				return rsm.AcceptMsg{}, err
 			}
 			v, err := d.Str()
 			if err != nil {
-				return nil, err
+				return rsm.AcceptMsg{}, err
 			}
 			commit, err := d.Int()
 			return rsm.AcceptMsg{B: consensus.Ballot(b), Inst: inst, V: consensus.Value(v), CommitUpTo: commit}, err
 		})
 
-	c.Register(codeRSMAccepted, rsm.KindAccepted,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(rsm.AcceptedMsg)
-			if !ok {
-				return badType(rsm.KindAccepted, m)
-			}
-			e.U64(uint64(msg.B))
-			return e.Int(msg.Inst)
+	reg(c, codeRSMAccepted, rsm.KindAccepted,
+		func(e *Encoder, m rsm.AcceptedMsg) error {
+			e.U64(uint64(m.B))
+			return e.Int(m.Inst)
 		},
-		func(d *Decoder) (node.Message, error) {
+		func(d *Decoder) (rsm.AcceptedMsg, error) {
 			b, err := d.U64()
 			if err != nil {
-				return nil, err
+				return rsm.AcceptedMsg{}, err
 			}
 			inst, err := d.Int()
 			return rsm.AcceptedMsg{B: consensus.Ballot(b), Inst: inst}, err
 		})
 
-	c.Register(codeRSMDecide, rsm.KindDecide,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(rsm.DecideMsg)
-			if !ok {
-				return badType(rsm.KindDecide, m)
-			}
-			if err := e.Int(msg.Inst); err != nil {
+	reg(c, codeRSMDecide, rsm.KindDecide,
+		func(e *Encoder, m rsm.DecideMsg) error {
+			if err := e.Int(m.Inst); err != nil {
 				return err
 			}
-			e.Str(string(msg.V))
+			e.Str(string(m.V))
 			return nil
 		},
-		func(d *Decoder) (node.Message, error) {
+		func(d *Decoder) (rsm.DecideMsg, error) {
 			inst, err := d.Int()
 			if err != nil {
-				return nil, err
+				return rsm.DecideMsg{}, err
 			}
 			v, err := d.Str()
 			return rsm.DecideMsg{Inst: inst, V: consensus.Value(v)}, err
 		})
 
-	c.Register(codeRSMLearn, rsm.KindLearn,
-		func(e *Encoder, m node.Message) error {
-			msg, ok := m.(rsm.LearnMsg)
-			if !ok {
-				return badType(rsm.KindLearn, m)
-			}
-			return e.Int(msg.FirstGap)
-		},
-		func(d *Decoder) (node.Message, error) {
+	reg(c, codeRSMLearn, rsm.KindLearn,
+		func(e *Encoder, m rsm.LearnMsg) error { return e.Int(m.FirstGap) },
+		func(d *Decoder) (rsm.LearnMsg, error) {
 			g, err := d.Int()
 			return rsm.LearnMsg{FirstGap: g}, err
 		})

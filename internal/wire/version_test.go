@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/consensus/rsm"
+	"repro/internal/consensus/synod"
+	"repro/internal/core"
+	"repro/internal/detector/alltoall"
+	"repro/internal/detector/source"
+	"repro/internal/node"
+)
+
+// versionSampleMsgs mirrors the full registry: one representative value per
+// registered kind, with realistic small field values (steady-state epochs
+// and ballots are small integers — the case varint encoding exists for).
+func versionSampleMsgs() []node.Message {
+	return []node.Message{
+		core.LeaderMsg{Epoch: 3},
+		core.AccuseMsg{Epoch: 4},
+		core.RebuffMsg{Epoch: 4},
+		alltoall.AliveMsg{},
+		source.AliveMsg{Counters: []uint64{17, 0, 254}},
+		synod.PrepareMsg{B: 12},
+		synod.PromiseMsg{B: 12, AccB: 5, AccV: "v"},
+		synod.AcceptMsg{B: 12, V: "value"},
+		rsm.PromiseMsg{B: 9, Entries: []rsm.PromEntry{{Inst: 1, AccB: 2, AccV: "a"}}},
+		rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3},
+	}
+}
+
+// TestCrossVersionDecode proves the compatibility contract: frames encoded
+// under either version decode identically on any codec, because decode
+// dispatches on the frame's first byte, not on the codec's encode mode.
+func TestCrossVersionDecode(t *testing.T) {
+	fixed := NewCodec()
+	fixed.SetEncodeVersion(VersionFixed)
+	varint := NewCodec() // VersionVarint by default
+
+	for _, m := range versionSampleMsgs() {
+		for name, producer := range map[string]*Codec{"fixed": fixed, "varint": varint} {
+			b, err := producer.Marshal(m)
+			if err != nil {
+				t.Fatalf("%s Marshal(%T): %v", name, m, err)
+			}
+			for consumerName, consumer := range map[string]*Codec{"fixed": fixed, "varint": varint} {
+				got, err := consumer.Unmarshal(b)
+				if err != nil {
+					t.Fatalf("%s frame on %s codec (%T): %v", name, consumerName, m, err)
+				}
+				if !reflect.DeepEqual(got, m) {
+					t.Fatalf("%s→%s changed %T: %+v → %+v", name, consumerName, m, m, got)
+				}
+			}
+		}
+
+		env, err := fixed.MarshalEnvelope(2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := varint.UnmarshalEnvelope(env)
+		if err != nil {
+			t.Fatalf("fixed envelope on varint codec (%T): %v", m, err)
+		}
+		if out.From != 2 || !reflect.DeepEqual(out.Msg, m) {
+			t.Fatalf("fixed envelope changed %T: %+v", m, out)
+		}
+	}
+}
+
+// TestVarintEnvelopeStrictlySmaller pins the size win the varint encoding
+// exists for: for every registered kind with realistic field values, the
+// varint envelope is strictly smaller than the fixed one. (The 4-byte
+// sender header shrinking to marker + 1-byte varint already nets 2 bytes
+// even for field-free messages.)
+func TestVarintEnvelopeStrictlySmaller(t *testing.T) {
+	fixed := NewCodec()
+	fixed.SetEncodeVersion(VersionFixed)
+	varint := NewCodec()
+
+	for _, m := range versionSampleMsgs() {
+		fb, err := fixed.MarshalEnvelope(1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := varint.MarshalEnvelope(1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vb) >= len(fb) {
+			t.Errorf("%T: varint envelope %d bytes, fixed %d — varint must be strictly smaller",
+				m, len(vb), len(fb))
+		}
+	}
+}
+
+func TestEncodeVersionSelect(t *testing.T) {
+	c := NewCodec()
+	if v := c.EncodeVersion(); v != VersionVarint {
+		t.Fatalf("default version = %d, want VersionVarint", v)
+	}
+	c.SetEncodeVersion(VersionFixed)
+	if v := c.EncodeVersion(); v != VersionFixed {
+		t.Fatalf("version after SetEncodeVersion(VersionFixed) = %d", v)
+	}
+	b, err := c.Marshal(core.LeaderMsg{Epoch: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fixed frame starts with the type code and carries an 8-byte epoch.
+	if len(b) != 9 || b[0] >= codeLimit {
+		t.Fatalf("fixed frame = % x, want 1-byte code + 8-byte epoch", b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown version accepted")
+		}
+	}()
+	c.SetEncodeVersion(Version(99))
+}
+
+func TestRegisterRefusesMarkerBand(t *testing.T) {
+	c := NewEmptyCodec()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("code in the version-marker band accepted")
+		}
+	}()
+	c.Register(codeLimit, "BAD",
+		func(*Encoder, node.Message) error { return nil },
+		func(*Decoder) (node.Message, error) { return nil, nil })
+}
+
+// TestFixedWireFormatFrozen pins exact fixed-encoding bytes: old frames on
+// disk or in flight must decode forever, so the fixed layout can never
+// drift.
+func TestFixedWireFormatFrozen(t *testing.T) {
+	c := NewCodec()
+	c.SetEncodeVersion(VersionFixed)
+	b, err := c.MarshalEnvelope(7, core.LeaderMsg{Epoch: 0x0102})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0, 0, 0, 7, // sender id, big-endian u32
+		codeCoreLeader,
+		0, 0, 0, 0, 0, 0, 1, 2, // epoch, big-endian u64
+	}
+	if !reflect.DeepEqual(b, want) {
+		t.Fatalf("fixed envelope = % x, want % x", b, want)
+	}
+}
+
+// TestSteadyStateEncodeAllocs pins the allocation-free encode path: with a
+// reused destination buffer, marshaling a heartbeat envelope performs no
+// allocations in either version.
+func TestSteadyStateEncodeAllocs(t *testing.T) {
+	for _, v := range []Version{VersionFixed, VersionVarint} {
+		c := NewCodec()
+		c.SetEncodeVersion(v)
+		buf := make([]byte, 0, 64)
+		msg := core.LeaderMsg{Epoch: 5}
+		allocs := testing.AllocsPerRun(1000, func() {
+			b, err := c.MarshalEnvelopeAppend(buf[:0], 1, msg)
+			if err != nil || len(b) == 0 {
+				t.Fatal("marshal failed")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("version %d: %v allocs/op encoding a heartbeat envelope, want 0", v, allocs)
+		}
+	}
+}
+
+// TestSteadyStateDecodeAllocs pins the receive-loop half: decoding a
+// heartbeat envelope is allocation-free. The pooled Decoder supplies the
+// scratch state, and boxing the small pointer-free LeaderMsg into the
+// node.Message interface hits the runtime's static box cache.
+func TestSteadyStateDecodeAllocs(t *testing.T) {
+	c := NewCodec()
+	frame, err := c.MarshalEnvelope(1, core.LeaderMsg{Epoch: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		env, err := c.UnmarshalEnvelope(frame)
+		if err != nil || env.From != 1 {
+			t.Fatal("decode failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs/op decoding a heartbeat envelope, want 0", allocs)
+	}
+}

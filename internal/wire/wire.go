@@ -3,9 +3,17 @@
 // move messages between real processes (goroutines or UDP sockets) instead
 // of sharing Go values.
 //
-// Encoding: one type-code byte followed by the message fields in
-// big-endian fixed-width integers; strings and vectors carry a u32 length
-// prefix. The codec is strict — unknown type codes, truncated payloads and
+// Two encodings share one registry. The original fixed encoding is one
+// type-code byte followed by the message fields in big-endian fixed-width
+// integers; strings and vectors carry a u32 length prefix. The varint
+// encoding — the default since the batched wire path landed — opens with a
+// version marker byte (outside the type-code space) and writes every
+// integer field as an unsigned LEB128 varint (zigzag for signed fields),
+// shrinking a steady-state heartbeat to a handful of bytes. The decode
+// side dispatches on the first byte, so old fixed-width frames keep
+// decoding forever.
+//
+// Both codecs are strict — unknown type codes, truncated payloads and
 // trailing garbage are errors — because a transport must never deliver a
 // half-parsed message to a protocol automaton.
 package wire
@@ -31,13 +39,36 @@ var (
 	ErrTruncated = errors.New("wire: truncated payload")
 	// ErrTrailing is returned when a payload has bytes past its message.
 	ErrTrailing = errors.New("wire: trailing bytes")
-	// ErrTooLarge is returned when a length prefix exceeds sane bounds.
+	// ErrTooLarge is returned when a length prefix or varint exceeds sane
+	// bounds.
 	ErrTooLarge = errors.New("wire: length prefix too large")
 )
 
 // maxElems bounds length prefixes to keep a corrupt packet from causing a
 // huge allocation.
 const maxElems = 1 << 20
+
+// Version selects how a codec encodes frames it produces. Decoding always
+// accepts every version.
+type Version byte
+
+const (
+	// VersionFixed is the original encoding: big-endian fixed-width
+	// fields, no marker byte (frames start directly with the type code).
+	VersionFixed Version = 1
+	// VersionVarint frames open with a marker byte and encode integer
+	// fields as varints. Strictly smaller than VersionFixed for every
+	// message in the registry.
+	VersionVarint Version = 2
+)
+
+// verVarintByte opens every varint-encoded frame. It sits in a reserved
+// band above the type-code space (Register refuses codes >= codeLimit), so
+// the first byte of a frame always disambiguates the version.
+const (
+	verVarintByte byte = 0xF8
+	codeLimit     byte = 0xF0
+)
 
 // EncodeFunc serializes a message's fields (the type code is written by
 // the codec).
@@ -57,18 +88,44 @@ type entry struct {
 type Codec struct {
 	byKind map[string]*entry
 	byCode map[byte]*entry
+	encVar bool // encode frames as VersionVarint
 }
 
 // NewEmptyCodec returns a codec with no registrations (tests and custom
-// protocols). Most callers want NewCodec from registry.go.
+// protocols), encoding VersionVarint. Most callers want NewCodec from
+// registry.go.
 func NewEmptyCodec() *Codec {
-	return &Codec{byKind: make(map[string]*entry), byCode: make(map[byte]*entry)}
+	return &Codec{byKind: make(map[string]*entry), byCode: make(map[byte]*entry), encVar: true}
+}
+
+// SetEncodeVersion selects the encoding for frames this codec produces.
+// Decoding is unaffected: every codec accepts every version.
+func (c *Codec) SetEncodeVersion(v Version) {
+	switch v {
+	case VersionFixed:
+		c.encVar = false
+	case VersionVarint:
+		c.encVar = true
+	default:
+		panic(fmt.Sprintf("wire: unknown version %d", v))
+	}
+}
+
+// EncodeVersion returns the version this codec encodes with.
+func (c *Codec) EncodeVersion() Version {
+	if c.encVar {
+		return VersionVarint
+	}
+	return VersionFixed
 }
 
 // Register adds a message type. It panics on duplicate codes or kinds:
 // registration happens at assembly time and a clash is a programming
-// error.
+// error. Codes at or above the framing-marker band are refused.
 func (c *Codec) Register(code byte, kind string, enc EncodeFunc, dec DecodeFunc) {
+	if code >= codeLimit {
+		panic(fmt.Sprintf("wire: code %d collides with the version-marker band", code))
+	}
 	if _, ok := c.byCode[code]; ok {
 		panic(fmt.Sprintf("wire: duplicate code %d", code))
 	}
@@ -89,10 +146,13 @@ func (c *Codec) Kinds() []string {
 	return out
 }
 
-// encoders pools Encoder headers so the append-style marshal path does
-// not allocate one per message (the *Encoder escapes into the registered
-// EncodeFunc).
-var encoders = sync.Pool{New: func() any { return new(Encoder) }}
+// encoders and decoders pool the codec state so the append-style marshal
+// path and the receive loops do not allocate one per message (both escape
+// into the registered EncodeFunc/DecodeFunc).
+var (
+	encoders = sync.Pool{New: func() any { return new(Encoder) }}
+	decoders = sync.Pool{New: func() any { return new(Decoder) }}
+)
 
 // Marshal serializes m with its type code.
 func (c *Codec) Marshal(m node.Message) ([]byte, error) {
@@ -103,11 +163,21 @@ func (c *Codec) Marshal(m node.Message) ([]byte, error) {
 // returning the extended buffer. With a reused dst of sufficient capacity
 // the steady-state encode path performs no allocations.
 func (c *Codec) MarshalAppend(dst []byte, m node.Message) ([]byte, error) {
+	if c.encVar {
+		dst = append(dst, verVarintByte)
+	}
+	return c.marshalBody(dst, m)
+}
+
+// marshalBody appends the type code and fields of m (no version marker) in
+// the codec's encode mode.
+func (c *Codec) marshalBody(dst []byte, m node.Message) ([]byte, error) {
 	e, ok := c.byKind[m.Kind()]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, m.Kind())
 	}
 	enc := encoders.Get().(*Encoder)
+	enc.varint = c.encVar
 	enc.buf = append(dst, e.code)
 	err := e.enc(enc, m)
 	out := enc.buf
@@ -119,8 +189,22 @@ func (c *Codec) MarshalAppend(dst []byte, m node.Message) ([]byte, error) {
 	return out, nil
 }
 
-// Unmarshal parses a message produced by Marshal.
+// Unmarshal parses a message produced by Marshal, in either version.
 func (c *Codec) Unmarshal(b []byte) (node.Message, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	varint := false
+	if b[0] == verVarintByte {
+		varint = true
+		b = b[1:]
+	}
+	return c.unmarshalBody(b, varint)
+}
+
+// unmarshalBody parses a type code plus fields (no version marker) in the
+// given mode, enforcing the no-trailing-bytes invariant.
+func (c *Codec) unmarshalBody(b []byte, varint bool) (node.Message, error) {
 	if len(b) == 0 {
 		return nil, ErrTruncated
 	}
@@ -128,24 +212,36 @@ func (c *Codec) Unmarshal(b []byte) (node.Message, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownCode, b[0])
 	}
-	dec := Decoder{buf: b[1:]}
-	m, err := e.dec(&dec)
+	dec := decoders.Get().(*Decoder)
+	dec.buf = b[1:]
+	dec.varint = varint
+	m, err := e.dec(dec)
+	trailing := len(dec.buf)
+	dec.buf = nil // never retain the caller's buffer in the pool
+	decoders.Put(dec)
 	if err != nil {
 		return nil, fmt.Errorf("decode %q: %w", e.kind, err)
 	}
-	if len(dec.buf) != 0 {
-		return nil, fmt.Errorf("%w: %d bytes after %q", ErrTrailing, len(dec.buf), e.kind)
+	if trailing != 0 {
+		return nil, fmt.Errorf("%w: %d bytes after %q", ErrTrailing, trailing, e.kind)
 	}
 	return m, nil
 }
 
-// Encoder appends big-endian fields to a buffer.
+// Encoder appends fields to a buffer, fixed-width or varint depending on
+// the frame version being produced. Registered EncodeFuncs use one set of
+// field helpers and serve both versions.
 type Encoder struct {
-	buf []byte
+	buf    []byte
+	varint bool
 }
 
 // U64 appends an unsigned 64-bit integer.
 func (e *Encoder) U64(v uint64) {
+	if e.varint {
+		e.buf = binary.AppendUvarint(e.buf, v)
+		return
+	}
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], v)
 	e.buf = append(e.buf, b[:]...)
@@ -153,9 +249,23 @@ func (e *Encoder) U64(v uint64) {
 
 // U32 appends an unsigned 32-bit integer.
 func (e *Encoder) U32(v uint32) {
+	if e.varint {
+		e.buf = binary.AppendUvarint(e.buf, uint64(v))
+		return
+	}
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], v)
 	e.buf = append(e.buf, b[:]...)
+}
+
+// I64 appends a signed 64-bit integer: zigzag varint in varint frames,
+// big-endian two's complement in fixed frames.
+func (e *Encoder) I64(v int64) {
+	if e.varint {
+		e.buf = binary.AppendVarint(e.buf, v)
+		return
+	}
+	e.U64(uint64(v))
 }
 
 // Int appends a non-negative int as u64.
@@ -181,13 +291,31 @@ func (e *Encoder) U64s(vs []uint64) {
 	}
 }
 
-// Decoder consumes big-endian fields from a buffer.
+// Decoder consumes fields from a buffer, fixed-width or varint depending
+// on the frame version being parsed.
 type Decoder struct {
-	buf []byte
+	buf    []byte
+	varint bool
+}
+
+// uvarint reads one unsigned varint.
+func (d *Decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n > 0 {
+		d.buf = d.buf[n:]
+		return v, nil
+	}
+	if n == 0 {
+		return 0, ErrTruncated
+	}
+	return 0, ErrTooLarge // more than 64 bits of payload
 }
 
 // U64 reads an unsigned 64-bit integer.
 func (d *Decoder) U64() (uint64, error) {
+	if d.varint {
+		return d.uvarint()
+	}
 	if len(d.buf) < 8 {
 		return 0, ErrTruncated
 	}
@@ -198,12 +326,39 @@ func (d *Decoder) U64() (uint64, error) {
 
 // U32 reads an unsigned 32-bit integer.
 func (d *Decoder) U32() (uint32, error) {
+	if d.varint {
+		v, err := d.uvarint()
+		if err != nil {
+			return 0, err
+		}
+		if v > 1<<32-1 {
+			return 0, ErrTooLarge
+		}
+		return uint32(v), nil
+	}
 	if len(d.buf) < 4 {
 		return 0, ErrTruncated
 	}
 	v := binary.BigEndian.Uint32(d.buf[:4])
 	d.buf = d.buf[4:]
 	return v, nil
+}
+
+// I64 reads a signed 64-bit integer (see Encoder.I64).
+func (d *Decoder) I64() (int64, error) {
+	if d.varint {
+		v, n := binary.Varint(d.buf)
+		if n > 0 {
+			d.buf = d.buf[n:]
+			return v, nil
+		}
+		if n == 0 {
+			return 0, ErrTruncated
+		}
+		return 0, ErrTooLarge
+	}
+	v, err := d.U64()
+	return int64(v), err
 }
 
 // Int reads a non-negative int encoded as u64.
@@ -266,20 +421,45 @@ func (c *Codec) MarshalEnvelope(from node.ID, m node.Message) ([]byte, error) {
 }
 
 // MarshalEnvelopeAppend serializes from + message, appending to dst. The
-// body is encoded directly after the header — no intermediate copy.
+// body is encoded directly after the header — no intermediate copy. In
+// varint frames the sender id is itself a varint, so a steady-state
+// heartbeat envelope is a handful of bytes.
 func (c *Codec) MarshalEnvelopeAppend(dst []byte, from node.ID, m node.Message) ([]byte, error) {
+	if c.encVar {
+		dst = append(dst, verVarintByte)
+		dst = binary.AppendUvarint(dst, uint64(uint32(from)))
+		return c.marshalBody(dst, m)
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(from))
-	return c.MarshalAppend(append(dst, hdr[:]...), m)
+	return c.marshalBody(append(dst, hdr[:]...), m)
 }
 
-// UnmarshalEnvelope parses a framed message.
+// UnmarshalEnvelope parses a framed message, in either version.
 func (c *Codec) UnmarshalEnvelope(b []byte) (Envelope, error) {
+	if len(b) == 0 {
+		return Envelope{}, ErrTruncated
+	}
+	if b[0] == verVarintByte {
+		v, n := binary.Uvarint(b[1:])
+		switch {
+		case n == 0:
+			return Envelope{}, ErrTruncated
+		case n < 0 || v > 1<<32-1:
+			return Envelope{}, ErrTooLarge
+		}
+		from := node.ID(int32(uint32(v)))
+		m, err := c.unmarshalBody(b[1+n:], true)
+		if err != nil {
+			return Envelope{}, err
+		}
+		return Envelope{From: from, Msg: m}, nil
+	}
 	if len(b) < 4 {
 		return Envelope{}, ErrTruncated
 	}
 	from := node.ID(int32(binary.BigEndian.Uint32(b[:4])))
-	m, err := c.Unmarshal(b[4:])
+	m, err := c.unmarshalBody(b[4:], false)
 	if err != nil {
 		return Envelope{}, err
 	}
