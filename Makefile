@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race soak bench bench-micro bench-json bench-wire tables
+.PHONY: all build vet test test-race soak telemetry-smoke bench bench-micro bench-json bench-wire tables
 
 all: vet test
 
@@ -13,22 +13,43 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the packages with real concurrency: the live transports, the
-# fault injector, the sharded observer sink they record into (plus the kind
-# interner), the parallel sweep pool (its stress test hammers the
-# work-claiming counter), the wire codec (which replays the committed
-# FuzzEnvelopeRoundTrip seed corpus in testdata/), and the wireload
-# throughput-harness smoke tests. -short trims the chaos soaks'
-# wall-clock GST.
+# Race-check everything. Real concurrency lives in the live transports,
+# the fault injector, the sharded observer sink and telemetry collector
+# they record into, the parallel sweep pool, and the wireload harness —
+# but the purely sequential packages are cheap under -race, so run the
+# whole module rather than maintain a list. -short trims the chaos
+# soaks' wall-clock GST.
 test-race:
-	$(GO) test -race -short ./internal/transport/... ./internal/faultline/... ./internal/metrics/... ./internal/obs/... ./internal/sweep/... ./internal/wire/... ./cmd/wireload/
+	$(GO) test -race -short ./...
 
 # Full chaos soak under the race detector: live UDP and TCP clusters
 # through leader crash, asymmetric partition + heal, and pre-GST link
 # chaos, with consensus safety checked at the end (see DESIGN.md §10).
+#
+# With METRICS set (make soak METRICS=:8080) the soak instead runs as a
+# watchable live cluster: the full TCP fault plan with the telemetry
+# endpoint serving /metrics, /healthz and pprof on that address for the
+# duration of the run (see README "watching a live cluster").
+ifdef METRICS
+soak:
+	$(GO) run ./cmd/chaossoak -transport tcp -plan full -metrics-addr $(METRICS)
+else
 soak:
 	$(GO) test -race -count=1 -run 'ChaosSoak' -v ./internal/transport/
 	$(GO) test -race -count=1 ./cmd/chaossoak/
+endif
+
+# Boot wireload with the telemetry endpoint, scrape /healthz and /metrics
+# mid-run with curl, and let the run finish. /healthz reads 503 here by
+# design: wireload's stations run no detector, so no leader agreement ever
+# forms — the scrape proves the endpoint, not the election.
+telemetry-smoke:
+	$(GO) build -o /tmp/wireload-smoke ./cmd/wireload
+	/tmp/wireload-smoke -transport tcp -dur 4s -metrics-addr 127.0.0.1:9109 & \
+	pid=$$!; sleep 2; \
+	curl -sS http://127.0.0.1:9109/healthz; \
+	curl -fsS http://127.0.0.1:9109/metrics | grep -E 'omega_(sent_total|active_links|leader) ' ; \
+	wait $$pid
 
 # Full benchmark suite (experiment regeneration + substrate micro-benches).
 bench:

@@ -26,8 +26,11 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -60,6 +63,9 @@ func run(args []string) error {
 		bound         = fs.Duration("bound", 30*time.Second, "per-phase convergence bound")
 		commands      = fs.Int("commands", 5, "consensus instances to commit per traffic phase")
 		drop          = fs.Float64("drop", 0.4, "pre-GST drop probability for the chaos plan")
+		metricsAddr   = fs.String("metrics-addr", "", "serve /metrics, /healthz and pprof on this address (e.g. :8080)")
+		snapshotJSON  = fs.String("snapshot-json", "", "write the final merged metrics+histogram snapshot to this path")
+		traceTail     = fs.Int("trace-tail", 0, "record message events in a bounded ring and print the last N at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,7 +113,16 @@ func run(args []string) error {
 	}
 
 	autos := s.buildReplicas(*n)
-	cfg := transport.Config{N: *n, Seed: *seed, Quiet: true, Fault: s.inj, WriteTimeout: 200 * time.Millisecond}
+	tel := telemetry.New(*n, telemetry.WithHeartbeatKinds(core.KindLeader))
+	s.tel = tel
+	var ring *trace.Log
+	observer := obs.Sink(tel)
+	if *traceTail > 0 {
+		ring = trace.NewRing(*traceTail)
+		ring.SetWallStart(time.Now())
+		observer = obs.Tee(tel, ring.MessageSink())
+	}
+	cfg := transport.Config{N: *n, Seed: *seed, Quiet: true, Fault: s.inj, WriteTimeout: 200 * time.Millisecond, Observer: observer}
 	var c cluster
 	var err error
 	switch *transportName {
@@ -124,6 +139,21 @@ func run(args []string) error {
 		return err
 	}
 	s.c = c
+	tel.AttachStats(c.Stats())
+	for i, d := range s.dets {
+		tel.WatchOmega(node.ID(i), d.History())
+	}
+	for i, l := range s.logs {
+		tel.WatchRecorder(node.ID(i), l.Recorder())
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, tel)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving /metrics, /healthz, /debug/pprof on http://%s\n", srv.Addr())
+	}
 	c.Start()
 	defer c.Stop()
 
@@ -146,6 +176,24 @@ func run(args []string) error {
 	}
 	st := c.Stats()
 	fmt.Printf("traffic:   sent=%d delivered=%d dropped=%d\n", st.TotalSent(), st.Delivered(), st.Dropped())
+	if down := tel.ElectionDowntime(); down.Count > 0 {
+		fmt.Printf("telemetry: elections=%d downtime p50=%v max=%v decide p99=%v hb-gap p99=%v\n",
+			tel.Elections(), down.Quantile(0.5), down.Max,
+			tel.DecisionLatency().Quantile(0.99), tel.HeartbeatJitter().Quantile(0.99))
+	}
+	if ring != nil {
+		fmt.Printf("trace:     last %d of %d message events (%d evicted)\n",
+			len(ring.Tail(*traceTail)), ring.Len(), ring.Dropped())
+		if _, err := ring.WriteTail(os.Stdout, *traceTail); err != nil {
+			return err
+		}
+	}
+	if *snapshotJSON != "" {
+		if err := tel.WriteJSON(*snapshotJSON); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot:  wrote %s\n", *snapshotJSON)
+	}
 	fmt.Println("verdict:   PASS — single leader converged, consensus safety holds")
 	return nil
 }
@@ -157,8 +205,16 @@ type soak struct {
 	commands int
 	inj      *faultline.Injector
 	c        cluster
+	tel      *telemetry.Collector
 	dets     []*core.Detector
 	logs     []*rsm.Node
+}
+
+// crash crash-stops a process and tells the telemetry layer, so the dead
+// process's frozen leader output doesn't wedge agreement tracking.
+func (s *soak) crash(id node.ID) {
+	s.c.Crash(id)
+	s.tel.MarkDown(id)
 }
 
 // buildReplicas composes one rebuff-hardened detector plus a replicated
@@ -259,7 +315,7 @@ func (s *soak) runCrash() error {
 		return err
 	}
 	leader, _ := s.agreement(nil)
-	s.c.Crash(leader)
+	s.crash(leader)
 	fmt.Printf("fault:     crashed leader p%v\n", leader)
 	skip := map[int]bool{int(leader): true}
 	survivors := make([]int, 0, n-1)
@@ -290,7 +346,7 @@ func (s *soak) runPartition(crashFirst bool) error {
 	skip := map[int]bool{}
 	correct := ints(0, n)
 	if crashFirst {
-		s.c.Crash(0)
+		s.crash(0)
 		fmt.Println("fault:     crashed p0")
 		skip[0] = true
 		correct = ints(1, n)

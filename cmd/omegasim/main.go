@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -47,6 +50,7 @@ func run(args []string) error {
 		trace   = fs.Bool("trace", false, "print the full event trace")
 		sweepN  = fs.Int("sweep", 0, "run this many seeds and report aggregate verdicts")
 		jobs    = fs.Int("j", 0, "sweep workers (0 = one per core; output is identical for any value)")
+		metrics = fs.String("metrics-addr", "", "serve the run's telemetry (/metrics, /healthz, pprof) on this address and keep serving after the run until interrupted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,9 +79,24 @@ func run(args []string) error {
 		Crashes:     plan,
 		EnableTrace: *trace,
 	}
+	var tel *telemetry.Collector
+	if *metrics != "" {
+		tel = telemetry.New(*n)
+		cfg.Observer = tel
+	}
 	sys, err := scenario.Build(cfg)
 	if err != nil {
 		return err
+	}
+	if tel != nil {
+		// The collector reads the simulator's virtual clock; after the
+		// run it freezes at the horizon, so scraped gauges describe the
+		// run's final instant.
+		tel.AttachStats(sys.World.Stats)
+		tel.SetClock(sys.World.Kernel.Now)
+		for i, om := range sys.Omegas {
+			tel.WatchOmega(node.ID(i), om.History())
+		}
 	}
 	sys.Run(*runFor)
 
@@ -115,6 +134,17 @@ func run(args []string) error {
 		if _, err := sys.World.Trace.WriteTo(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if tel != nil {
+		srv, err := telemetry.Serve(*metrics, tel)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving the finished run on http://%s — Ctrl-C to exit\n", srv.Addr())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		<-ctx.Done()
 	}
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/detector/source"
 	"repro/internal/metrics"
 	"repro/internal/node"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -67,6 +68,8 @@ func run(args []string, out *os.File) error {
 		sendQueue     = fs.Int("sendqueue", 0, "TCP per-link queue bound (0 = default)")
 		batchFrames   = fs.Int("batch-frames", 0, "TCP coalescing frame cap (0 = default, 1 = per-frame writes)")
 		batchBytes    = fs.Int("batch-bytes", 0, "TCP coalescing byte cap (0 = default)")
+		metricsAddr   = fs.String("metrics-addr", "", "serve /metrics, /healthz and pprof on this address (e.g. :8080)")
+		snapshotJSON  = fs.String("snapshot-json", "", "write the final merged metrics+histogram snapshot to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,12 +109,14 @@ func run(args []string, out *os.File) error {
 	for i := range autos {
 		autos[i] = nop{}
 	}
+	tel := telemetry.New(*n)
 	cfg := transport.Config{
 		N: *n, Seed: *seed, Quiet: true,
 		Codec:       codec,
 		SendQueue:   *sendQueue,
 		BatchFrames: *batchFrames,
 		BatchBytes:  *batchBytes,
+		Observer:    tel,
 	}
 	var c cluster
 	var err error
@@ -127,6 +132,15 @@ func run(args []string, out *os.File) error {
 	}
 	if err != nil {
 		return err
+	}
+	tel.AttachStats(c.Stats())
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, tel)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "telemetry: serving /metrics, /healthz, /debug/pprof on http://%s\n", srv.Addr())
 	}
 	c.Start()
 
@@ -188,6 +202,16 @@ func run(args []string, out *os.File) error {
 		report("  wire      %10d B  (%.1f B/msg)", wireBytes, float64(wireBytes)/float64(sent))
 		allocs := memAfter.Mallocs - memBefore.Mallocs
 		report("  allocs    %10d  (%.2f allocs/msg end to end)", allocs, float64(allocs)/float64(sent))
+	}
+	if hb := tel.HeartbeatJitter(); hb.Count > 0 {
+		report("  hb-gap    p50=%v p99=%v max=%v (per-link inter-arrival)",
+			hb.Quantile(0.5), hb.Quantile(0.99), hb.Max)
+	}
+	if *snapshotJSON != "" {
+		if err := tel.WriteJSON(*snapshotJSON); err != nil {
+			return err
+		}
+		report("  snapshot  wrote %s", *snapshotJSON)
 	}
 	if delivered == 0 {
 		return fmt.Errorf("wireload: nothing delivered — transport broken")

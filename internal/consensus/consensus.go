@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/node"
 	"repro/internal/sim"
@@ -36,6 +37,10 @@ type Decision struct {
 	At sim.Time
 	// By is the learning process.
 	By node.ID
+	// Elapsed is the proposer-side decision latency — how long the
+	// deciding phase-2 round ran before a quorum formed. Only the
+	// proposing leader knows it; everywhere else it is zero ("unknown").
+	Elapsed time.Duration
 }
 
 // Recorder collects the decisions one process learns. It is safe for
@@ -44,6 +49,7 @@ type Recorder struct {
 	mu        sync.Mutex
 	decisions map[int]Decision
 	order     []Decision
+	notify    func(d Decision)
 }
 
 // NewRecorder returns an empty recorder.
@@ -51,16 +57,31 @@ func NewRecorder() *Recorder {
 	return &Recorder{decisions: make(map[int]Decision)}
 }
 
+// SetNotify installs a hook invoked after each first-time decision record
+// (the telemetry layer's feed for decision counting and latency). The hook
+// runs on the recording goroutine, outside the recorder's lock; it must
+// not block and must be safe for concurrent use if shared.
+func (r *Recorder) SetNotify(fn func(d Decision)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.notify = fn
+}
+
 // Record stores the first decision for an instance; later records for the
 // same instance are ignored (integrity is checked elsewhere).
 func (r *Recorder) Record(d Decision) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.decisions[d.Instance]; ok {
+		r.mu.Unlock()
 		return
 	}
 	r.decisions[d.Instance] = d
 	r.order = append(r.order, d)
+	notify := r.notify
+	r.mu.Unlock()
+	if notify != nil {
+		notify(d)
+	}
 }
 
 // Get returns the decision for an instance, if learned.

@@ -137,7 +137,7 @@ func TestDecidedInstancesNotReproposed(t *testing.T) {
 	r := New(consensus.StaticLeader(0), Config{})
 	env := newFakeEnv(0, 3)
 	r.Start(env)
-	r.learn(0, "done")
+	r.learn(0, "done", 0)
 	r.Tick(timerDrive)
 	env.drain()
 	r.Deliver(1, PromiseMsg{
@@ -191,7 +191,7 @@ func TestAcceptorAnswersDecidedInstanceWithDecide(t *testing.T) {
 	r := New(consensus.StaticLeader(1), Config{})
 	env := newFakeEnv(2, 3)
 	r.Start(env)
-	r.learn(3, "v")
+	r.learn(3, "v", 0)
 	env.drain()
 	r.Deliver(1, AcceptMsg{B: 10, Inst: 3, V: "other"})
 	out := env.drain()
@@ -209,7 +209,7 @@ func TestLearnBatchIsBounded(t *testing.T) {
 	env := newFakeEnv(0, 3)
 	r.Start(env)
 	for i := 0; i < learnBatch+40; i++ {
-		r.learn(i, consensus.Value(fmt.Sprintf("v%d", i)))
+		r.learn(i, consensus.Value(fmt.Sprintf("v%d", i)), 0)
 	}
 	env.drain()
 	r.Deliver(2, LearnMsg{FirstGap: 0})
@@ -233,15 +233,15 @@ func TestLearnAdvancesGapAcrossHoles(t *testing.T) {
 	r := New(consensus.StaticLeader(0), Config{})
 	env := newFakeEnv(0, 3)
 	r.Start(env)
-	r.learn(0, "a")
-	r.learn(2, "c")
+	r.learn(0, "a", 0)
+	r.learn(2, "c", 0)
 	if r.FirstGap() != 1 {
 		t.Fatalf("FirstGap = %d, want 1", r.FirstGap())
 	}
 	if r.HighestDecided() != 2 {
 		t.Fatalf("HighestDecided = %d", r.HighestDecided())
 	}
-	r.learn(1, "b")
+	r.learn(1, "b", 0)
 	if r.FirstGap() != 3 {
 		t.Fatalf("FirstGap = %d after hole closed, want 3", r.FirstGap())
 	}

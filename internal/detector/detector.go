@@ -39,19 +39,35 @@ type Change struct {
 type History struct {
 	mu      sync.Mutex
 	changes []Change
+	notify  func(t sim.Time, leader node.ID)
 }
 
 // NewHistory returns an empty history.
 func NewHistory() *History { return &History{} }
 
+// SetNotify installs a hook invoked after every recorded transition (the
+// telemetry layer's feed for election tracking). The hook runs on the
+// recording goroutine, outside the history's lock; it must not block and
+// must be safe for concurrent use if several histories share it.
+func (h *History) SetNotify(fn func(t sim.Time, leader node.ID)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.notify = fn
+}
+
 // Record appends a change if the leader differs from the current output.
 func (h *History) Record(t sim.Time, leader node.ID) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if n := len(h.changes); n > 0 && h.changes[n-1].Leader == leader {
+		h.mu.Unlock()
 		return
 	}
 	h.changes = append(h.changes, Change{At: t, Leader: leader})
+	notify := h.notify
+	h.mu.Unlock()
+	if notify != nil {
+		notify(t, leader)
+	}
 }
 
 // Current returns the present output, or node.None before the first record.

@@ -260,6 +260,16 @@ func (s *MessageStats) Dropped() uint64 {
 // SentBy returns how many messages process id has sent.
 func (s *MessageStats) SentBy(id int) uint64 { return s.shards[id].sentBy.Load() }
 
+// SentByKind returns how many messages of the given kind process id has
+// sent. Zero for kinds never interned.
+func (s *MessageStats) SentByKind(id int, kind string) uint64 {
+	k, ok := obs.Lookup(kind)
+	if !ok {
+		return 0
+	}
+	return s.shards[id].kindSent[k].Load()
+}
+
 // WireBytes returns the total encoded bytes handed to the links. Zero on
 // runs whose transport never serializes (the simulator).
 func (s *MessageStats) WireBytes() uint64 {

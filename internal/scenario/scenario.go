@@ -16,6 +16,7 @@ import (
 	"repro/internal/detector/source"
 	"repro/internal/network"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/relay"
 	"repro/internal/sim"
 )
@@ -118,6 +119,10 @@ type Config struct {
 	Crashes []Crash
 	// EnableTrace turns on the structured event log.
 	EnableTrace bool
+	// Observer is an optional extra obs.Sink teed with the world's stats
+	// and trace; the telemetry layer hooks in here so sim runs feed the
+	// same collector live clusters do.
+	Observer obs.Sink
 }
 
 func (c *Config) fill() error {
@@ -178,6 +183,7 @@ func Build(cfg Config) (*System, error) {
 		GST:         cfg.GST,
 		DefaultLink: network.Timely(cfg.Delta), // replaced below
 		EnableTrace: cfg.EnableTrace,
+		Observer:    cfg.Observer,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,363 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/detector"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// DefaultQuiescenceWindow is the sliding window over which link activity
+// is judged: a directed link is "active" if it carried a message within
+// the window. One second comfortably covers every heartbeat period used
+// in this repository while staying short enough that stabilization shows
+// up within a couple of scrapes.
+const DefaultQuiescenceWindow = time.Second
+
+// Collector aggregates live telemetry for one cluster (or one simulator
+// world): latency histograms fed from the observer pipeline and the
+// leader/decision hooks, plus the steady-state quiescence gauges that
+// assert the paper's n−1-links property at runtime.
+//
+// A Collector is an obs.Sink; tee it into a transport.Config.Observer (or
+// a scenario/world observer) so it sees every message event. Leader
+// transitions arrive via WatchOmega, decisions via WatchRecorder. All
+// methods are safe for concurrent use; the per-message path is lock-free.
+type Collector struct {
+	n     int
+	clock func() sim.Time
+	stats *metrics.MessageStats
+	win   time.Duration
+
+	// hbKind marks the message kinds treated as heartbeats for
+	// inter-arrival tracking; lastHB holds the previous delivery time per
+	// directed link (n*n, flattened, -1 = none yet).
+	hbKind [obs.MaxKinds]bool
+	lastHB []atomic.Int64
+
+	hbJitter *Histogram // per-link heartbeat inter-arrival
+	downtime *Histogram // election downtime: leader change → next stable leader
+	decision *Histogram // proposer-side consensus decision latency
+
+	// Election tracker. Leader changes are rare (finitely many, after
+	// GST), so a mutex is fine here; the message path never touches it.
+	mu         sync.Mutex
+	leaders    []node.ID
+	down       []bool
+	inDowntime bool
+	downSince  sim.Time
+
+	stableLeader  atomic.Int64 // current cluster-wide agreed leader, -1 while disputed
+	lastElection  atomic.Int64 // sim.Time the current agreement formed, -1 before the first
+	elections     atomic.Uint64
+	leaderChanges atomic.Uint64
+	decides       atomic.Uint64
+}
+
+var _ obs.Sink = (*Collector)(nil)
+
+// Option customizes a Collector.
+type Option func(*Collector)
+
+// WithStats attaches the cluster's message accounting; the quiescence
+// gauges (active links, non-leader sends) are derived from it at read
+// time. Without it those gauges read zero.
+func WithStats(s *metrics.MessageStats) Option {
+	return func(c *Collector) { c.stats = s }
+}
+
+// WithClock overrides the collector's notion of "now", which must be on
+// the same clock as the timestamps reported through the sink. The default
+// is wall time since New, matching the live transports' cluster clock; a
+// simulator world should pass its kernel clock.
+func WithClock(fn func() sim.Time) Option {
+	return func(c *Collector) { c.clock = fn }
+}
+
+// WithHeartbeatKinds replaces the set of message kinds whose deliveries
+// feed the inter-arrival histogram. The default covers the repository's
+// heartbeat kinds: LEADER (core), ALIVE (alltoall), ALIVE-V (source).
+func WithHeartbeatKinds(names ...string) Option {
+	return func(c *Collector) {
+		c.hbKind = [obs.MaxKinds]bool{}
+		for _, name := range names {
+			c.hbKind[obs.Intern(name)] = true
+		}
+	}
+}
+
+// WithQuiescenceWindow sets the sliding window for the active-links gauge
+// (default DefaultQuiescenceWindow).
+func WithQuiescenceWindow(d time.Duration) Option {
+	return func(c *Collector) {
+		if d > 0 {
+			c.win = d
+		}
+	}
+}
+
+// New returns a collector for an n-process system.
+func New(n int, opts ...Option) *Collector {
+	c := &Collector{
+		n:          n,
+		win:        DefaultQuiescenceWindow,
+		lastHB:     make([]atomic.Int64, n*n),
+		hbJitter:   NewHistogram("heartbeat_interarrival", n),
+		downtime:   NewHistogram("election_downtime", 1),
+		decision:   NewHistogram("decision_latency", n),
+		leaders:    make([]node.ID, n),
+		down:       make([]bool, n),
+		inDowntime: true, // the initial election counts, from time zero
+	}
+	for i := range c.leaders {
+		c.leaders[i] = node.None
+	}
+	for i := range c.lastHB {
+		c.lastHB[i].Store(-1)
+	}
+	c.stableLeader.Store(-1)
+	c.lastElection.Store(-1)
+	for _, name := range []string{"LEADER", "ALIVE", "ALIVE-V"} {
+		c.hbKind[obs.Intern(name)] = true
+	}
+	start := time.Now()
+	c.clock = func() sim.Time { return sim.Time(time.Since(start).Nanoseconds()) }
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// AttachStats attaches the cluster's message accounting after
+// construction — for wiring orders where the stats object is created by
+// the cluster the collector observes. Call during setup, before Serve and
+// before the cluster starts.
+func (c *Collector) AttachStats(s *metrics.MessageStats) { c.stats = s }
+
+// SetClock replaces the collector's clock after construction (see
+// WithClock) — the simulator wires its kernel clock here, which exists
+// only after the world is built. Call during setup, before Serve.
+func (c *Collector) SetClock(fn func() sim.Time) { c.clock = fn }
+
+// N returns the process count the collector was built for.
+func (c *Collector) N() int { return c.n }
+
+// Now returns the collector's current time on the cluster clock.
+func (c *Collector) Now() sim.Time { return c.clock() }
+
+// QuiescenceWindow returns the sliding window used by ActiveLinks.
+func (c *Collector) QuiescenceWindow() time.Duration { return c.win }
+
+// --- obs.Sink -----------------------------------------------------------
+
+// OnSend implements obs.Sink. Message counting lives in
+// metrics.MessageStats; the collector only derives from it.
+func (c *Collector) OnSend(t sim.Time, from, to int, kind obs.Kind) {}
+
+// OnDeliver implements obs.Sink: deliveries of heartbeat kinds feed the
+// per-link inter-arrival histogram. The path is lock-free and performs no
+// allocation.
+func (c *Collector) OnDeliver(t sim.Time, from, to int, kind obs.Kind) {
+	if !c.hbKind[kind] {
+		return
+	}
+	prev := c.lastHB[from*c.n+to].Swap(int64(t))
+	if prev >= 0 && int64(t) >= prev {
+		c.hbJitter.Record(to, time.Duration(int64(t)-prev))
+	}
+}
+
+// OnDrop implements obs.Sink.
+func (c *Collector) OnDrop(t sim.Time, from, to int, kind obs.Kind) {}
+
+// --- leader/decision feeds ----------------------------------------------
+
+// WatchOmega subscribes the collector to process id's leader-change
+// stream. Call before the detector starts.
+func (c *Collector) WatchOmega(id node.ID, h *detector.History) {
+	c.LeaderChanged(0, id, h.Current())
+	h.SetNotify(func(t sim.Time, leader node.ID) { c.LeaderChanged(t, id, leader) })
+}
+
+// WatchRecorder subscribes the collector to process id's decision stream.
+// Call before the consensus automaton starts.
+func (c *Collector) WatchRecorder(id node.ID, r *consensus.Recorder) {
+	r.SetNotify(func(d consensus.Decision) { c.Decided(d) })
+}
+
+// LeaderChanged reports that process id's Omega output became leader at t.
+// Downtime bookkeeping: the span from the instant cluster-wide agreement
+// broke (or time zero, for the initial election) to the instant every
+// live process outputs the same live leader again is one election's
+// downtime.
+func (c *Collector) LeaderChanged(t sim.Time, id node.ID, leader node.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leaders[id] == leader {
+		return
+	}
+	if leader != node.None {
+		c.leaderChanges.Add(1)
+	}
+	c.leaders[id] = leader
+	c.recomputeLocked(t)
+}
+
+// MarkDown excludes a crashed process from agreement tracking: its frozen
+// leader output no longer blocks (or fakes) cluster-wide agreement, and a
+// crashed leader immediately opens a downtime span — the paper's
+// "leader-change → next stable leader" clock starts at the crash.
+func (c *Collector) MarkDown(id node.ID) {
+	t := c.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down[id] {
+		return
+	}
+	c.down[id] = true
+	c.recomputeLocked(t)
+}
+
+// recomputeLocked re-derives cluster-wide agreement — every live process
+// outputs the same live leader — and drives the downtime state machine.
+// Callers hold c.mu.
+func (c *Collector) recomputeLocked(t sim.Time) {
+	leader := node.None
+	agreed := true
+	for id, l := range c.leaders {
+		if c.down[id] {
+			continue
+		}
+		if l == node.None {
+			agreed = false
+			break
+		}
+		if leader == node.None {
+			leader = l
+		} else if l != leader {
+			agreed = false
+			break
+		}
+	}
+	if leader == node.None || int(leader) < len(c.down) && c.down[leader] {
+		agreed = false
+	}
+	switch {
+	case agreed && c.inDowntime:
+		c.inDowntime = false
+		c.downtime.Record(0, t.Sub(c.downSince))
+		c.elections.Add(1)
+		c.lastElection.Store(int64(t))
+		c.stableLeader.Store(int64(leader))
+	case agreed && c.stableLeader.Load() != int64(leader):
+		// Every live process moved in lockstep: a zero-downtime election.
+		c.downtime.Record(0, 0)
+		c.elections.Add(1)
+		c.lastElection.Store(int64(t))
+		c.stableLeader.Store(int64(leader))
+	case !agreed && !c.inDowntime:
+		c.inDowntime = true
+		c.downSince = t
+		c.stableLeader.Store(-1)
+	}
+}
+
+// Decided reports one learned consensus decision; proposer-side latency
+// (Decision.Elapsed, when known) feeds the decision histogram.
+func (c *Collector) Decided(d consensus.Decision) {
+	c.decides.Add(1)
+	if d.Elapsed > 0 {
+		c.decision.Record(int(d.By), d.Elapsed)
+	}
+}
+
+// --- gauges ---------------------------------------------------------------
+
+// Leader returns the cluster-wide agreed leader, or (node.None, false)
+// while processes disagree.
+func (c *Collector) Leader() (node.ID, bool) {
+	l := c.stableLeader.Load()
+	if l < 0 {
+		return node.None, false
+	}
+	return node.ID(l), true
+}
+
+// Elections returns how many times cluster-wide agreement has formed.
+// This is the monotone "reign" epoch /healthz reports next to the leader.
+func (c *Collector) Elections() uint64 { return c.elections.Load() }
+
+// LeaderChanges returns the total per-process leader-output transitions.
+func (c *Collector) LeaderChanges() uint64 { return c.leaderChanges.Load() }
+
+// Decides returns the total decisions observed across watched recorders.
+func (c *Collector) Decides() uint64 { return c.decides.Load() }
+
+// TimeSinceLastElection returns how long the current agreement has held,
+// or (0, false) if no cluster-wide agreement has formed yet.
+func (c *Collector) TimeSinceLastElection() (time.Duration, bool) {
+	at := c.lastElection.Load()
+	if at < 0 {
+		return 0, false
+	}
+	if _, ok := c.Leader(); !ok {
+		return 0, false // mid-election: the previous reign is over
+	}
+	return c.Now().Sub(sim.Time(at)), true
+}
+
+// ActiveLinks returns how many distinct directed links carried at least
+// one message within the quiescence window — the paper's steady-state
+// claim is that this converges to exactly n−1. Zero without WithStats.
+func (c *Collector) ActiveLinks() int {
+	if c.stats == nil {
+		return 0
+	}
+	since := c.Now() - sim.Time(c.win)
+	if since < 0 {
+		since = 0
+	}
+	return c.stats.LinksUsedSince(since)
+}
+
+// NonLeaderSends returns the total messages sent by every process other
+// than the current stable leader, excluding the given kinds (pass
+// core.KindAccuse to discount accusation traffic). While no stable leader
+// exists, every process counts. Zero without WithStats.
+//
+// After stabilization this gauge must stop moving: only the leader sends.
+func (c *Collector) NonLeaderSends(excludeKinds ...string) uint64 {
+	if c.stats == nil {
+		return 0
+	}
+	leader := c.stableLeader.Load()
+	var total uint64
+	for p := 0; p < c.n; p++ {
+		if int64(p) == leader {
+			continue
+		}
+		total += c.stats.SentBy(p)
+		for _, kind := range excludeKinds {
+			total -= c.stats.SentByKind(p, kind)
+		}
+	}
+	return total
+}
+
+// HeartbeatJitter returns the merged heartbeat inter-arrival snapshot.
+func (c *Collector) HeartbeatJitter() HistSnapshot { return c.hbJitter.Snapshot() }
+
+// ElectionDowntime returns the merged election-downtime snapshot.
+func (c *Collector) ElectionDowntime() HistSnapshot { return c.downtime.Snapshot() }
+
+// DecisionLatency returns the merged decision-latency snapshot.
+func (c *Collector) DecisionLatency() HistSnapshot { return c.decision.Snapshot() }
+
+// Stats returns the attached message accounting (nil without WithStats).
+func (c *Collector) Stats() *metrics.MessageStats { return c.stats }

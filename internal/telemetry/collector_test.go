@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// fakeClock is a settable collector clock for deterministic tests.
+type fakeClock struct{ t sim.Time }
+
+func (f *fakeClock) now() sim.Time       { return f.t }
+func (f *fakeClock) set(d time.Duration) { f.t = sim.At(d) }
+
+func TestDowntimeStateMachine(t *testing.T) {
+	clk := &fakeClock{}
+	c := New(3, WithClock(clk.now))
+
+	if _, ok := c.Leader(); ok {
+		t.Fatal("leader agreed before any reports")
+	}
+	if _, ok := c.TimeSinceLastElection(); ok {
+		t.Fatal("TimeSinceLastElection before any election")
+	}
+
+	// Initial election: processes converge on 0 one by one; the downtime
+	// span runs from time zero to the last report.
+	c.LeaderChanged(sim.At(10*time.Millisecond), 0, 0)
+	c.LeaderChanged(sim.At(20*time.Millisecond), 1, 0)
+	if _, ok := c.Leader(); ok {
+		t.Fatal("agreement with one process still undecided")
+	}
+	c.LeaderChanged(sim.At(30*time.Millisecond), 2, 0)
+
+	if l, ok := c.Leader(); !ok || l != 0 {
+		t.Fatalf("leader = %v/%v, want 0/true", l, ok)
+	}
+	if c.Elections() != 1 {
+		t.Fatalf("elections = %d, want 1", c.Elections())
+	}
+	dt := c.ElectionDowntime()
+	if dt.Count != 1 || dt.Max != 30*time.Millisecond {
+		t.Fatalf("downtime snapshot = count %d max %v, want 1/30ms", dt.Count, dt.Max)
+	}
+	clk.set(50 * time.Millisecond)
+	if since, ok := c.TimeSinceLastElection(); !ok || since != 20*time.Millisecond {
+		t.Fatalf("TimeSinceLastElection = %v/%v, want 20ms", since, ok)
+	}
+
+	// Re-election: agreement breaks at 100ms, reforms on 2 at 160ms.
+	c.LeaderChanged(sim.At(100*time.Millisecond), 0, 2)
+	if _, ok := c.Leader(); ok {
+		t.Fatal("leader still agreed mid-election")
+	}
+	if _, ok := c.TimeSinceLastElection(); ok {
+		t.Fatal("TimeSinceLastElection during dispute")
+	}
+	c.LeaderChanged(sim.At(120*time.Millisecond), 1, 2)
+	c.LeaderChanged(sim.At(160*time.Millisecond), 2, 2)
+	if l, ok := c.Leader(); !ok || l != 2 {
+		t.Fatalf("leader = %v/%v, want 2/true", l, ok)
+	}
+	if c.Elections() != 2 {
+		t.Fatalf("elections = %d, want 2", c.Elections())
+	}
+	dt = c.ElectionDowntime()
+	if dt.Count != 2 || dt.Max != 60*time.Millisecond {
+		t.Fatalf("downtime snapshot = count %d max %v, want 2/60ms", dt.Count, dt.Max)
+	}
+	if c.LeaderChanges() != 6 {
+		t.Fatalf("leaderChanges = %d, want 6", c.LeaderChanges())
+	}
+
+	// Duplicate reports are ignored.
+	c.LeaderChanged(sim.At(200*time.Millisecond), 0, 2)
+	if c.LeaderChanges() != 6 || c.Elections() != 2 {
+		t.Fatal("duplicate leader report changed state")
+	}
+}
+
+func TestMarkDownLeaderOpensDowntime(t *testing.T) {
+	clk := &fakeClock{}
+	c := New(3, WithClock(clk.now))
+	c.LeaderChanged(0, 0, 0)
+	c.LeaderChanged(0, 1, 0)
+	c.LeaderChanged(0, 2, 0)
+	if l, ok := c.Leader(); !ok || l != 0 {
+		t.Fatalf("leader = %v/%v, want 0/true", l, ok)
+	}
+
+	// Leader crashes at 1s: the downtime clock starts at the crash even
+	// though the survivors' outputs have not moved yet.
+	clk.set(time.Second)
+	c.MarkDown(0)
+	if _, ok := c.Leader(); ok {
+		t.Fatal("crashed leader still counted as agreed")
+	}
+
+	// Survivors elect 1; the crashed process's frozen output (0) must not
+	// block agreement.
+	c.LeaderChanged(sim.At(1300*time.Millisecond), 1, 1)
+	c.LeaderChanged(sim.At(1500*time.Millisecond), 2, 1)
+	if l, ok := c.Leader(); !ok || l != 1 {
+		t.Fatalf("leader = %v/%v, want 1/true", l, ok)
+	}
+	dt := c.ElectionDowntime()
+	if dt.Count != 2 || dt.Max != 500*time.Millisecond {
+		t.Fatalf("downtime = count %d max %v, want 2/500ms (crash → reform)", dt.Count, dt.Max)
+	}
+
+	// MarkDown is idempotent.
+	c.MarkDown(0)
+	if c.Elections() != 2 {
+		t.Fatalf("elections = %d after duplicate MarkDown, want 2", c.Elections())
+	}
+}
+
+func TestMarkDownNonLeaderKeepsAgreement(t *testing.T) {
+	c := New(3, WithClock(func() sim.Time { return 0 }))
+	for id := 0; id < 3; id++ {
+		c.LeaderChanged(0, node.ID(id), 0)
+	}
+	c.MarkDown(2)
+	if l, ok := c.Leader(); !ok || l != 0 {
+		t.Fatalf("leader = %v/%v after non-leader crash, want 0/true", l, ok)
+	}
+	if c.Elections() != 1 {
+		t.Fatalf("elections = %d, want 1", c.Elections())
+	}
+}
+
+func TestHeartbeatJitter(t *testing.T) {
+	c := New(2)
+	hb := obs.Intern("LEADER")
+	other := obs.Intern("RSM-ACCEPT")
+
+	c.OnDeliver(sim.At(0), 0, 1, hb) // first delivery: no interval yet
+	c.OnDeliver(sim.At(5*time.Millisecond), 0, 1, hb)
+	c.OnDeliver(sim.At(11*time.Millisecond), 0, 1, hb)
+	c.OnDeliver(sim.At(12*time.Millisecond), 0, 1, other) // not a heartbeat
+	s := c.HeartbeatJitter()
+	if s.Count != 2 {
+		t.Fatalf("jitter count = %d, want 2", s.Count)
+	}
+	if s.Max != 6*time.Millisecond {
+		t.Fatalf("jitter max = %v, want 6ms", s.Max)
+	}
+
+	// Per-link tracking: the 1→0 direction is independent.
+	c.OnDeliver(sim.At(100*time.Millisecond), 1, 0, hb)
+	if c.HeartbeatJitter().Count != 2 {
+		t.Fatal("first delivery on a fresh link recorded an interval")
+	}
+}
+
+func TestWithHeartbeatKindsReplacesDefaults(t *testing.T) {
+	c := New(2, WithHeartbeatKinds("CUSTOM"))
+	c.OnDeliver(sim.At(0), 0, 1, obs.Intern("LEADER"))
+	c.OnDeliver(sim.At(time.Millisecond), 0, 1, obs.Intern("LEADER"))
+	if c.HeartbeatJitter().Count != 0 {
+		t.Fatal("default kind still tracked after WithHeartbeatKinds")
+	}
+	c.OnDeliver(sim.At(0), 0, 1, obs.Intern("CUSTOM"))
+	c.OnDeliver(sim.At(time.Millisecond), 0, 1, obs.Intern("CUSTOM"))
+	if c.HeartbeatJitter().Count != 1 {
+		t.Fatal("custom kind not tracked")
+	}
+}
+
+func TestQuiescenceGauges(t *testing.T) {
+	clk := &fakeClock{}
+	stats := metrics.NewMessageStats(3)
+	c := New(3, WithClock(clk.now), WithStats(stats), WithQuiescenceWindow(100*time.Millisecond))
+
+	leaderKind := obs.Intern("LEADER")
+	accuse := obs.Intern("ACCUSE")
+
+	// Pre-stabilization chatter: everyone sends.
+	stats.OnSend(sim.At(time.Millisecond), 1, 0, leaderKind)
+	stats.OnSend(sim.At(time.Millisecond), 2, 0, accuse)
+	stats.OnSend(sim.At(2*time.Millisecond), 0, 1, leaderKind)
+	stats.OnSend(sim.At(2*time.Millisecond), 0, 2, leaderKind)
+	clk.set(3 * time.Millisecond)
+	if got := c.ActiveLinks(); got != 4 {
+		t.Fatalf("active links = %d, want 4", got)
+	}
+
+	// No leader yet: everyone is a non-leader.
+	if got := c.NonLeaderSends(); got != 4 {
+		t.Fatalf("non-leader sends = %d, want 4", got)
+	}
+
+	// Leader 0 agreed: only processes 1 and 2 count, and excluding
+	// accusations discounts process 2's message.
+	for id := 0; id < 3; id++ {
+		c.LeaderChanged(sim.At(3*time.Millisecond), node.ID(id), 0)
+	}
+	if got := c.NonLeaderSends(); got != 2 {
+		t.Fatalf("non-leader sends = %d, want 2", got)
+	}
+	if got := c.NonLeaderSends("ACCUSE"); got != 1 {
+		t.Fatalf("non-leader sends excl accuse = %d, want 1", got)
+	}
+
+	// Steady state: only the leader's links stay active once the window
+	// slides past the early chatter.
+	stats.OnSend(sim.At(500*time.Millisecond), 0, 1, leaderKind)
+	stats.OnSend(sim.At(500*time.Millisecond), 0, 2, leaderKind)
+	clk.set(550 * time.Millisecond)
+	if got := c.ActiveLinks(); got != 2 {
+		t.Fatalf("active links = %d in steady state, want n-1 = 2", got)
+	}
+	if got := c.NonLeaderSends("ACCUSE"); got != 1 {
+		t.Fatal("non-leader sends moved in steady state")
+	}
+}
+
+func TestCollectorWithoutStats(t *testing.T) {
+	c := New(2)
+	if c.ActiveLinks() != 0 || c.NonLeaderSends() != 0 {
+		t.Fatal("gauges without stats should read zero")
+	}
+	if c.Stats() != nil {
+		t.Fatal("Stats() should be nil without WithStats")
+	}
+}
+
+func TestDecided(t *testing.T) {
+	c := New(3)
+	c.Decided(consensus.Decision{By: 1, Elapsed: 4 * time.Millisecond})
+	c.Decided(consensus.Decision{By: 2}) // follower learn: latency unknown
+	if c.Decides() != 2 {
+		t.Fatalf("decides = %d, want 2", c.Decides())
+	}
+	s := c.DecisionLatency()
+	if s.Count != 1 || s.Max != 4*time.Millisecond {
+		t.Fatalf("decision latency = count %d max %v, want 1/4ms", s.Count, s.Max)
+	}
+}
+
+// TestCollectorRaceStress exercises every reader against every writer
+// concurrently; its value is under -race (see make test-race / CI).
+func TestCollectorRaceStress(t *testing.T) {
+	const n = 4
+	stats := metrics.NewMessageStats(n)
+	c := New(n, WithStats(stats))
+	hb := obs.Intern("LEADER")
+
+	const iters = 3000
+	var wg sync.WaitGroup
+	worker := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				fn(i)
+			}
+		}()
+	}
+	worker(func(i int) {
+		from, to := i%n, (i+1)%n
+		ts := sim.At(time.Duration(i) * time.Microsecond)
+		stats.OnSend(ts, from, to, hb)
+		c.OnDeliver(ts, from, to, hb)
+	})
+	worker(func(i int) {
+		c.LeaderChanged(sim.At(time.Duration(i)*time.Microsecond), node.ID(i%n), node.ID(i%2))
+	})
+	worker(func(i int) {
+		c.Decided(consensus.Decision{By: node.ID(i % n), Elapsed: time.Duration(i%100) * time.Microsecond})
+	})
+	worker(func(i int) {
+		if i%100 != 0 { // readers are heavier; sample
+			return
+		}
+		c.WritePrometheus(io.Discard)
+		_ = c.Health()
+		_ = c.Dump()
+		_, _ = c.Leader()
+		_ = c.ActiveLinks()
+		_ = c.NonLeaderSends("ACCUSE")
+		_ = c.HeartbeatJitter()
+	})
+	wg.Wait()
+
+	if c.Decides() != iters {
+		t.Fatalf("decides = %d, want %d", c.Decides(), iters)
+	}
+	if c.HeartbeatJitter().Count == 0 {
+		t.Fatal("no heartbeat intervals recorded under stress")
+	}
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// promHist writes one histogram in Prometheus exposition format, with
+// cumulative le buckets in seconds. Power-of-two buckets export exactly:
+// every observation in bucket b is < 2^b ns, so the cumulative count at
+// le = 2^b ns is precise.
+func promHist(w io.Writer, name string, s HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	top := 0
+	for b, c := range s.Buckets {
+		if c > 0 {
+			top = b
+		}
+	}
+	for b := 0; b <= top; b++ {
+		cum += s.Buckets[b]
+		le := float64(uint64(1)<<uint(b)) / 1e9
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+// WritePrometheus writes the collector's full state in Prometheus text
+// exposition format: message counters (from the attached MessageStats),
+// the quiescence gauges, and the three latency histograms.
+func (c *Collector) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	if st := c.stats; st != nil {
+		counter("omega_sent_total", "Messages handed to the links.", st.TotalSent())
+		counter("omega_delivered_total", "Messages delivered.", st.Delivered())
+		counter("omega_dropped_total", "Messages lost in transit.", st.Dropped())
+		counter("omega_wire_bytes_total", "Encoded bytes handed to the links.", st.WireBytes())
+		fmt.Fprintf(w, "# HELP omega_sent_kind_total Messages sent per kind.\n# TYPE omega_sent_kind_total counter\n")
+		for _, kind := range st.Kinds() {
+			fmt.Fprintf(w, "omega_sent_kind_total{kind=%q} %d\n", kind, st.KindCount(kind))
+		}
+		fmt.Fprintf(w, "# HELP omega_sent_by_total Messages sent per process.\n# TYPE omega_sent_by_total counter\n")
+		for p := 0; p < c.n; p++ {
+			fmt.Fprintf(w, "omega_sent_by_total{process=\"%d\"} %d\n", p, st.SentBy(p))
+		}
+	}
+
+	// Quiescence: the paper's steady-state claim, as scrapeable gauges.
+	// After stabilization active_links must read n-1 and
+	// non_leader_sends_total must stop moving.
+	gauge("omega_active_links",
+		"Directed links that carried a message within the quiescence window.",
+		float64(c.ActiveLinks()))
+	gauge("omega_quiescence_window_seconds",
+		"Sliding window used by omega_active_links.", c.win.Seconds())
+	gauge("omega_non_leader_sends_total",
+		"Messages sent by processes other than the stable leader.",
+		float64(c.NonLeaderSends()))
+
+	leader, agreed := c.Leader()
+	l := float64(-1)
+	if agreed {
+		l = float64(leader)
+	}
+	gauge("omega_leader", "Cluster-wide agreed leader id, -1 while disputed.", l)
+	sinceS := float64(-1)
+	if since, ok := c.TimeSinceLastElection(); ok {
+		sinceS = since.Seconds()
+	}
+	gauge("omega_time_since_last_election_seconds",
+		"How long the current agreement has held, -1 before the first.", sinceS)
+	counter("omega_elections_total", "Times cluster-wide agreement formed.", c.Elections())
+	counter("omega_leader_changes_total", "Per-process leader-output transitions.", c.LeaderChanges())
+	counter("omega_decides_total", "Consensus decisions learned across watched recorders.", c.Decides())
+
+	promHist(w, "omega_election_downtime_seconds", c.ElectionDowntime())
+	promHist(w, "omega_decision_latency_seconds", c.DecisionLatency())
+	promHist(w, "omega_heartbeat_interarrival_seconds", c.HeartbeatJitter())
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func entryAt(i int) Entry {
+	return Entry{T: sim.Time(i), Kind: KindNote, Node: i, Peer: -1, Note: "e"}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	l := NewRing(3)
+	for i := 0; i < 5; i++ {
+		l.Add(entryAt(i))
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Node != i+2 {
+			t.Fatalf("entries = %v, want nodes 2,3,4", got)
+		}
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", l.Dropped())
+	}
+	if l.Limit() != 3 {
+		t.Fatalf("limit = %d", l.Limit())
+	}
+}
+
+func TestRingTailAndFilterWrapAware(t *testing.T) {
+	l := NewRing(4)
+	for i := 0; i < 7; i++ {
+		l.Add(entryAt(i))
+	}
+	tail := l.Tail(2)
+	if len(tail) != 2 || tail[0].Node != 5 || tail[1].Node != 6 {
+		t.Fatalf("tail = %v, want nodes 5,6", tail)
+	}
+	if got := l.FilterNode(4); len(got) != 1 || got[0].Node != 4 {
+		t.Fatalf("FilterNode(4) = %v", got)
+	}
+	if got := l.Filter(KindNote); len(got) != 4 {
+		t.Fatalf("Filter = %v, want the 4 retained entries", got)
+	}
+}
+
+func TestSetLimitShrinksAndUnbounds(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 6; i++ {
+		l.Add(entryAt(i))
+	}
+	l.SetLimit(2) // keeps the newest two
+	got := l.Entries()
+	if len(got) != 2 || got[0].Node != 4 || got[1].Node != 5 {
+		t.Fatalf("after shrink: %v, want nodes 4,5", got)
+	}
+	if l.Dropped() != 4 {
+		t.Fatalf("dropped = %d, want 4", l.Dropped())
+	}
+
+	l.SetLimit(0) // back to unbounded; appends keep order
+	for i := 6; i < 9; i++ {
+		l.Add(entryAt(i))
+	}
+	got = l.Entries()
+	want := []int{4, 5, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("after unbound: %v", got)
+	}
+	for i, e := range got {
+		if e.Node != want[i] {
+			t.Fatalf("after unbound: %v, want nodes %v", got, want)
+		}
+	}
+}
+
+func TestWallStartRendersAbsoluteTimestamps(t *testing.T) {
+	l := NewLog()
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	l.SetWallStart(start)
+	l.Add(Entry{T: sim.At(1500 * time.Millisecond), Kind: KindCrash, Node: 2, Peer: -1})
+	var b strings.Builder
+	if _, err := l.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "12:00:01.500000 ") {
+		t.Fatalf("wall-anchored line = %q, want 12:00:01.500000 prefix", out)
+	}
+	if !strings.Contains(out, "CRASH") {
+		t.Fatalf("line missing event: %q", out)
+	}
+}
+
+func TestWriteTail(t *testing.T) {
+	l := NewRing(3)
+	start := time.Date(2026, 8, 5, 9, 0, 0, 0, time.UTC)
+	l.SetWallStart(start)
+	for i := 0; i < 5; i++ {
+		l.Add(entryAt(i))
+	}
+	var b strings.Builder
+	if _, err := l.WriteTail(&b, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("WriteTail wrote %d lines: %q", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "09:00:00.000000 ") || !strings.Contains(lines[0], "p3") {
+		t.Fatalf("tail line = %q, want wall prefix and node 3", lines[0])
+	}
+}
+
+func TestStamp(t *testing.T) {
+	l := NewLog()
+	if l.Stamp() != 0 {
+		t.Fatal("Stamp without anchor should be 0")
+	}
+	l.SetWallStart(time.Now().Add(-time.Second))
+	if s := l.Stamp(); s < sim.At(900*time.Millisecond) || s > sim.At(10*time.Second) {
+		t.Fatalf("Stamp = %v, want ~1s", s)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -84,16 +85,106 @@ func (e Entry) String() string {
 	return b.String()
 }
 
-// Log is an append-only trace. The zero value is a valid, enabled log.
-// Disable recording with SetEnabled(false) for large benchmark runs.
+// Log is a time-ordered trace. The zero value is a valid, enabled,
+// unbounded log. Disable recording with SetEnabled(false) for large
+// benchmark runs; bound memory for long-running live clusters with
+// SetLimit (ring mode: the oldest entries are evicted).
+//
+// Entry times are sim.Time — virtual in the simulator, nanoseconds since
+// cluster start on the live transports. SetWallStart anchors that clock
+// to an absolute wall instant so WriteTo can render real timestamps for
+// live runs.
 type Log struct {
-	mu       sync.Mutex
-	disabled bool
-	entries  []Entry
+	mu        sync.Mutex
+	disabled  bool
+	limit     int // 0 = unbounded; otherwise ring capacity
+	dropped   uint64
+	entries   []Entry
+	head      int // index of the oldest entry once the ring wrapped
+	wallStart time.Time
 }
 
-// NewLog returns an enabled, empty log.
+// NewLog returns an enabled, empty, unbounded log.
 func NewLog() *Log { return &Log{} }
+
+// NewRing returns an enabled log bounded to the newest limit entries —
+// the mode long soaks use so the trace cannot grow without bound.
+func NewRing(limit int) *Log {
+	l := &Log{}
+	l.SetLimit(limit)
+	return l
+}
+
+// SetLimit bounds the log to the newest limit entries (ring mode); the
+// oldest entries are evicted and counted by Dropped. limit <= 0 restores
+// unbounded growth. Shrinking below the current length evicts immediately.
+func (l *Log) SetLimit(limit int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if limit <= 0 {
+		// Unwrap the ring so plain appends resume in order.
+		l.entries = l.snapshotLocked()
+		l.head = 0
+		l.limit = 0
+		return
+	}
+	if drop := len(l.entries) - limit; drop > 0 {
+		all := l.snapshotLocked()
+		l.entries = all[drop:]
+		l.dropped += uint64(drop)
+	} else {
+		l.entries = l.snapshotLocked()
+	}
+	l.head = 0
+	l.limit = limit
+}
+
+// Limit returns the ring bound, 0 when unbounded.
+func (l *Log) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// Dropped returns how many entries ring mode has evicted.
+func (l *Log) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// SetWallStart anchors entry times to an absolute wall-clock instant:
+// an entry at T renders as start.Add(T). Live clusters pass their start
+// time so event logs line up with external logs and packet captures.
+func (l *Log) SetWallStart(start time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.wallStart = start
+}
+
+// Stamp returns the current trace timestamp for a log anchored with
+// SetWallStart: wall time since the anchor. It lets live-cluster code
+// record ordered events (crashes, partitions, verdicts) on the same
+// clock as the message events flowing in via MessageSink.
+func (l *Log) Stamp() sim.Time {
+	l.mu.Lock()
+	start := l.wallStart
+	l.mu.Unlock()
+	if start.IsZero() {
+		return 0
+	}
+	return sim.Time(time.Since(start).Nanoseconds())
+}
+
+// snapshotLocked returns the retained entries oldest-first; callers hold
+// l.mu.
+func (l *Log) snapshotLocked() []Entry {
+	out := make([]Entry, len(l.entries))
+	for i := range l.entries {
+		out[i] = l.entries[(l.head+i)%len(l.entries)]
+	}
+	return out
+}
 
 // SetEnabled turns recording on or off. Entries recorded earlier are kept.
 func (l *Log) SetEnabled(on bool) {
@@ -109,11 +200,18 @@ func (l *Log) Enabled() bool {
 	return !l.disabled
 }
 
-// Add appends an entry if the log is enabled.
+// Add appends an entry if the log is enabled. In ring mode a full log
+// evicts its oldest entry.
 func (l *Log) Add(e Entry) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.disabled {
+		return
+	}
+	if l.limit > 0 && len(l.entries) == l.limit {
+		l.entries[l.head] = e
+		l.head = (l.head + 1) % l.limit
+		l.dropped++
 		return
 	}
 	l.entries = append(l.entries, e)
@@ -131,50 +229,71 @@ func (l *Log) Len() int {
 	return len(l.entries)
 }
 
-// Entries returns a copy of all recorded entries.
+// Entries returns a copy of the retained entries, oldest first.
 func (l *Log) Entries() []Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]Entry, len(l.entries))
-	copy(out, l.entries)
-	return out
+	return l.snapshotLocked()
 }
 
-// Filter returns a copy of the entries matching the given kind.
+// Filter returns a copy of the retained entries matching the given kind.
 func (l *Log) Filter(kind EventKind) []Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []Entry
-	for _, e := range l.entries {
-		if e.Kind == kind {
+	for i := range l.entries {
+		if e := l.entries[(l.head+i)%len(l.entries)]; e.Kind == kind {
 			out = append(out, e)
 		}
 	}
 	return out
 }
 
-// FilterNode returns a copy of the entries for the given node.
+// FilterNode returns a copy of the retained entries for the given node.
 func (l *Log) FilterNode(node int) []Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []Entry
-	for _, e := range l.entries {
-		if e.Node == node {
+	for i := range l.entries {
+		if e := l.entries[(l.head+i)%len(l.entries)]; e.Node == node {
 			out = append(out, e)
 		}
 	}
 	return out
 }
 
-// WriteTo writes the formatted trace to w, one entry per line.
+// WriteTo writes the formatted trace to w, one entry per line. With a
+// wall anchor (SetWallStart) each line is prefixed with the absolute
+// timestamp the entry's offset corresponds to.
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
 	l.mu.Lock()
-	entries := make([]Entry, len(l.entries))
-	copy(entries, l.entries)
+	entries := l.snapshotLocked()
+	start := l.wallStart
 	l.mu.Unlock()
+	return writeEntries(w, entries, start)
+}
+
+// WriteTail writes the last n retained entries like WriteTo — the
+// flight-recorder dump for ring-mode logs.
+func (l *Log) WriteTail(w io.Writer, n int) (int64, error) {
+	entries := l.Tail(n)
+	l.mu.Lock()
+	start := l.wallStart
+	l.mu.Unlock()
+	return writeEntries(w, entries, start)
+}
+
+func writeEntries(w io.Writer, entries []Entry, start time.Time) (int64, error) {
 	var total int64
 	for _, e := range entries {
-		n, err := fmt.Fprintln(w, e.String())
+		var n int
+		var err error
+		if start.IsZero() {
+			n, err = fmt.Fprintln(w, e.String())
+		} else {
+			n, err = fmt.Fprintf(w, "%s %s\n",
+				start.Add(time.Duration(e.T)).Format("15:04:05.000000"), e.String())
+		}
 		total += int64(n)
 		if err != nil {
 			return total, err
@@ -202,7 +321,8 @@ func (m msgSink) OnDrop(t sim.Time, from, to int, kind obs.Kind) {
 	m.l.Add(Entry{T: t, Kind: KindDrop, Node: from, Peer: to, Msg: obs.KindName(kind)})
 }
 
-// Tail returns the last n entries (or all of them if fewer exist).
+// Tail returns the last n retained entries (or all of them if fewer
+// exist).
 func (l *Log) Tail(n int) []Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -210,6 +330,9 @@ func (l *Log) Tail(n int) []Entry {
 		n = len(l.entries)
 	}
 	out := make([]Entry, n)
-	copy(out, l.entries[len(l.entries)-n:])
+	skip := len(l.entries) - n
+	for i := 0; i < n; i++ {
+		out[i] = l.entries[(l.head+skip+i)%len(l.entries)]
+	}
 	return out
 }
