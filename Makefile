@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race soak telemetry-smoke bench bench-micro bench-json bench-wire tables
+.PHONY: all build vet test test-race soak telemetry-smoke bench bench-micro bench-json bench-wire bench-consensus tables
 
 all: vet test
 
@@ -74,6 +74,13 @@ bench-json:
 # steadies the socket-bound TCP numbers.
 bench-wire:
 	$(GO) test -run '^$$' -bench 'Envelope|TCPSend|UDPReceiveSteadyState' -benchmem -benchtime 3s ./internal/wire ./internal/transport
+
+# Consensus engine throughput on loopback TCP: the single-command baseline
+# (batch 1, window 1) against the batched + pipelined configuration, three
+# runs per arm with the best kept. Writes BENCH_consensus.json; the
+# batched arm's peak decided-commands/sec should be ≥5x the baseline's.
+bench-consensus:
+	$(GO) run ./cmd/consload -n 5 -dur 2s -reps 3 -json BENCH_consensus.json
 
 # Regenerate EXPERIMENTS.md-style tables at full size.
 tables:

@@ -1,0 +1,338 @@
+// Command consload is a throughput harness for the layered consensus
+// engine over a live loopback TCP cluster: real sockets, real wire codec,
+// real Omega detectors — the path production code runs. It drives a
+// closed-loop client against the elected leader and reports decided
+// commands per second, consensus messages per command, and wire bytes per
+// command.
+//
+// By default it runs the comparison the engine exists for: a
+// single-command baseline (-batch 1 -window 1 — one instance in flight,
+// one command per instance) against the batched + pipelined configuration
+// (defaults BatchMax 16, Window 8), and prints the speedup.
+//
+// Usage examples:
+//
+//	consload                          # baseline vs batched, 3s each
+//	consload -n 5 -dur 5s -json BENCH_consensus.json
+//	consload -batch 4 -window 2      # tune the batched arm
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/rsm"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/transport"
+)
+
+// rsmKinds are the replicated-log message kinds, counted so Omega
+// heartbeats don't pollute the per-command cost.
+var rsmKinds = []string{
+	rsm.KindRequest, rsm.KindPrepare, rsm.KindPromise, rsm.KindNack,
+	rsm.KindAccept, rsm.KindAccepted, rsm.KindDecide, rsm.KindLearn,
+}
+
+// result is one run's measurement, marshalled into BENCH_consensus.json.
+type result struct {
+	Name          string  `json:"name"`
+	BatchMax      int     `json:"batch_max"`
+	Window        int     `json:"window"`
+	Submitted     int     `json:"submitted"`
+	Applied       int     `json:"applied"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	AppliedPerSec float64 `json:"applied_per_sec"`
+	PeakPerSec    float64 `json:"peak_applied_per_sec"`
+	Msgs          uint64  `json:"consensus_msgs"`
+	MsgsPerCmd    float64 `json:"msgs_per_cmd"`
+	BytesPerCmd   float64 `json:"wire_bytes_per_cmd"`
+	Dropped       uint64  `json:"dropped_frames"`
+}
+
+type report struct {
+	Harness string   `json:"harness"`
+	N       int      `json:"n"`
+	DurSec  float64  `json:"dur_sec"`
+	Reps    int      `json:"reps"`
+	Runs    []result `json:"runs"`
+	Speedup float64  `json:"speedup"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("consload", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 3, "number of replicas")
+		dur      = fs.Duration("dur", 3*time.Second, "load window per run")
+		seed     = fs.Int64("seed", 1, "transport randomness seed")
+		batch    = fs.Int("batch", 0, "batched arm's BatchMax (0 = engine default)")
+		window   = fs.Int("window", 0, "batched arm's pipelining window (0 = engine default)")
+		inflight = fs.Int("inflight", 1024, "closed-loop cap on outstanding commands")
+		drive    = fs.Duration("drive", 5*time.Millisecond, "engine drive tick (partial-batch flush bound)")
+		reps     = fs.Int("reps", 1, "runs per arm; the best run is reported (damps single-core scheduler noise)")
+		jsonPath = fs.String("json", "", "write the machine-readable report to this path")
+		profile  = fs.String("cpuprofile", "", "write a CPU profile of the load runs to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return fmt.Errorf("consload: n = %d, need at least 2", *n)
+	}
+	if *dur <= 0 || *inflight <= 0 || *reps <= 0 {
+		return fmt.Errorf("consload: dur, inflight and reps must be positive")
+	}
+
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := report{Harness: "consload", N: *n, DurSec: dur.Seconds(), Reps: *reps}
+	arms := []struct {
+		name          string
+		batch, window int
+	}{
+		{"baseline", 1, 1},
+		{"batched", *batch, *window},
+	}
+	for _, arm := range arms {
+		var best result
+		for i := 0; i < *reps; i++ {
+			r, err := runOne(arm.name, *n, *seed+int64(i), arm.batch, arm.window, *inflight, *dur, *drive)
+			if err != nil {
+				return err
+			}
+			if r.PeakPerSec > best.PeakPerSec {
+				best = r
+			}
+		}
+		rep.Runs = append(rep.Runs, best)
+		fmt.Fprintf(out, "consload: %-8s batch=%-3d window=%-2d  %8.0f cmds/sec (peak %.0f)  %6.2f msgs/cmd  %7.1f B/cmd  (%d applied in %.2fs, %d dropped)\n",
+			best.Name, best.BatchMax, best.Window, best.AppliedPerSec, best.PeakPerSec, best.MsgsPerCmd, best.BytesPerCmd, best.Applied, best.ElapsedSec, best.Dropped)
+	}
+	if base := rep.Runs[0].PeakPerSec; base > 0 {
+		rep.Speedup = rep.Runs[1].PeakPerSec / base
+	}
+	fmt.Fprintf(out, "consload: batched/baseline speedup %.1fx\n", rep.Speedup)
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "consload: wrote %s\n", *jsonPath)
+	}
+	if rep.Runs[0].Applied == 0 || rep.Runs[1].Applied == 0 {
+		return fmt.Errorf("consload: a run applied nothing — engine or transport broken")
+	}
+	return nil
+}
+
+// runOne boots a fresh TCP cluster with the given engine knobs, drives the
+// closed loop for dur, and measures from first submit to drain.
+func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur, driveInterval time.Duration) (result, error) {
+	autos := make([]node.Automaton, n)
+	dets := make([]*core.Detector, n)
+	logs := make([]*rsm.Node, n)
+	for i := 0; i < n; i++ {
+		dets[i] = core.New(core.WithEta(5*time.Millisecond), core.WithRebuff())
+		logs[i] = rsm.New(dets[i], rsm.Config{
+			DriveInterval: driveInterval,
+			BatchMax:      batchMax,
+			Window:        window,
+		})
+		autos[i] = node.Compose(dets[i], logs[i])
+	}
+	// The ingress link carries the request flood AND that follower's
+	// consensus replies; size the queue above the closed-loop cap so load
+	// can never crowd out protocol traffic.
+	c, err := transport.NewTCPCluster(transport.Config{
+		N: n, Seed: seed, Quiet: true, SendQueue: 2*inflight + 1024,
+	}, autos)
+	if err != nil {
+		return result{}, err
+	}
+	c.Start()
+	defer c.Stop()
+
+	// Wait for one stable leader with a prepared ballot.
+	leader, err := awaitLeader(dets, 10*time.Second)
+	if err != nil {
+		return result{}, err
+	}
+	// Clients enter through one follower — a single ingress link keeps the
+	// request stream coalescing well — and throughput is measured at a
+	// different non-leader replica.
+	follower := (int(leader) + 1) % n
+	observer := (int(leader) + 2) % n
+
+	// Probe until the leader's ballot is prepared: requests that land
+	// before phase 1 completes are dropped (clients re-forward), so retry
+	// a probe command until it applies everywhere we measure.
+	probeDeadline := time.Now().Add(10 * time.Second)
+	for logs[observer].Recorder().Count() == 0 {
+		if time.Now().After(probeDeadline) {
+			return result{}, fmt.Errorf("consload: leader never served the probe command")
+		}
+		c.Inject(node.ID(follower), leader, rsm.RequestMsg{V: consensus.Value(name + "-probe")})
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	msgsBefore := kindTotal(c.Stats())
+	bytesBefore := c.Stats().WireBytes()
+	droppedBefore := c.Stats().Dropped()
+	appliedBefore := logs[observer].Recorder().Count()
+
+	// Closed loop: keep at most inflight commands outstanding, measured
+	// against the observer's applied count. Requests enter through a
+	// follower — the real client path — and are forwarded to the leader.
+	// Applied counts are sampled as the run goes so peak sustained
+	// throughput can be read off afterwards.
+	type sample struct {
+		t time.Time
+		c int
+	}
+	begin := time.Now()
+	deadline := begin.Add(dur)
+	samples := []sample{{begin, 0}}
+	submitted := 0
+	for time.Now().Before(deadline) {
+		applied := logs[observer].Recorder().Count() - appliedBefore
+		if now := time.Now(); now.Sub(samples[len(samples)-1].t) >= 50*time.Millisecond {
+			samples = append(samples, sample{now, applied})
+		}
+		room := inflight - (submitted - applied)
+		if room <= 0 {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		if room > 64 {
+			room = 64 // bursts bounded below the send queue
+		}
+		// The client batches its queue into request envelopes of the
+		// engine's batch size — the request hop amortizes exactly like
+		// phase 2 does (BatchRequest of one command is a plain request).
+		chunkMax := logs[0].Config().BatchMax
+		for room > 0 {
+			chunk := chunkMax
+			if chunk > room {
+				chunk = room
+			}
+			cmds := make([]consensus.Value, chunk)
+			for k := range cmds {
+				cmds[k] = consensus.Value(fmt.Sprintf("%s-%d", name, submitted))
+				submitted++
+			}
+			c.Inject(node.ID(follower), leader, rsm.BatchRequest(cmds))
+			room -= chunk
+		}
+		runtime.Gosched() // single-core boxes: let the stations work the burst
+	}
+	// Drain: wait until the observer's applied count stops moving (lost
+	// requests — e.g. a queue overflow — are simply not counted).
+	last, lastMove := logs[observer].Recorder().Count(), time.Now()
+	for time.Since(lastMove) < time.Second && last-appliedBefore < submitted {
+		time.Sleep(10 * time.Millisecond)
+		if cur := logs[observer].Recorder().Count(); cur > last {
+			last, lastMove = cur, time.Now()
+		}
+	}
+	elapsed := lastMove.Sub(begin)
+	applied := last - appliedBefore
+	samples = append(samples, sample{lastMove, applied})
+	msgs := kindTotal(c.Stats()) - msgsBefore
+	wireBytes := c.Stats().WireBytes() - bytesBefore
+
+	// Peak sustained throughput: the best rate over any ≥250ms span of
+	// the run. On one-core boxes whole-run means are hostage to scheduler
+	// regimes; the peak window reads the engine's demonstrated capacity.
+	var peak float64
+	for i := 0; i < len(samples); i++ {
+		for j := i + 1; j < len(samples); j++ {
+			span := samples[j].t.Sub(samples[i].t)
+			if span < 250*time.Millisecond {
+				continue
+			}
+			if rate := float64(samples[j].c-samples[i].c) / span.Seconds(); rate > peak {
+				peak = rate
+			}
+			break // longer spans from i only dilute the window
+		}
+	}
+
+	r := result{
+		Name:       name,
+		BatchMax:   logs[0].Config().BatchMax,
+		Window:     logs[0].Config().Window,
+		Submitted:  submitted,
+		Applied:    applied,
+		ElapsedSec: elapsed.Seconds(),
+		Msgs:       msgs,
+		Dropped:    c.Stats().Dropped() - droppedBefore,
+		PeakPerSec: peak,
+	}
+	if elapsed > 0 {
+		r.AppliedPerSec = float64(applied) / elapsed.Seconds()
+	}
+	if r.PeakPerSec < r.AppliedPerSec {
+		r.PeakPerSec = r.AppliedPerSec // short runs: the whole run is the window
+	}
+	if applied > 0 {
+		r.MsgsPerCmd = float64(msgs) / float64(applied)
+		r.BytesPerCmd = float64(wireBytes) / float64(applied)
+	}
+	return r, nil
+}
+
+// awaitLeader blocks until every detector's history agrees on one leader.
+func awaitLeader(dets []*core.Detector, bound time.Duration) (node.ID, error) {
+	deadline := time.Now().Add(bound)
+	for time.Now().Before(deadline) {
+		leader := node.None
+		ok := true
+		for _, d := range dets {
+			l := d.History().Current()
+			if l == node.None || (leader != node.None && l != leader) {
+				ok = false
+				break
+			}
+			leader = l
+		}
+		if ok {
+			return leader, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return node.None, fmt.Errorf("consload: no stable leader within %v", bound)
+}
+
+func kindTotal(s interface{ KindCount(string) uint64 }) uint64 {
+	var total uint64
+	for _, k := range rsmKinds {
+		total += s.KindCount(k)
+	}
+	return total
+}

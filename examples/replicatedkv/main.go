@@ -3,8 +3,12 @@
 // communication-efficient Omega.
 //
 // Commands are "SET key value" strings decided into a shared log; every
-// replica applies the log in order, so all stores converge to the same
-// state — through a leader crash in the middle of the write stream.
+// replica applies the log in order via the engine's OnApply hook — the
+// engine batches bursts of commands into shared instances and unpacks
+// them again at apply time, so the store never sees batch envelopes. With
+// Forget on, applied log prefixes are pruned cluster-wide, keeping each
+// replica's memory bounded. All stores converge to the same state —
+// through a leader crash in the middle of the write stream.
 //
 //	go run ./examples/replicatedkv
 package main
@@ -23,25 +27,18 @@ import (
 	"repro/internal/node"
 )
 
-// store is a replica's state machine: it applies decided log entries in
-// order.
+// store is a replica's state machine. The engine invokes apply through
+// its OnApply hook, in log order, once per command — batch envelopes are
+// already unpacked.
 type store struct {
 	data    map[string]string
-	applied int
+	applied int // commands applied, noops included
 }
 
 func newStore() *store { return &store{data: make(map[string]string)} }
 
-// catchUp applies every newly decided prefix entry.
-func (s *store) catchUp(l *rsm.Node) {
-	for s.applied < l.FirstGap() {
-		v, _ := l.Get(s.applied)
-		s.apply(string(v))
-		s.applied++
-	}
-}
-
 func (s *store) apply(cmd string) {
+	s.applied++
 	if cmd == string(consensus.Noop) {
 		return
 	}
@@ -82,8 +79,10 @@ func run() error {
 	stores := make([]*store, n)
 	for i := 0; i < n; i++ {
 		det := core.New(core.WithEta(10 * time.Millisecond))
-		logs[i] = rsm.New(det, rsm.Config{})
+		logs[i] = rsm.New(det, rsm.Config{Forget: true})
 		stores[i] = newStore()
+		st := stores[i]
+		logs[i].OnApply(func(inst, cmd int, v consensus.Value) { st.apply(string(v)) })
 		world.SetAutomaton(node.ID(i), node.Compose(det, logs[i]))
 	}
 	world.Start()
@@ -105,13 +104,12 @@ func run() error {
 	}
 	world.RunFor(5 * time.Second)
 
-	// Apply and compare.
-	fmt.Println("\nreplica  log-len  state fingerprint")
+	// Compare the continuously applied states.
+	fmt.Println("\nreplica  applied  retained  state fingerprint")
 	var want string
 	for i := 1; i < n; i++ {
-		stores[i].catchUp(logs[i])
 		fp := stores[i].fingerprint()
-		fmt.Printf("p%-7d %-8d %s\n", i, logs[i].FirstGap(), truncate(fp, 60))
+		fmt.Printf("p%-7d %-8d %-9d %s\n", i, stores[i].applied, logs[i].Retained(), truncate(fp, 55))
 		if want == "" {
 			want = fp
 		} else if fp != want {

@@ -27,34 +27,48 @@ const NoValue Value = ""
 // close before serving fresh commands (see internal/consensus/rsm).
 const Noop Value = "__noop__"
 
-// Decision records one learned outcome.
+// Decision records one learned outcome. With command batching a single
+// decided instance carries several client commands; each gets its own
+// Decision, distinguished by Cmd, so latency and safety are tracked per
+// command rather than per batch.
 type Decision struct {
 	// Instance is the consensus instance (always 0 for single-decree).
 	Instance int
-	// Value is the decided value.
+	// Cmd is the command's position within the instance's decided value
+	// (0 for unbatched values and single-decree protocols).
+	Cmd int
+	// Value is the decided value — the individual command, not the batch
+	// envelope it rode in.
 	Value Value
 	// At is when this process learned the decision.
 	At sim.Time
 	// By is the learning process.
 	By node.ID
-	// Elapsed is the proposer-side decision latency — how long the
-	// deciding phase-2 round ran before a quorum formed. Only the
-	// proposing leader knows it; everywhere else it is zero ("unknown").
+	// Elapsed is the proposer-side decision latency for this command —
+	// from the moment the leader enqueued it until it was applied. Only
+	// the proposing leader knows it; everywhere else it is zero
+	// ("unknown").
 	Elapsed time.Duration
+}
+
+// decisionKey identifies one command slot: batching means an instance can
+// decide several commands, each recorded once.
+type decisionKey struct {
+	inst, cmd int
 }
 
 // Recorder collects the decisions one process learns. It is safe for
 // concurrent use so live transports can observe it.
 type Recorder struct {
 	mu        sync.Mutex
-	decisions map[int]Decision
+	decisions map[decisionKey]Decision
 	order     []Decision
 	notify    func(d Decision)
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{decisions: make(map[int]Decision)}
+	return &Recorder{decisions: make(map[decisionKey]Decision)}
 }
 
 // SetNotify installs a hook invoked after each first-time decision record
@@ -67,15 +81,16 @@ func (r *Recorder) SetNotify(fn func(d Decision)) {
 	r.notify = fn
 }
 
-// Record stores the first decision for an instance; later records for the
-// same instance are ignored (integrity is checked elsewhere).
+// Record stores the first decision for a command slot; later records for
+// the same (instance, cmd) are ignored (integrity is checked elsewhere).
 func (r *Recorder) Record(d Decision) {
+	key := decisionKey{d.Instance, d.Cmd}
 	r.mu.Lock()
-	if _, ok := r.decisions[d.Instance]; ok {
+	if _, ok := r.decisions[key]; ok {
 		r.mu.Unlock()
 		return
 	}
-	r.decisions[d.Instance] = d
+	r.decisions[key] = d
 	r.order = append(r.order, d)
 	notify := r.notify
 	r.mu.Unlock()
@@ -84,15 +99,23 @@ func (r *Recorder) Record(d Decision) {
 	}
 }
 
-// Get returns the decision for an instance, if learned.
+// Get returns the first command's decision for an instance, if learned —
+// the whole decision for unbatched values.
 func (r *Recorder) Get(instance int) (Decision, bool) {
+	return r.GetCmd(instance, 0)
+}
+
+// GetCmd returns the decision for one command slot of an instance, if
+// learned.
+func (r *Recorder) GetCmd(instance, cmd int) (Decision, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	d, ok := r.decisions[instance]
+	d, ok := r.decisions[decisionKey{instance, cmd}]
 	return d, ok
 }
 
-// Count returns how many instances this process has decided.
+// Count returns how many commands this process has decided (equals the
+// instance count when nothing is batched).
 func (r *Recorder) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -196,37 +219,48 @@ type SafetyReport struct {
 func (r SafetyReport) Holds() bool { return r.Agreement && r.Validity }
 
 // CheckSafety verifies consensus agreement and validity across a run.
+// Agreement is checked per command slot: with batching, two processes must
+// decide the same command at every (instance, position) pair, not merely
+// the same batch envelope.
 func CheckSafety(in SafetyInput) SafetyReport {
 	rep := SafetyReport{Agreement: true, Validity: true}
-	chosen := make(map[int]Value)
-	var instances []int
+	chosen := make(map[decisionKey]Value)
+	seen := make(map[int]bool)
 	for id, r := range in.Recorders {
 		if r == nil {
 			continue
 		}
 		for _, d := range r.All() {
 			rep.TotalDecisions++
-			prev, ok := chosen[d.Instance]
+			key := decisionKey{d.Instance, d.Cmd}
+			prev, ok := chosen[key]
 			if !ok {
-				chosen[d.Instance] = d.Value
-				instances = append(instances, d.Instance)
+				chosen[key] = d.Value
+				seen[d.Instance] = true
 				continue
 			}
 			if prev != d.Value {
 				rep.Agreement = false
 				rep.Violations = append(rep.Violations, fmt.Sprintf(
-					"instance %d: p%d decided %q but %q was decided elsewhere", d.Instance, id, d.Value, prev))
+					"instance %d cmd %d: p%d decided %q but %q was decided elsewhere", d.Instance, d.Cmd, id, d.Value, prev))
 			}
 		}
+	}
+	var instances []int
+	for inst := range seen {
+		instances = append(instances, inst)
 	}
 	sort.Ints(instances)
 	rep.Instances = len(instances)
 	if in.Proposed != nil {
-		for inst, v := range chosen {
-			if !contains(in.Proposed[inst], v) {
+		for key, v := range chosen {
+			if v == Noop {
+				continue // gap filler, proposed by the protocol itself
+			}
+			if !contains(in.Proposed[key.inst], v) {
 				rep.Validity = false
 				rep.Violations = append(rep.Violations, fmt.Sprintf(
-					"instance %d: decided %q was never proposed", inst, v))
+					"instance %d cmd %d: decided %q was never proposed", key.inst, key.cmd, v))
 			}
 		}
 	}

@@ -104,6 +104,60 @@ func TestRecorder(t *testing.T) {
 	}
 }
 
+func TestRecorderKeysPerCommand(t *testing.T) {
+	r := NewRecorder()
+	// One batched instance deciding three commands: each slot records
+	// independently, duplicates per slot are still ignored.
+	r.Record(Decision{Instance: 0, Cmd: 0, Value: "a"})
+	r.Record(Decision{Instance: 0, Cmd: 1, Value: "b"})
+	r.Record(Decision{Instance: 0, Cmd: 2, Value: "c"})
+	r.Record(Decision{Instance: 0, Cmd: 1, Value: "z"}) // ignored duplicate
+	if r.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", r.Count())
+	}
+	if d, ok := r.GetCmd(0, 1); !ok || d.Value != "b" {
+		t.Fatalf("GetCmd(0,1) = %+v,%v", d, ok)
+	}
+	if d, ok := r.Get(0); !ok || d.Value != "a" {
+		t.Fatalf("Get(0) = %+v,%v — want the cmd-0 decision", d, ok)
+	}
+	if _, ok := r.GetCmd(0, 3); ok {
+		t.Fatal("GetCmd(0,3) found a decision")
+	}
+}
+
+func TestCheckSafetyPerCommandAgreement(t *testing.T) {
+	// Same batch envelope, but the processes disagree on the command in
+	// slot 1 — per-instance checking would miss this.
+	r0, r1 := NewRecorder(), NewRecorder()
+	r0.Record(Decision{Instance: 0, Cmd: 0, Value: "a"})
+	r0.Record(Decision{Instance: 0, Cmd: 1, Value: "b"})
+	r1.Record(Decision{Instance: 0, Cmd: 0, Value: "a"})
+	r1.Record(Decision{Instance: 0, Cmd: 1, Value: "x"})
+	rep := CheckSafety(SafetyInput{Recorders: []*Recorder{r0, r1}})
+	if rep.Agreement {
+		t.Fatal("per-command disagreement not caught")
+	}
+	if rep.Instances != 1 || rep.TotalDecisions != 4 {
+		t.Fatalf("Instances=%d TotalDecisions=%d", rep.Instances, rep.TotalDecisions)
+	}
+}
+
+func TestCheckSafetyNoopIsAlwaysValid(t *testing.T) {
+	// Gap fillers are proposed by the protocol, not a client; validity
+	// must not flag them.
+	r0 := NewRecorder()
+	r0.Record(Decision{Instance: 0, Value: Noop})
+	r0.Record(Decision{Instance: 1, Value: "a"})
+	rep := CheckSafety(SafetyInput{
+		Recorders: []*Recorder{r0},
+		Proposed:  map[int][]Value{1: {"a"}},
+	})
+	if !rep.Holds() {
+		t.Fatalf("noop flagged: %v", rep.Violations)
+	}
+}
+
 func TestCheckSafetyAgreementViolation(t *testing.T) {
 	r0, r1 := NewRecorder(), NewRecorder()
 	r0.Record(Decision{Instance: 0, Value: "x"})

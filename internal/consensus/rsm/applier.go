@@ -1,0 +1,77 @@
+package rsm
+
+import (
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/sim"
+)
+
+// This file is the applier layer: it walks the contiguous decided prefix
+// in order, unpacks batch envelopes, and fans out one Decision per
+// command. Latency is per command, enqueue-to-apply: the proposing leader
+// remembers when each command entered its queue and stamps the difference
+// at apply time; everywhere else Elapsed is zero ("unknown").
+
+// proposal remembers what the leader proposed in an instance and when
+// each command in it was enqueued.
+type proposal struct {
+	env consensus.Value
+	enq []sim.Time
+}
+
+// applier tracks apply progress and decision fan-out.
+type applier struct {
+	next    int // next instance to apply; always firstGap after apply()
+	count   int // commands applied, noops included
+	onApply func(inst, cmd int, v consensus.Value)
+	props   map[int]proposal
+}
+
+func newApplier() applier { return applier{props: make(map[int]proposal)} }
+
+// track remembers a proposal for latency stamping at apply time.
+func (a *applier) track(inst int, env consensus.Value, enq []sim.Time) {
+	a.props[inst] = proposal{env: env, enq: enq}
+}
+
+// apply runs the applier over every newly contiguous decided instance:
+// decode, fan out per-command Decisions, retire matching pending
+// commands, and advance the Done vector's own entry.
+func (r *Node) apply() {
+	now := r.env.Now()
+	for {
+		v, ok := r.log.get(r.app.next)
+		if !ok {
+			break
+		}
+		inst := r.app.next
+		r.app.next++
+		prop, tracked := r.app.props[inst]
+		if tracked {
+			delete(r.app.props, inst)
+			if prop.env != v {
+				tracked = false // our proposal lost this instance
+			}
+		}
+		for k, cmd := range decodeBatch(v) {
+			var elapsed time.Duration
+			if tracked && k < len(prop.enq) {
+				elapsed = now.Sub(prop.enq[k])
+			}
+			r.rec.Record(consensus.Decision{
+				Instance: inst, Cmd: k, Value: cmd,
+				At: now, By: r.me, Elapsed: elapsed,
+			})
+			if r.app.onApply != nil {
+				r.app.onApply(inst, k, cmd)
+			}
+			r.app.count++
+			r.bat.retire(cmd)
+		}
+	}
+	r.dones.observe(r.me, r.log.firstGap)
+	if r.cfg.Forget && r.prop.prepared {
+		r.maybeForget(r.dones.min())
+	}
+}

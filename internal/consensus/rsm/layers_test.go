@@ -1,0 +1,256 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/node"
+)
+
+// newTunedCluster is newCluster with an explicit engine config.
+func newTunedCluster(t *testing.T, n int, seed int64, cfg Config) *cluster {
+	t.Helper()
+	w, err := node.NewWorld(node.WorldConfig{N: n, Seed: seed, DefaultLink: network.Timely(2 * ms)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &cluster{world: w, dets: make([]*core.Detector, n), nodes: make([]*Node, n)}
+	for i := 0; i < n; i++ {
+		c.dets[i] = core.New(core.WithEta(10 * ms))
+		c.nodes[i] = New(c.dets[i], cfg)
+		w.SetAutomaton(node.ID(i), node.Compose(c.dets[i], c.nodes[i]))
+	}
+	return c
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	cases := [][]consensus.Value{
+		{"single"},
+		{"a", "b", "c"},
+		{"", "x", ""}, // empty commands survive
+		{"\x00bstartswithmarker"},
+		{"binary\x00\xffstuff", consensus.Value(make([]byte, 300))},
+	}
+	for _, cmds := range cases {
+		env := encodeBatch(cmds)
+		got := decodeBatch(env)
+		if len(got) != len(cmds) {
+			t.Fatalf("round-trip of %q: %d commands, want %d", cmds, len(got), len(cmds))
+		}
+		for i := range cmds {
+			if got[i] != cmds[i] {
+				t.Fatalf("round-trip of %q: cmd %d = %q", cmds, i, got[i])
+			}
+		}
+	}
+	// The unbatched fast path: a lone marker-free command is proposed raw.
+	if env := encodeBatch([]consensus.Value{"plain"}); env != "plain" {
+		t.Fatalf("single command encoded as %q, want raw", env)
+	}
+	// A marker-prefixed command must NOT pass through raw.
+	if env := encodeBatch([]consensus.Value{"\x00boops"}); env == "\x00boops" {
+		t.Fatal("marker-prefixed command leaked through unwrapped")
+	}
+	// Arbitrary non-envelope values decode as one command.
+	if got := decodeBatch("legacy"); len(got) != 1 || got[0] != "legacy" {
+		t.Fatalf("raw value decoded as %v", got)
+	}
+}
+
+func TestLogbookForgetBelow(t *testing.T) {
+	l := newLogbook()
+	for i := 0; i < 10; i++ {
+		l.insert(i, consensus.Value(fmt.Sprintf("v%d", i)))
+	}
+	l.forgetBelow(5)
+	if l.retained() != 5 {
+		t.Fatalf("retained = %d, want 5", l.retained())
+	}
+	if _, ok := l.get(3); ok {
+		t.Fatal("forgotten entry still readable")
+	}
+	if v, ok := l.get(7); !ok || v != "v7" {
+		t.Fatal("retained entry lost")
+	}
+	if l.insert(3, "zombie") {
+		t.Fatal("re-insert below the forgetting horizon accepted")
+	}
+	if l.firstGap != 10 {
+		t.Fatalf("firstGap = %d after forgetting, want 10", l.firstGap)
+	}
+	// The horizon never regresses, and never passes the applied prefix.
+	l.forgetBelow(2)
+	if l.low != 5 {
+		t.Fatalf("low regressed to %d", l.low)
+	}
+	l.forgetBelow(99)
+	if l.low != 10 || l.retained() != 0 {
+		t.Fatalf("low = %d retained = %d, want horizon capped at firstGap", l.low, l.retained())
+	}
+}
+
+func TestDoneVectorMin(t *testing.T) {
+	d := newDoneVector(3)
+	if d.min() != 0 {
+		t.Fatalf("fresh min = %d", d.min())
+	}
+	d.observe(0, 7)
+	d.observe(1, 5)
+	if d.min() != 0 {
+		t.Fatal("min advanced without hearing from p2")
+	}
+	d.observe(2, 6)
+	if d.min() != 5 {
+		t.Fatalf("min = %d, want 5", d.min())
+	}
+	d.observe(1, 3) // stale advertisement must not regress
+	if d.min() != 5 {
+		t.Fatalf("min regressed to %d", d.min())
+	}
+}
+
+func TestLeaderChangeMidPipelineConvergesWithoutReordering(t *testing.T) {
+	// Load the pipeline (small window, small batches → many concurrent
+	// instances), crash the leader mid-flight, and require the survivors
+	// to re-propose in-flight instances, close the rest with no-ops, and
+	// apply one identical command sequence.
+	c := newTunedCluster(t, 5, 31, Config{Window: 4, BatchMax: 4})
+	c.world.Start()
+	c.world.RunFor(300 * ms)
+	for i := 0; i < 24; i++ {
+		c.nodes[0].Submit(consensus.Value(fmt.Sprintf("c%d", i)))
+	}
+	c.world.RunFor(21 * ms) // several windowed instances in flight
+	c.world.Crash(0)
+	c.nodes[1].Submit("after")
+	c.world.RunFor(5 * time.Second)
+	c.assertPrefixAgreement(t)
+	if rep := c.safety(); !rep.Holds() {
+		t.Fatalf("safety: %v", rep.Violations)
+	}
+	for i := 1; i < 5; i++ {
+		// No holes below the gap: every lost instance was re-proposed or
+		// no-op filled.
+		for inst := 0; inst < c.nodes[i].FirstGap(); inst++ {
+			if _, ok := c.nodes[i].Get(inst); !ok {
+				t.Fatalf("p%d has a hole at instance %d", i, inst)
+			}
+		}
+		if !c.appliedSet(i)["after"] {
+			t.Fatalf("p%d never applied the post-crash command", i)
+		}
+	}
+	// No reordering: survivors applied the same (instance, cmd, value)
+	// sequence — Recorder order is apply order.
+	ref := c.nodes[1].Recorder().All()
+	for i := 2; i < 5; i++ {
+		got := c.nodes[i].Recorder().All()
+		n := len(ref)
+		if len(got) < n {
+			n = len(got)
+		}
+		for k := 0; k < n; k++ {
+			if got[k].Instance != ref[k].Instance || got[k].Cmd != ref[k].Cmd || got[k].Value != ref[k].Value {
+				t.Fatalf("apply order diverged at %d: p%d applied (%d,%d,%q), p1 applied (%d,%d,%q)",
+					k, i, got[k].Instance, got[k].Cmd, got[k].Value, ref[k].Instance, ref[k].Cmd, ref[k].Value)
+			}
+		}
+	}
+}
+
+func TestForgettingBoundsRetainedLog(t *testing.T) {
+	c := newTunedCluster(t, 3, 32, Config{Forget: true})
+	c.world.Start()
+	c.world.RunFor(300 * ms)
+	// Sustained load in waves: each wave's accepts carry the followers'
+	// applied-through counts forward, so earlier waves get pruned while
+	// later ones stream in.
+	const waves, perWave = 10, 60
+	for w := 0; w < waves; w++ {
+		for i := 0; i < perWave; i++ {
+			c.nodes[0].Submit(consensus.Value(fmt.Sprintf("w%d-c%d", w, i)))
+		}
+		c.world.RunFor(300 * ms)
+	}
+	c.world.RunFor(time.Second)
+	for i, s := range c.nodes {
+		if got := s.Applied(); got < waves*perWave {
+			t.Fatalf("p%d applied %d commands, want ≥ %d", i, got, waves*perWave)
+		}
+		if s.MinDone() == 0 {
+			t.Fatalf("p%d never advanced its forgetting horizon", i)
+		}
+		// Bounded memory: far fewer entries retained than were decided.
+		if gap := s.FirstGap(); s.Retained() > gap/2 {
+			t.Fatalf("p%d retains %d of %d decided instances — forgetting is not pruning", i, s.Retained(), gap)
+		}
+	}
+	// A forgetful log can't serve Get() on its whole prefix, so agreement
+	// is checked on the recorders (which keep every applied decision).
+	if rep := c.safety(); !rep.Holds() {
+		t.Fatalf("safety: %v", rep.Violations)
+	}
+}
+
+func TestForgettingOffRetainsEverything(t *testing.T) {
+	c := newTunedCluster(t, 3, 33, Config{})
+	c.world.Start()
+	c.world.RunFor(300 * ms)
+	for i := 0; i < 40; i++ {
+		c.nodes[0].Submit(consensus.Value(fmt.Sprintf("c%d", i)))
+	}
+	c.world.RunFor(2 * time.Second)
+	for i, s := range c.nodes {
+		if s.Retained() != s.FirstGap() || s.MinDone() != 0 {
+			t.Fatalf("p%d pruned with Forget off (retained %d of %d)", i, s.Retained(), s.FirstGap())
+		}
+	}
+}
+
+func TestPerCommandElapsedIsEnqueueToApply(t *testing.T) {
+	// Three commands, staggered 5ms apart, riding in at most two
+	// instances: each must get its own enqueue-to-apply latency at the
+	// leader — earlier enqueue, strictly larger Elapsed when they share a
+	// batch.
+	c := newTunedCluster(t, 3, 34, Config{Window: 1, BatchMax: 8})
+	c.world.Start()
+	c.world.RunFor(500 * ms)
+	if !c.nodes[0].IsLeader() {
+		t.Skip("p0 not leader under this seed")
+	}
+	c.nodes[0].Submit("first") // proposed immediately (pipeline idle)
+	c.world.RunFor(5 * ms)
+	c.nodes[0].Submit("second") // queued: window of 1 is busy
+	c.world.RunFor(5 * ms)
+	c.nodes[0].Submit("third") // queued behind second
+	c.world.RunFor(2 * time.Second)
+	byValue := make(map[consensus.Value]consensus.Decision)
+	for _, d := range c.nodes[0].Recorder().All() {
+		byValue[d.Value] = d
+	}
+	for _, v := range []consensus.Value{"first", "second", "third"} {
+		d, ok := byValue[v]
+		if !ok {
+			t.Fatalf("%q never applied at the leader", v)
+		}
+		if d.Elapsed <= 0 {
+			t.Fatalf("%q applied with Elapsed = %v, want > 0 at the proposing leader", v, d.Elapsed)
+		}
+	}
+	// second and third shared a batch (window 1 held them back) yet their
+	// latencies differ by their enqueue stagger.
+	ds, dt := byValue["second"], byValue["third"]
+	if ds.Instance == dt.Instance && ds.Elapsed <= dt.Elapsed {
+		t.Fatalf("batched commands share latency: second %v ≤ third %v", ds.Elapsed, dt.Elapsed)
+	}
+	// Followers do not know proposer-side latency.
+	for _, d := range c.nodes[1].Recorder().All() {
+		if d.Elapsed != 0 {
+			t.Fatalf("follower decision %q has Elapsed %v, want 0", d.Value, d.Elapsed)
+		}
+	}
+}

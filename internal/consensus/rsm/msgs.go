@@ -1,0 +1,112 @@
+package rsm
+
+import "repro/internal/consensus"
+
+// Message kind tags.
+const (
+	// KindRequest tags command forwarding to the leader.
+	KindRequest = "RSM-REQ"
+	// KindPrepare tags the leader's one-time phase-1 broadcast.
+	KindPrepare = "RSM-PREPARE"
+	// KindPromise tags phase-1 acknowledgements with accepted entries.
+	KindPromise = "RSM-PROMISE"
+	// KindNack tags ballot rejections.
+	KindNack = "RSM-NACK"
+	// KindAccept tags per-instance phase-2 proposals.
+	KindAccept = "RSM-ACCEPT"
+	// KindAccepted tags per-instance phase-2 acknowledgements.
+	KindAccepted = "RSM-ACCEPTED"
+	// KindDecide tags per-instance decision announcements.
+	KindDecide = "RSM-DECIDE"
+	// KindLearn tags gap-fill requests from lagging followers.
+	KindLearn = "RSM-LEARN"
+)
+
+// RequestMsg forwards a client command to the leader.
+type RequestMsg struct{ V consensus.Value }
+
+// Kind implements node.Message.
+func (RequestMsg) Kind() string { return KindRequest }
+
+// PrepareMsg opens a stable ballot covering all instances.
+type PrepareMsg struct{ B consensus.Ballot }
+
+// Kind implements node.Message.
+func (PrepareMsg) Kind() string { return KindPrepare }
+
+// PromEntry reports one accepted-but-not-decided instance in a promise.
+type PromEntry struct {
+	Inst int
+	AccB consensus.Ballot
+	AccV consensus.Value
+}
+
+// PromiseMsg acknowledges a stable ballot and reports accepted entries.
+type PromiseMsg struct {
+	B       consensus.Ballot
+	Entries []PromEntry
+}
+
+// Kind implements node.Message.
+func (PromiseMsg) Kind() string { return KindPromise }
+
+// NackMsg rejects ballot B in favor of Promised.
+type NackMsg struct {
+	B        consensus.Ballot
+	Promised consensus.Ballot
+}
+
+// Kind implements node.Message.
+func (NackMsg) Kind() string { return KindNack }
+
+// AcceptMsg proposes value V for log instance Inst at ballot B.
+//
+// CommitUpTo piggybacks decision information (see
+// Config.PiggybackDecides): every instance below it that the receiver has
+// accepted at ballot B is decided with its accepted value.
+//
+// MinDone piggybacks the Done vector's cluster minimum (see
+// Config.Forget): every process has applied instances below it, so the
+// receiver may forget them. Zero means "no forgetting".
+type AcceptMsg struct {
+	B          consensus.Ballot
+	Inst       int
+	V          consensus.Value
+	CommitUpTo int
+	MinDone    int
+}
+
+// Kind implements node.Message.
+func (AcceptMsg) Kind() string { return KindAccept }
+
+// AcceptedMsg acknowledges acceptance of instance Inst at ballot B. Done
+// advertises the sender's applied-through count (its first gap) — the
+// sender's entry in the leader's Done vector (see Config.Forget).
+type AcceptedMsg struct {
+	B    consensus.Ballot
+	Inst int
+	Done int
+}
+
+// Kind implements node.Message.
+func (AcceptedMsg) Kind() string { return KindAccepted }
+
+// DecideMsg announces instance Inst's decision.
+type DecideMsg struct {
+	Inst int
+	V    consensus.Value
+}
+
+// Kind implements node.Message.
+func (DecideMsg) Kind() string { return KindDecide }
+
+// LearnMsg asks the receiver for decisions starting at FirstGap. It
+// doubles as a Done-vector advertisement: the sender has applied
+// everything below FirstGap.
+type LearnMsg struct{ FirstGap int }
+
+// Kind implements node.Message.
+func (LearnMsg) Kind() string { return KindLearn }
+
+// learnBatch bounds how many decisions a LearnMsg response carries.
+const learnBatch = 64

@@ -1,0 +1,152 @@
+package rsm
+
+import (
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// This file is the pipeline layer: windowed multi-instance phase 2. The
+// prepared leader drives up to Config.Window instances concurrently, each
+// carrying one value (a single command or a batch envelope). Every
+// instance costs (n−1) ACCEPT + (n−1) ACCEPTED + (n−1) DECIDE — or
+// 2(n−1) with piggybacked commits — whatever the batch size, which is
+// where batching's amortization comes from.
+
+// maxRetryTimeout caps retry backoffs.
+const maxRetryTimeout = 5 * time.Second
+
+type inflight struct {
+	v       consensus.Value
+	acks    map[node.ID]bool
+	started sim.Time
+	timeout time.Duration // per-instance retry backoff
+}
+
+// pipeline is the leader-side phase-2 state.
+type pipeline struct {
+	inflights map[int]*inflight
+	nextInst  int
+}
+
+// hasRoom reports whether a new instance may be opened under the window.
+func (p *pipeline) hasRoom(window int) bool { return len(p.inflights) < window }
+
+// open assigns the next free instance.
+func (p *pipeline) open(v consensus.Value, now sim.Time) int {
+	inst := p.nextInst
+	p.nextInst++
+	p.inflights[inst] = &inflight{v: v, acks: make(map[node.ID]bool, 4), started: now}
+	return inst
+}
+
+// propose drives value v in a fresh instance of the pipeline. enqs, when
+// non-nil, are the enqueue times of the envelope's commands, registered
+// with the applier for latency stamping before any message can decide
+// the instance.
+func (r *Node) propose(v consensus.Value, enqs []sim.Time) int {
+	inst := r.pipe.open(v, r.env.Now())
+	r.pipe.inflights[inst].acks[r.me] = true
+	if enqs != nil {
+		r.app.track(inst, v, enqs)
+	}
+	r.acc.accepted[inst] = acceptedEntry{b: r.prop.ballot, v: v}
+	r.env.Broadcast(r.acceptMsg(inst, v))
+	r.maybeDecide(inst)
+	return inst
+}
+
+// reopen re-drives an existing instance at the current ballot — the
+// leader-change path (re-proposals and no-op fillers). Bypasses the
+// window: these instances block the decided prefix.
+func (r *Node) reopen(inst int, v consensus.Value) {
+	r.pipe.inflights[inst] = &inflight{v: v, acks: map[node.ID]bool{r.me: true}, started: r.env.Now()}
+	r.acc.accepted[inst] = acceptedEntry{b: r.prop.ballot, v: v}
+	r.env.Broadcast(r.acceptMsg(inst, v))
+}
+
+// redrive rebroadcasts stalled instances with per-instance backoff.
+func (r *Node) redrive(now sim.Time) {
+	for inst, fl := range r.pipe.inflights {
+		if fl.timeout == 0 {
+			fl.timeout = r.cfg.RetryTimeout
+		}
+		if now.Sub(fl.started) >= fl.timeout {
+			fl.started = now
+			if fl.timeout < maxRetryTimeout {
+				fl.timeout *= 2
+			}
+			r.env.Broadcast(r.acceptMsg(inst, fl.v))
+		}
+	}
+}
+
+// onAccept is the acceptor's phase-2 handler.
+func (r *Node) onAccept(from node.ID, m AcceptMsg) {
+	if v, decided := r.log.get(m.Inst); decided {
+		r.env.Send(from, DecideMsg{Inst: m.Inst, V: v})
+		return
+	}
+	if m.Inst < r.log.low {
+		return // forgotten: decided and applied cluster-wide long ago
+	}
+	if m.B >= r.acc.promised {
+		r.acc.promised = m.B
+		r.acc.accepted[m.Inst] = acceptedEntry{b: m.B, v: m.V}
+		r.acc.lastAcceptAt = r.env.Now()
+		r.env.Send(from, AcceptedMsg{B: m.B, Inst: m.Inst, Done: r.log.firstGap})
+		// Piggybacked commit information: everything below CommitUpTo
+		// that we accepted at this very ballot carries the decided
+		// value (a ballot binds one value per instance).
+		for inst := r.log.firstGap; inst < m.CommitUpTo; inst++ {
+			if e, ok := r.acc.accepted[inst]; ok && e.b == m.B {
+				r.learn(inst, e.v)
+			}
+		}
+		r.maybeForget(m.MinDone)
+	} else {
+		r.env.Send(from, NackMsg{B: m.B, Promised: r.acc.promised})
+	}
+}
+
+func (r *Node) onAccepted(from node.ID, m AcceptedMsg) {
+	r.dones.observe(from, m.Done)
+	if m.B != r.prop.ballot {
+		return
+	}
+	fl, ok := r.pipe.inflights[m.Inst]
+	if !ok {
+		return
+	}
+	fl.acks[from] = true
+	r.maybeDecide(m.Inst)
+}
+
+func (r *Node) maybeDecide(inst int) {
+	fl, ok := r.pipe.inflights[inst]
+	if !ok || len(fl.acks) < consensus.Majority(r.n) {
+		return
+	}
+	delete(r.pipe.inflights, inst)
+	r.learn(inst, fl.v)
+	if !r.cfg.PiggybackDecides {
+		r.env.Broadcast(DecideMsg{Inst: inst, V: fl.v})
+	}
+	// A window slot freed up: pull in queued work.
+	r.pump()
+}
+
+// acceptMsg builds a phase-2 message carrying the current commit index
+// and forgetting horizon.
+func (r *Node) acceptMsg(inst int, v consensus.Value) AcceptMsg {
+	m := AcceptMsg{B: r.prop.ballot, Inst: inst, V: v}
+	if r.cfg.PiggybackDecides {
+		m.CommitUpTo = r.log.firstGap
+	}
+	if r.cfg.Forget {
+		m.MinDone = r.dones.min()
+	}
+	return m
+}

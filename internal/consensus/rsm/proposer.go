@@ -1,0 +1,159 @@
+package rsm
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// This file is the proposer layer: ballot arithmetic and the one-time
+// phase 1 that establishes a stable ballot covering every log instance.
+// Once prepared, the leader never runs phase 1 again while its ballot
+// stands — each command (batch) costs only phase-2 traffic.
+
+// proposer is the leader-side ballot state.
+type proposer struct {
+	ballot      consensus.Ballot
+	prepared    bool
+	preparing   bool
+	prepStarted sim.Time
+	prepTimeout time.Duration // exponential backoff on stalled prepares
+	promises    map[node.ID]PromiseMsg
+}
+
+// abdicate drops any leader role; the next drive tick re-prepares if
+// Omega still nominates this process.
+func (p *proposer) abdicate() {
+	p.prepared = false
+	p.preparing = false
+}
+
+// startPrepare opens (or re-opens) the stable ballot.
+func (r *Node) startPrepare() {
+	base := r.acc.promised
+	if r.prop.ballot > base {
+		base = r.prop.ballot
+	}
+	r.prop.ballot = base.Next(r.me, r.n)
+	r.prop.preparing = true
+	r.prop.prepStarted = r.env.Now()
+	if r.prop.prepTimeout == 0 {
+		r.prop.prepTimeout = r.cfg.RetryTimeout
+	} else if r.prop.prepTimeout < maxRetryTimeout {
+		r.prop.prepTimeout *= 2
+	}
+	r.prop.promises = make(map[node.ID]PromiseMsg, r.n)
+	r.acc.promised = r.prop.ballot
+	r.prop.promises[r.me] = PromiseMsg{B: r.prop.ballot, Entries: r.undecidedAccepted()}
+	r.env.Logf("rsm: preparing ballot %v", r.prop.ballot)
+	r.env.Broadcast(PrepareMsg{B: r.prop.ballot})
+	r.maybeFinishPrepare()
+}
+
+// undecidedAccepted lists this acceptor's accepted entries for instances
+// not yet known decided.
+func (r *Node) undecidedAccepted() []PromEntry {
+	var out []PromEntry
+	for inst, e := range r.acc.accepted {
+		if _, decided := r.log.get(inst); decided {
+			continue
+		}
+		out = append(out, PromEntry{Inst: inst, AccB: e.b, AccV: e.v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Inst < out[j].Inst })
+	return out
+}
+
+func (r *Node) onPrepare(from node.ID, m PrepareMsg) {
+	if m.B > r.acc.promised {
+		r.acc.promised = m.B
+		if m.B > r.prop.ballot {
+			// A higher ballot exists: abdicate leader duties.
+			r.prop.abdicate()
+		}
+		r.env.Send(from, PromiseMsg{B: m.B, Entries: r.undecidedAccepted()})
+	} else {
+		r.env.Send(from, NackMsg{B: m.B, Promised: r.acc.promised})
+	}
+}
+
+func (r *Node) onPromise(from node.ID, m PromiseMsg) {
+	if !r.prop.preparing || m.B != r.prop.ballot {
+		return
+	}
+	r.prop.promises[from] = m
+	r.maybeFinishPrepare()
+}
+
+// maybeFinishPrepare completes phase 1 once a majority has promised:
+// adopt the highest accepted value per instance across the quorum,
+// re-propose those instances at the new ballot, and close unconstrained
+// gaps with no-ops so the decided prefix can grow.
+func (r *Node) maybeFinishPrepare() {
+	if !r.prop.preparing || len(r.prop.promises) < consensus.Majority(r.n) {
+		return
+	}
+	r.prop.preparing = false
+	r.prop.prepared = true
+	best := make(map[int]acceptedEntry)
+	for _, p := range r.prop.promises {
+		for _, e := range p.Entries {
+			if cur, ok := best[e.Inst]; !ok || e.AccB > cur.b {
+				best[e.Inst] = acceptedEntry{b: e.AccB, v: e.AccV}
+			}
+		}
+	}
+	maxInst := r.log.highestDecided
+	insts := make([]int, 0, len(best))
+	for inst := range best {
+		insts = append(insts, inst)
+		if inst > maxInst {
+			maxInst = inst
+		}
+	}
+	sort.Ints(insts)
+	if r.pipe.nextInst <= maxInst {
+		r.pipe.nextInst = maxInst + 1
+	}
+	if r.pipe.nextInst < r.log.firstGap {
+		r.pipe.nextInst = r.log.firstGap
+	}
+	// Re-propose constrained instances at the new ballot. These bypass the
+	// pipelining window: they block the decided prefix, so they must be
+	// driven regardless of how much new work is in flight.
+	for _, inst := range insts {
+		if _, decided := r.log.get(inst); decided {
+			continue
+		}
+		r.reopen(inst, best[inst].v)
+	}
+	// Close unconstrained gaps below nextInst with no-ops so the log's
+	// decided prefix can grow.
+	for inst := r.log.firstGap; inst < r.pipe.nextInst; inst++ {
+		if _, decided := r.log.get(inst); decided {
+			continue
+		}
+		if _, driving := r.pipe.inflights[inst]; driving {
+			continue
+		}
+		r.reopen(inst, consensus.Noop)
+	}
+	r.env.Logf("rsm: ballot %v prepared (%d constrained)", r.prop.ballot, len(insts))
+	// A freshly prepared ballot may find commands already queued.
+	r.pump()
+}
+
+func (r *Node) onNack(m NackMsg) {
+	if m.B != r.prop.ballot {
+		return
+	}
+	if m.Promised > r.acc.promised {
+		r.acc.promised = m.Promised
+	}
+	// The next drive tick re-prepares with a higher ballot if Omega
+	// still says we lead.
+	r.prop.abdicate()
+}

@@ -77,10 +77,10 @@ func prepareLeader(t *testing.T, peerPromise *PromiseMsg) (*Node, *fakeEnv) {
 	env := newFakeEnv(0, 3)
 	r.Start(env)
 	r.Tick(timerDrive) // starts the prepare
-	if !r.preparing {
+	if !r.prop.preparing {
 		t.Fatal("leader did not start preparing")
 	}
-	ballot := r.ballot
+	ballot := r.prop.ballot
 	env.drain()
 	if peerPromise != nil {
 		p := *peerPromise
@@ -89,7 +89,7 @@ func prepareLeader(t *testing.T, peerPromise *PromiseMsg) (*Node, *fakeEnv) {
 	} else {
 		r.Deliver(1, PromiseMsg{B: ballot})
 	}
-	if !r.prepared {
+	if !r.prop.prepared {
 		t.Fatal("quorum promise did not complete phase 1")
 	}
 	return r, env
@@ -109,8 +109,8 @@ func TestNewLeaderReproposesHighestAcceptedValue(t *testing.T) {
 	if accepts[0] != consensus.Noop || accepts[1] != consensus.Noop {
 		t.Fatalf("gaps not filled with no-ops: %v", accepts)
 	}
-	if r.nextInst != 3 {
-		t.Fatalf("nextInst = %d, want 3", r.nextInst)
+	if r.pipe.nextInst != 3 {
+		t.Fatalf("nextInst = %d, want 3", r.pipe.nextInst)
 	}
 }
 
@@ -120,11 +120,11 @@ func TestNewLeaderPicksHighestBallotAmongConflicts(t *testing.T) {
 	r := New(consensus.StaticLeader(0), Config{})
 	env := newFakeEnv(0, 3)
 	r.Start(env)
-	r.accepted[0] = acceptedEntry{b: consensus.MakeBallot(1, 0, 3), v: "mine"}
+	r.acc.accepted[0] = acceptedEntry{b: consensus.MakeBallot(1, 0, 3), v: "mine"}
 	r.Tick(timerDrive)
 	env.drain()
 	r.Deliver(1, PromiseMsg{
-		B:       r.ballot,
+		B:       r.prop.ballot,
 		Entries: []PromEntry{{Inst: 0, AccB: consensus.MakeBallot(7, 1, 3), AccV: "theirs"}},
 	})
 	accepts := acceptsOf(env.drain())
@@ -137,11 +137,11 @@ func TestDecidedInstancesNotReproposed(t *testing.T) {
 	r := New(consensus.StaticLeader(0), Config{})
 	env := newFakeEnv(0, 3)
 	r.Start(env)
-	r.learn(0, "done", 0)
+	r.learn(0, "done")
 	r.Tick(timerDrive)
 	env.drain()
 	r.Deliver(1, PromiseMsg{
-		B:       r.ballot,
+		B:       r.prop.ballot,
 		Entries: []PromEntry{{Inst: 0, AccB: consensus.MakeBallot(2, 1, 3), AccV: "stale"}},
 	})
 	accepts := acceptsOf(env.drain())
@@ -153,9 +153,9 @@ func TestDecidedInstancesNotReproposed(t *testing.T) {
 func TestHigherPrepareAbdicates(t *testing.T) {
 	r, env := prepareLeader(t, nil)
 	env.drain()
-	high := r.ballot + 100
+	high := r.prop.ballot + 100
 	r.Deliver(2, PrepareMsg{B: high})
-	if r.prepared {
+	if r.prop.prepared {
 		t.Fatal("leader did not abdicate on higher prepare")
 	}
 	out := env.drain()
@@ -169,9 +169,9 @@ func TestHigherPrepareAbdicates(t *testing.T) {
 
 func TestNackAbdicatesAndOutbidsLater(t *testing.T) {
 	r, env := prepareLeader(t, nil)
-	first := r.ballot
+	first := r.prop.ballot
 	r.Deliver(2, NackMsg{B: first, Promised: first + 50})
-	if r.prepared || r.preparing {
+	if r.prop.prepared || r.prop.preparing {
 		t.Fatal("leader did not reset on nack")
 	}
 	env.drain()
@@ -179,11 +179,11 @@ func TestNackAbdicatesAndOutbidsLater(t *testing.T) {
 	// until the window passes; jump the clock).
 	env.now = env.now.Add(time.Hour)
 	r.Tick(timerDrive)
-	if !r.preparing {
+	if !r.prop.preparing {
 		t.Fatal("no re-prepare after nack")
 	}
-	if r.ballot <= first+50 {
-		t.Fatalf("new ballot %v does not outbid nack's %v", r.ballot, first+50)
+	if r.prop.ballot <= first+50 {
+		t.Fatalf("new ballot %v does not outbid nack's %v", r.prop.ballot, first+50)
 	}
 }
 
@@ -191,7 +191,7 @@ func TestAcceptorAnswersDecidedInstanceWithDecide(t *testing.T) {
 	r := New(consensus.StaticLeader(1), Config{})
 	env := newFakeEnv(2, 3)
 	r.Start(env)
-	r.learn(3, "v", 0)
+	r.learn(3, "v")
 	env.drain()
 	r.Deliver(1, AcceptMsg{B: 10, Inst: 3, V: "other"})
 	out := env.drain()
@@ -209,7 +209,7 @@ func TestLearnBatchIsBounded(t *testing.T) {
 	env := newFakeEnv(0, 3)
 	r.Start(env)
 	for i := 0; i < learnBatch+40; i++ {
-		r.learn(i, consensus.Value(fmt.Sprintf("v%d", i)), 0)
+		r.learn(i, consensus.Value(fmt.Sprintf("v%d", i)))
 	}
 	env.drain()
 	r.Deliver(2, LearnMsg{FirstGap: 0})
@@ -224,7 +224,7 @@ func TestFollowerDropsRequests(t *testing.T) {
 	env := newFakeEnv(0, 3)
 	r.Start(env)
 	r.Deliver(2, RequestMsg{V: "cmd"})
-	if len(r.inflights) != 0 {
+	if len(r.pipe.inflights) != 0 {
 		t.Fatal("follower proposed a request")
 	}
 }
@@ -233,15 +233,15 @@ func TestLearnAdvancesGapAcrossHoles(t *testing.T) {
 	r := New(consensus.StaticLeader(0), Config{})
 	env := newFakeEnv(0, 3)
 	r.Start(env)
-	r.learn(0, "a", 0)
-	r.learn(2, "c", 0)
+	r.learn(0, "a")
+	r.learn(2, "c")
 	if r.FirstGap() != 1 {
 		t.Fatalf("FirstGap = %d, want 1", r.FirstGap())
 	}
 	if r.HighestDecided() != 2 {
 		t.Fatalf("HighestDecided = %d", r.HighestDecided())
 	}
-	r.learn(1, "b", 0)
+	r.learn(1, "b")
 	if r.FirstGap() != 3 {
 		t.Fatalf("FirstGap = %d after hole closed, want 3", r.FirstGap())
 	}

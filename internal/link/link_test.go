@@ -1,0 +1,206 @@
+package link
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// frame builds a pooled length-prefixed frame holding payload.
+func frame(p *Pool, payload []byte) Frame {
+	bp := p.Get()
+	b := append((*bp)[:0], 0, 0, 0, 0)
+	b = append(b, payload...)
+	binary.BigEndian.PutUint32(b[:4], uint32(len(payload)))
+	*bp = b
+	return Frame{Buf: bp}
+}
+
+// echoServer accepts one connection and streams decoded payloads to out.
+func echoServer(t *testing.T) (addr string, out <-chan []byte) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	ch := make(chan []byte, 1024)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				var header [4]byte
+				for {
+					if _, err := io.ReadFull(conn, header[:]); err != nil {
+						return
+					}
+					body := make([]byte, binary.BigEndian.Uint32(header[:]))
+					if _, err := io.ReadFull(conn, body); err != nil {
+						return
+					}
+					ch <- body
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), ch
+}
+
+func TestSenderDeliversInFIFOOrder(t *testing.T) {
+	addr, out := echoServer(t)
+	pool := NewPool(64)
+	stop := make(chan struct{})
+	s := NewSender(Config{Addr: addr, Pool: pool, Stop: stop, Seed: 1})
+	go s.Run()
+	defer close(stop)
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		// A refusal here is backpressure (the first dial is still in
+		// flight), not an error: retry until the sender drains the queue.
+		f := frame(pool, []byte{byte(i)})
+		for !s.Enqueue(f) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case b := <-out:
+			if len(b) != 1 || b[0] != byte(i) {
+				t.Fatalf("frame %d: got % x", i, b)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for frame %d", i)
+		}
+	}
+}
+
+func TestEnqueueNeverBlocksWhenPeerIsDown(t *testing.T) {
+	pool := NewPool(64)
+	stop := make(chan struct{})
+	var drops atomic.Int64
+	s := NewSender(Config{
+		Addr: "127.0.0.1:1", // nothing listens here
+		Pool: pool, Stop: stop, Seed: 2, Queue: 4,
+		OnDrop: func(Frame) { drops.Add(1) },
+	})
+	go s.Run()
+
+	// Far more frames than the queue holds: every Enqueue must return
+	// immediately, accepted or not.
+	refused := 0
+	start := time.Now()
+	for i := 0; i < 500; i++ {
+		f := frame(pool, []byte{1})
+		if !s.Enqueue(f) {
+			refused++
+			pool.Put(f.Buf) // refused: ownership stayed with us
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("500 enqueues against a dead peer took %v", elapsed)
+	}
+	if refused == 0 {
+		t.Fatal("queue of 4 never refused a frame against a dead peer")
+	}
+	close(stop)
+	// Give Run a moment to exit, then settle accounting.
+	time.Sleep(50 * time.Millisecond)
+	s.Drain()
+	if got := pool.Balance(); got != 0 {
+		t.Fatalf("pool balance after drain = %d, want 0", got)
+	}
+}
+
+func TestDrainAccountsEveryQueuedFrame(t *testing.T) {
+	pool := NewPool(64)
+	stop := make(chan struct{})
+	var drops atomic.Int64
+	s := NewSender(Config{
+		Addr: "127.0.0.1:1", Pool: pool, Stop: stop, Seed: 3, Queue: 16,
+		OnDrop: func(Frame) { drops.Add(1) },
+	})
+	// Never started: everything stays queued.
+	const n = 10
+	for i := 0; i < n; i++ {
+		if !s.Enqueue(frame(pool, []byte{byte(i)})) {
+			t.Fatalf("enqueue %d refused with empty queue", i)
+		}
+	}
+	close(stop)
+	s.Drain()
+	if got := drops.Load(); got != n {
+		t.Fatalf("OnDrop called %d times, want %d", got, n)
+	}
+	if got := pool.Balance(); got != 0 {
+		t.Fatalf("pool balance = %d, want 0", got)
+	}
+}
+
+func TestSenderReconnectsAfterPeerRestarts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close() // peer is down at first
+
+	pool := NewPool(64)
+	stop := make(chan struct{})
+	s := NewSender(Config{Addr: addr, Pool: pool, Stop: stop, Seed: 4})
+	go s.Run()
+	defer close(stop)
+
+	// Sends while down are dropped (bounded latency, never an error).
+	for i := 0; i < 5; i++ {
+		s.Enqueue(frame(pool, []byte{0xFF}))
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Peer comes back on the same address; the sender must re-dial.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	got := make(chan byte, 64)
+	go func() {
+		conn, err := ln2.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var header [4]byte
+		for {
+			if _, err := io.ReadFull(conn, header[:]); err != nil {
+				return
+			}
+			body := make([]byte, binary.BigEndian.Uint32(header[:]))
+			if _, err := io.ReadFull(conn, body); err != nil {
+				return
+			}
+			got <- body[0]
+		}
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		s.Enqueue(frame(pool, []byte{0xAB}))
+		select {
+		case b := <-got:
+			if b != 0xAB {
+				t.Fatalf("delivered % x after reconnect", b)
+			}
+			return
+		case <-deadline:
+			t.Fatal("sender never reconnected")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package link
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool pools encode buffers so steady-state sends marshal into reused
+// memory instead of allocating per message. Buffers are pointers to slices
+// (the pool stores interface values; a *[]byte avoids boxing the header).
+//
+// The pool counts gets and puts: every buffer handed out must come back
+// exactly once, whatever path the frame takes — written, queue-full drop,
+// injected drop, mid-batch write error, shutdown. Tests quiesce a cluster
+// and assert Balance() == 0, which catches both leaks (balance stays
+// positive) and double puts (balance goes negative).
+type Pool struct {
+	pool sync.Pool
+	gets atomic.Int64
+	puts atomic.Int64
+}
+
+// NewPool returns a pool whose fresh buffers start with the given
+// capacity.
+func NewPool(capacity int) *Pool {
+	p := &Pool{}
+	p.pool.New = func() any {
+		b := make([]byte, 0, capacity)
+		return &b
+	}
+	return p
+}
+
+// Get hands out a buffer (length 0, arbitrary capacity).
+func (p *Pool) Get() *[]byte {
+	p.gets.Add(1)
+	return p.pool.Get().(*[]byte)
+}
+
+// Put returns a buffer. The caller must not retain it.
+func (p *Pool) Put(b *[]byte) {
+	p.puts.Add(1)
+	p.pool.Put(b)
+}
+
+// Balance returns the number of outstanding buffers: gets minus puts.
+func (p *Pool) Balance() int64 { return p.gets.Load() - p.puts.Load() }

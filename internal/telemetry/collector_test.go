@@ -245,6 +245,26 @@ func TestDecided(t *testing.T) {
 	}
 }
 
+func TestDecidedPerCommandLatency(t *testing.T) {
+	// A batched instance fans out one Decision per command, each with its
+	// own enqueue-to-apply latency; the collector must count and bucket
+	// every command, not just the instance.
+	c := New(3)
+	rec := consensus.NewRecorder()
+	c.WatchRecorder(0, rec)
+	for cmd, lat := range []time.Duration{3 * time.Millisecond, 5 * time.Millisecond, 9 * time.Millisecond} {
+		rec.Record(consensus.Decision{Instance: 7, Cmd: cmd, Value: "v", By: 0, Elapsed: lat})
+	}
+	rec.Record(consensus.Decision{Instance: 7, Cmd: 1, Value: "dup", By: 0, Elapsed: time.Hour}) // duplicate slot: ignored
+	if c.Decides() != 3 {
+		t.Fatalf("decides = %d, want one per command", c.Decides())
+	}
+	s := c.DecisionLatency()
+	if s.Count != 3 || s.Max < 9*time.Millisecond || s.Max >= 18*time.Millisecond {
+		t.Fatalf("decision latency = count %d max %v, want 3 commands / ~9ms max", s.Count, s.Max)
+	}
+}
+
 // TestCollectorRaceStress exercises every reader against every writer
 // concurrently; its value is under -race (see make test-race / CI).
 func TestCollectorRaceStress(t *testing.T) {

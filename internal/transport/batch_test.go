@@ -70,14 +70,14 @@ func TestTCPBatchedDeliveryPreservesOrder(t *testing.T) {
 func TestTCPBufferLifecycleExactOnce(t *testing.T) {
 	// Let stray buffers from earlier tests' delayed deliveries settle
 	// before taking the baseline.
-	settle := encBufs.balance()
+	settle := encBufs.Balance()
 	waitFor(t, 2*time.Second, func() bool {
-		b := encBufs.balance()
+		b := encBufs.Balance()
 		ok := b == settle
 		settle = b
 		return ok
 	}, "pool baseline to settle")
-	base := encBufs.balance()
+	base := encBufs.Balance()
 
 	autos, dets := liveDetectors(3)
 	c, err := NewTCPCluster(Config{
@@ -117,12 +117,12 @@ func TestTCPBufferLifecycleExactOnce(t *testing.T) {
 
 	c.Stop()
 	waitFor(t, 5*time.Second, func() bool {
-		return encBufs.balance() == base
+		return encBufs.Balance() == base
 	}, "pool balance to return to baseline")
 	// A double put would drive the balance below base after the waiter
 	// passes; give any straggler a moment and recheck.
 	time.Sleep(50 * time.Millisecond)
-	if got := encBufs.balance(); got != base {
+	if got := encBufs.Balance(); got != base {
 		t.Fatalf("pool balance = %d after quiesce, want %d (leak if higher, double put if lower)", got, base)
 	}
 }

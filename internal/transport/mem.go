@@ -60,6 +60,11 @@ type Config struct {
 	// BatchBytes caps the payload bytes a TCP sender coalesces into one
 	// vectored write (default 64 KiB).
 	BatchBytes int
+	// BatchWait, when positive, lets an under-filled TCP batch wait this
+	// long for more frames before its vectored write — fewer, larger
+	// writes under sustained load at the cost of that much added latency
+	// on the first frame. 0 flushes as soon as the queue empties.
+	BatchWait time.Duration
 }
 
 func (c *Config) fill() error {
@@ -203,10 +208,10 @@ func (m *memNet) send(from, to node.ID, msg node.Message) {
 	// Serialize immediately: the receiver must observe an independent
 	// copy, exactly as over a socket. The buffer is pooled and returned
 	// once the receiver has decoded (or the message is dropped).
-	bp := encBufs.get()
+	bp := encBufs.Get()
 	data, err := c.cfg.Codec.MarshalAppend((*bp)[:0], msg)
 	if err != nil {
-		encBufs.put(bp)
+		encBufs.Put(bp)
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
 	*bp = data
@@ -231,12 +236,12 @@ func (m *memNet) send(from, to node.ID, msg node.Message) {
 	}
 	if drop {
 		c.sink.OnDrop(now, int(from), int(to), k)
-		encBufs.put(bp)
+		encBufs.Put(bp)
 		return
 	}
 	time.AfterFunc(delay, func() {
 		decoded, err := c.cfg.Codec.Unmarshal(data)
-		encBufs.put(bp) // Unmarshal copies what it keeps
+		encBufs.Put(bp) // Unmarshal copies what it keeps
 		if err != nil {
 			panic(fmt.Sprintf("transport: unmarshal: %v", err))
 		}

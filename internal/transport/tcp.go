@@ -5,12 +5,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/faultline"
+	"repro/internal/link"
 	"repro/internal/metrics"
 	nodepkg "repro/internal/node"
 	"repro/internal/obs"
@@ -20,18 +20,11 @@ import (
 // huge allocation.
 const maxFrame = 1 << 20
 
-// Reconnect backoff bounds for the per-peer senders: capped exponential
-// with jitter, so a flapping peer neither gets hammered nor starves.
-const (
-	dialBackoffBase = 10 * time.Millisecond
-	dialBackoffCap  = 500 * time.Millisecond
-)
-
 // TCPCluster runs n automatons as TCP endpoints on the loopback interface.
 // Each process listens on a kernel-assigned port. Every directed link is
-// owned by a dedicated sender goroutine with a bounded outbound queue:
-// the node loop hands a frame over with a non-blocking enqueue, and the
-// sender dials (with capped exponential backoff plus jitter), applies
+// owned by a dedicated link.Sender goroutine with a bounded outbound
+// queue: the node loop hands a frame over with a non-blocking enqueue, and
+// the sender dials (with capped exponential backoff plus jitter), applies
 // write deadlines, and reconnects on failure. A dead or stalled peer
 // therefore costs at most a queue-full drop — it can never block another
 // link or a station's node loop. The sender coalesces whatever is already
@@ -39,6 +32,10 @@ const (
 // write, so n frames per interval cost one writev syscall, not n write
 // syscalls. TCP gives reliable, ordered per-connection delivery — the
 // "reliable link" regime of the paper, live.
+//
+// The queueing/coalescing/redial machinery itself lives in internal/link;
+// this file only encodes frames, consults the fault injector, and wires
+// the cluster's observability into the senders.
 type TCPCluster struct {
 	cfg       Config
 	stations  []*station
@@ -48,7 +45,7 @@ type TCPCluster struct {
 	sink      obs.Sink
 	bytes     obs.ByteSink // byte-accounting view of sink, nil if unsupported
 	start     time.Time
-	senders   []*tcpSender // n*n row-major, nil on the diagonal
+	senders   []*link.Sender // n*n row-major, nil on the diagonal
 	stopCh    chan struct{}
 
 	mu       sync.Mutex
@@ -75,7 +72,7 @@ func NewTCPCluster(cfg Config, automatons []nodepkg.Automaton) (*TCPCluster, err
 		start:     time.Now(),
 		listeners: make([]net.Listener, cfg.N),
 		addrs:     make([]net.Addr, cfg.N),
-		senders:   make([]*tcpSender, cfg.N*cfg.N),
+		senders:   make([]*link.Sender, cfg.N*cfg.N),
 		stopCh:    make(chan struct{}),
 	}
 	c.sink = obs.Tee(c.stats, cfg.Observer)
@@ -94,13 +91,22 @@ func NewTCPCluster(cfg Config, automatons []nodepkg.Automaton) (*TCPCluster, err
 			if from == to {
 				continue
 			}
-			c.senders[from*cfg.N+to] = &tcpSender{
-				c:     c,
-				from:  nodepkg.ID(from),
-				to:    nodepkg.ID(to),
-				queue: make(chan tcpFrame, cfg.SendQueue),
-				rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(from*cfg.N+to+1))),
-			}
+			from, to := from, to
+			c.senders[from*cfg.N+to] = link.NewSender(link.Config{
+				Addr:         c.addrs[to].String(),
+				Queue:        cfg.SendQueue,
+				BatchFrames:  cfg.BatchFrames,
+				BatchBytes:   cfg.BatchBytes,
+				BatchWait:    cfg.BatchWait,
+				WriteTimeout: cfg.WriteTimeout,
+				DialTimeout:  cfg.DialTimeout,
+				Seed:         cfg.Seed ^ int64(from*cfg.N+to+1),
+				Pool:         encBufs,
+				Stop:         c.stopCh,
+				OnDrop: func(f link.Frame) {
+					c.sink.OnDrop(c.stations[from].Now(), from, to, f.Kind)
+				},
+			})
 		}
 	}
 	quiet := func(string, ...any) {}
@@ -155,7 +161,10 @@ func (c *TCPCluster) Start() {
 			continue
 		}
 		c.wg.Add(1)
-		go s.run()
+		go func(s *link.Sender) {
+			defer c.wg.Done()
+			s.Run()
+		}(s)
 	}
 	c.mu.Lock()
 	c.crashers = scheduleCrashes(c.cfg.Fault, c.Crash)
@@ -258,22 +267,13 @@ func (c *TCPCluster) Stop() {
 	// whatever frames remain queued are dead. Account and release them so
 	// the pool balance stays exact.
 	for _, s := range c.senders {
-		if s == nil {
-			continue
-		}
-	drain:
-		for {
-			select {
-			case f := <-s.queue:
-				s.dropFrame(f)
-			default:
-				break drain
-			}
+		if s != nil {
+			s.Drain()
 		}
 	}
 }
 
-// tcpNet hands frames to the per-link sender goroutines.
+// tcpNet hands frames to the per-link senders.
 type tcpNet struct {
 	cluster *TCPCluster
 }
@@ -300,11 +300,11 @@ func (t *tcpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	}
 	// Encode the length-prefixed frame in one pooled buffer: reserve the
 	// prefix, append the envelope, then patch the length in.
-	bp := encBufs.get()
+	bp := encBufs.Get()
 	frame := append((*bp)[:0], 0, 0, 0, 0)
 	frame, err := c.cfg.Codec.MarshalEnvelopeAppend(frame, from, msg)
 	if err != nil {
-		encBufs.put(bp)
+		encBufs.Put(bp)
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
 	*bp = frame
@@ -314,221 +314,10 @@ func (t *tcpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	}
 
 	s := c.senders[int(from)*c.cfg.N+int(to)]
-	select {
-	case s.queue <- tcpFrame{buf: bp, kind: k, delay: delay}:
-	default:
+	if !s.Enqueue(link.Frame{Buf: bp, Kind: k, Delay: delay}) {
 		// Queue full: the peer is dead or stalled. The message is lost —
 		// never block the node loop waiting for a sick link.
 		c.sink.OnDrop(now, int(from), int(to), k)
-		encBufs.put(bp)
+		encBufs.Put(bp)
 	}
-}
-
-// tcpFrame is one encoded, length-prefixed envelope queued on a link.
-type tcpFrame struct {
-	buf   *[]byte
-	kind  obs.Kind
-	delay time.Duration // injected link delay, applied before the write
-}
-
-// tcpSender owns one directed link: its queue, its connection, and its
-// reconnect state. All dialing and writing happens here, so a slow dial
-// or a stalled write can only ever delay this link's own frames.
-//
-// Buffer ownership: once a frame is in s.frames, this sender owns its
-// pooled buffer and releaseBatch returns every one exactly once — whether
-// the batch was written or dropped. s.bufs is only a view for the
-// vectored write, never an owner.
-type tcpSender struct {
-	c        *TCPCluster
-	from, to nodepkg.ID
-	queue    chan tcpFrame
-	rng      *rand.Rand
-
-	conn     net.Conn
-	backoff  time.Duration
-	nextDial time.Time
-
-	frames []tcpFrame   // collected batch (owns the buffers)
-	bufs   net.Buffers  // reusable writev view over frames
-	view   *net.Buffers // heap box handed to WriteTo, which consumes it
-}
-
-func (s *tcpSender) run() {
-	defer s.c.wg.Done()
-	defer s.closeConn()
-	for {
-		select {
-		case <-s.c.stopCh:
-			return
-		default:
-		}
-		select {
-		case <-s.c.stopCh:
-			return
-		case f := <-s.queue:
-			s.collect(f)
-		}
-	}
-}
-
-// collect gathers the zero-delay frames already queued behind first — up
-// to the byte/frame caps — and flushes them with one vectored write. A
-// frame carrying an injected link delay ends the batch: everything queued
-// before it is flushed first (FIFO order holds), then the delay is served
-// and the frame goes out alone, exactly as the un-batched sender did.
-// Serving the delay inside the sender goroutine is what models link
-// latency: a slow link delays only its own frames.
-func (s *tcpSender) collect(first tcpFrame) {
-	if first.delay > 0 {
-		s.delayedSingle(first)
-		return
-	}
-	s.frames = append(s.frames[:0], first)
-	bytes := len(*first.buf)
-	maxFrames, maxBytes := s.c.cfg.BatchFrames, s.c.cfg.BatchBytes
-	// len() on the buffered queue tells how many frames are ready right
-	// now; receiving that many plain (no select-with-default per frame)
-	// keeps the per-frame drain cost to a bare channel op. Frames enqueued
-	// during the drain are picked up by the next len() round or batch.
-	for len(s.frames) < maxFrames && bytes < maxBytes {
-		n := len(s.queue)
-		if n == 0 {
-			break
-		}
-		for ; n > 0 && len(s.frames) < maxFrames && bytes < maxBytes; n-- {
-			f := <-s.queue
-			if f.delay > 0 {
-				s.flush()
-				s.delayedSingle(f)
-				return
-			}
-			s.frames = append(s.frames, f)
-			bytes += len(*f.buf)
-		}
-	}
-	s.flush()
-}
-
-// delayedSingle serves f's injected delay, then writes it on its own.
-func (s *tcpSender) delayedSingle(f tcpFrame) {
-	if !s.sleep(f.delay) {
-		s.dropFrame(f) // cluster stopping
-		return
-	}
-	s.frames = append(s.frames[:0], f)
-	s.flush()
-}
-
-// sleep waits for d, returning false if the cluster stops first.
-func (s *tcpSender) sleep(d time.Duration) bool {
-	t := time.NewTimer(d)
-	select {
-	case <-t.C:
-		return true
-	case <-s.c.stopCh:
-		t.Stop()
-		return false
-	}
-}
-
-// flush writes the collected batch with one vectored write (writev on a
-// TCP connection) under one deadline, dialing first if needed. On any
-// failure the whole batch is dropped: a partial write poisons the frame
-// stream, so the connection is torn down and re-dialed with backoff. TCP's
-// reliability is per-connection; across reconnects the link is "reliable
-// unless the process is down", which matches the crash-stop model. Either
-// way every pooled buffer in the batch is released exactly once.
-func (s *tcpSender) flush() {
-	if len(s.frames) == 0 {
-		return
-	}
-	if s.conn == nil && !s.redial() {
-		s.releaseBatch(true)
-		return
-	}
-	s.bufs = s.bufs[:0]
-	for i := range s.frames {
-		s.bufs = append(s.bufs, *s.frames[i].buf)
-	}
-	_ = s.conn.SetWriteDeadline(time.Now().Add(s.c.cfg.WriteTimeout))
-	// WriteTo consumes the Buffers it is called on; hand it a reusable
-	// boxed copy of the header so s.bufs keeps its backing array for the
-	// next flush and no slice header escapes per flush.
-	if s.view == nil {
-		s.view = new(net.Buffers)
-	}
-	*s.view = s.bufs
-	_, err := s.view.WriteTo(s.conn)
-	*s.view = nil
-	for i := range s.bufs {
-		s.bufs[i] = nil // do not retain pooled bytes across batches
-	}
-	s.bufs = s.bufs[:0]
-	if err != nil {
-		s.closeConn()
-		s.scheduleRedial()
-		s.releaseBatch(true)
-		return
-	}
-	s.backoff = 0
-	s.releaseBatch(false)
-}
-
-// releaseBatch returns every buffer in the current batch to the pool
-// exactly once, accounting each frame as dropped when drop is set.
-func (s *tcpSender) releaseBatch(drop bool) {
-	for i := range s.frames {
-		if drop {
-			s.dropFrame(s.frames[i])
-		} else {
-			encBufs.put(s.frames[i].buf)
-		}
-		s.frames[i] = tcpFrame{}
-	}
-	s.frames = s.frames[:0]
-}
-
-// redial re-establishes the connection, honouring the backoff window.
-// Frames arriving while the link is down are dropped immediately — like
-// packets sent into a dead link — so send latency stays bounded.
-func (s *tcpSender) redial() bool {
-	if !s.nextDial.IsZero() && time.Now().Before(s.nextDial) {
-		return false
-	}
-	conn, err := net.DialTimeout("tcp", s.c.addrs[s.to].String(), s.c.cfg.DialTimeout)
-	if err != nil {
-		s.scheduleRedial()
-		return false
-	}
-	s.conn = conn
-	s.backoff = 0
-	s.nextDial = time.Time{}
-	return true
-}
-
-// scheduleRedial advances the capped exponential backoff and jitters the
-// next dial time over [backoff/2, backoff].
-func (s *tcpSender) scheduleRedial() {
-	if s.backoff == 0 {
-		s.backoff = dialBackoffBase
-	} else if s.backoff *= 2; s.backoff > dialBackoffCap {
-		s.backoff = dialBackoffCap
-	}
-	wait := s.backoff/2 + time.Duration(s.rng.Int63n(int64(s.backoff/2)+1))
-	s.nextDial = time.Now().Add(wait)
-}
-
-func (s *tcpSender) closeConn() {
-	if s.conn != nil {
-		_ = s.conn.Close()
-		s.conn = nil
-	}
-}
-
-// dropFrame accounts one frame as dropped and returns its buffer.
-func (s *tcpSender) dropFrame(f tcpFrame) {
-	c := s.c
-	c.sink.OnDrop(c.stations[s.from].Now(), int(s.from), int(s.to), f.kind)
-	encBufs.put(f.buf)
 }

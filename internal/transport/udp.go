@@ -192,10 +192,10 @@ func (u *udpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 		}
 		delay = d
 	}
-	bp := encBufs.get()
+	bp := encBufs.Get()
 	data, err := c.cfg.Codec.MarshalEnvelopeAppend((*bp)[:0], from, msg)
 	if err != nil {
-		encBufs.put(bp)
+		encBufs.Put(bp)
 		panic(fmt.Sprintf("transport: marshal %T: %v", msg, err))
 	}
 	*bp = data
@@ -223,5 +223,5 @@ func (c *UDPCluster) writeDatagram(bp *[]byte, from, to nodepkg.ID, k obs.Kind) 
 		// kernel error: UDP is lossy by contract, so account and move on.
 		c.sink.OnDrop(c.stations[from].Now(), int(from), int(to), k)
 	}
-	encBufs.put(bp)
+	encBufs.Put(bp)
 }

@@ -1,43 +1,9 @@
 package transport
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "repro/internal/link"
 
-// bufPool pools encode buffers so steady-state sends marshal into reused
-// memory instead of allocating per message. Buffers are pointers to slices
-// (the pool stores interface values; a *[]byte avoids boxing the header).
-//
-// The pool counts gets and puts: every buffer handed out must come back
-// exactly once, whatever path the frame takes — written, queue-full drop,
-// injected drop, mid-batch write error, shutdown. Tests quiesce a cluster
-// and assert balance() == 0, which catches both leaks (balance stays
-// positive) and double puts (balance goes negative).
-type bufPool struct {
-	pool sync.Pool
-	gets atomic.Int64
-	puts atomic.Int64
-}
-
-var encBufs = bufPool{
-	pool: sync.Pool{
-		New: func() any {
-			b := make([]byte, 0, 512)
-			return &b
-		},
-	},
-}
-
-func (p *bufPool) get() *[]byte {
-	p.gets.Add(1)
-	return p.pool.Get().(*[]byte)
-}
-
-func (p *bufPool) put(b *[]byte) {
-	p.puts.Add(1)
-	p.pool.Put(b)
-}
-
-// balance returns the number of outstanding buffers: gets minus puts.
-func (p *bufPool) balance() int64 { return p.gets.Load() - p.puts.Load() }
+// encBufs pools encode buffers for the mem, UDP and TCP send paths. The
+// pool lives in internal/link (the per-link sender releases into it) and
+// counts gets/puts; tests quiesce a cluster and assert Balance() == 0 to
+// catch leaks and double puts on every frame path.
+var encBufs = link.NewPool(512)

@@ -345,7 +345,10 @@ func registerRSM(c *Codec) {
 				return err
 			}
 			e.Str(string(m.V))
-			return e.Int(m.CommitUpTo)
+			if err := e.Int(m.CommitUpTo); err != nil {
+				return err
+			}
+			return e.Int(m.MinDone)
 		},
 		func(d *Decoder) (rsm.AcceptMsg, error) {
 			b, err := d.U64()
@@ -361,13 +364,20 @@ func registerRSM(c *Codec) {
 				return rsm.AcceptMsg{}, err
 			}
 			commit, err := d.Int()
-			return rsm.AcceptMsg{B: consensus.Ballot(b), Inst: inst, V: consensus.Value(v), CommitUpTo: commit}, err
+			if err != nil {
+				return rsm.AcceptMsg{}, err
+			}
+			minDone, err := d.Int()
+			return rsm.AcceptMsg{B: consensus.Ballot(b), Inst: inst, V: consensus.Value(v), CommitUpTo: commit, MinDone: minDone}, err
 		})
 
 	reg(c, codeRSMAccepted, rsm.KindAccepted,
 		func(e *Encoder, m rsm.AcceptedMsg) error {
 			e.U64(uint64(m.B))
-			return e.Int(m.Inst)
+			if err := e.Int(m.Inst); err != nil {
+				return err
+			}
+			return e.Int(m.Done)
 		},
 		func(d *Decoder) (rsm.AcceptedMsg, error) {
 			b, err := d.U64()
@@ -375,7 +385,11 @@ func registerRSM(c *Codec) {
 				return rsm.AcceptedMsg{}, err
 			}
 			inst, err := d.Int()
-			return rsm.AcceptedMsg{B: consensus.Ballot(b), Inst: inst}, err
+			if err != nil {
+				return rsm.AcceptedMsg{}, err
+			}
+			done, err := d.Int()
+			return rsm.AcceptedMsg{B: consensus.Ballot(b), Inst: inst, Done: done}, err
 		})
 
 	reg(c, codeRSMDecide, rsm.KindDecide,

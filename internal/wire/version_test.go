@@ -26,7 +26,7 @@ func versionSampleMsgs() []node.Message {
 		synod.PromiseMsg{B: 12, AccB: 5, AccV: "v"},
 		synod.AcceptMsg{B: 12, V: "value"},
 		rsm.PromiseMsg{B: 9, Entries: []rsm.PromEntry{{Inst: 1, AccB: 2, AccV: "a"}}},
-		rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3},
+		rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3, MinDone: 2},
 	}
 }
 

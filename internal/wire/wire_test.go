@@ -56,8 +56,8 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 		rsm.PromiseMsg{B: 9, Entries: []rsm.PromEntry{{Inst: 1, AccB: 2, AccV: "a"}, {Inst: 5, AccB: 9, AccV: "b"}}},
 		rsm.PromiseMsg{B: 9},
 		rsm.NackMsg{B: 9, Promised: 12},
-		rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3},
-		rsm.AcceptedMsg{B: 9, Inst: 4},
+		rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3, MinDone: 2},
+		rsm.AcceptedMsg{B: 9, Inst: 4, Done: 11},
 		rsm.DecideMsg{Inst: 4, V: "x"},
 		rsm.LearnMsg{FirstGap: 11},
 	}
