@@ -80,7 +80,7 @@ bench-wire:
 # runs per arm with the best kept. Writes BENCH_consensus.json; the
 # batched arm's peak decided-commands/sec should be ≥5x the baseline's.
 bench-consensus:
-	$(GO) run ./cmd/consload -n 5 -dur 2s -reps 3 -json BENCH_consensus.json
+	$(GO) run ./cmd/consload -n 5 -dur 2s -reps 3 -reads 0.9 -json BENCH_consensus.json
 
 # Regenerate EXPERIMENTS.md-style tables at full size.
 tables:

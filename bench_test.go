@@ -105,6 +105,12 @@ func BenchmarkE13PartitionHeal(b *testing.B) {
 	}
 }
 
+func BenchmarkE14LeaseReads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E14LeaseReads(benchOpts)
+	}
+}
+
 // ---------------------------------------------------------------------
 // Substrate micro-benchmarks.
 // ---------------------------------------------------------------------

@@ -66,12 +66,13 @@ func run(args []string) error {
 		metricsAddr   = fs.String("metrics-addr", "", "serve /metrics, /healthz and pprof on this address (e.g. :8080)")
 		snapshotJSON  = fs.String("snapshot-json", "", "write the final merged metrics+histogram snapshot to this path")
 		traceTail     = fs.Int("trace-tail", 0, "record message events in a bounded ring and print the last N at exit")
+		lease         = fs.Duration("lease", 0, "leader read lease; 0 disables (leases trade failover latency for local reads, so chaos plans default off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	s := &soak{eta: *eta, bound: *bound, commands: *commands}
+	s := &soak{eta: *eta, bound: *bound, commands: *commands, lease: *lease}
 	switch *planName {
 	case "crash", "partition", "full":
 		if *n < 3 {
@@ -122,7 +123,11 @@ func run(args []string) error {
 		ring.SetWallStart(time.Now())
 		observer = obs.Tee(tel, ring.MessageSink())
 	}
-	cfg := transport.Config{N: *n, Seed: *seed, Quiet: true, Fault: s.inj, WriteTimeout: 200 * time.Millisecond, Observer: observer}
+	cfg := transport.Config{
+		N: *n, Seed: *seed, Quiet: true, Fault: s.inj,
+		WriteTimeout: 200 * time.Millisecond, Observer: observer,
+		OnFlush: tel.RecordFlush,
+	}
 	var c cluster
 	var err error
 	switch *transportName {
@@ -145,6 +150,9 @@ func run(args []string) error {
 	}
 	for i, l := range s.logs {
 		tel.WatchRecorder(node.ID(i), l.Recorder())
+		tel.WatchLease(func() (bool, uint64, uint64) {
+			return l.LeaseHeld(), l.LocalReads(), l.FallbackReads()
+		})
 	}
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr, tel)
@@ -202,6 +210,7 @@ func run(args []string) error {
 type soak struct {
 	eta      time.Duration
 	bound    time.Duration
+	lease    time.Duration
 	commands int
 	inj      *faultline.Injector
 	c        cluster
@@ -227,7 +236,7 @@ func (s *soak) buildReplicas(n int) []node.Automaton {
 	s.logs = make([]*rsm.Node, n)
 	for i := 0; i < n; i++ {
 		s.dets[i] = core.New(core.WithEta(s.eta), core.WithRebuff())
-		s.logs[i] = rsm.New(s.dets[i], rsm.Config{DriveInterval: 2 * s.eta})
+		s.logs[i] = rsm.New(s.dets[i], rsm.Config{DriveInterval: 2 * s.eta, Lease: s.lease})
 		autos[i] = node.Compose(s.dets[i], s.logs[i])
 	}
 	return autos

@@ -24,23 +24,36 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/consensus/rsm"
 	"repro/internal/core"
 	"repro/internal/node"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
 // rsmKinds are the replicated-log message kinds, counted so Omega
-// heartbeats don't pollute the per-command cost.
+// heartbeats don't pollute the per-command cost. Read requests/replies
+// and lease grants/acks count too: the msgs-per-read claim must survive
+// the read path's own traffic.
 var rsmKinds = []string{
 	rsm.KindRequest, rsm.KindPrepare, rsm.KindPromise, rsm.KindNack,
 	rsm.KindAccept, rsm.KindAccepted, rsm.KindDecide, rsm.KindLearn,
+	rsm.KindLeaseGrant, rsm.KindLeaseAck, rsm.KindReadReq, rsm.KindReadReply,
 }
 
+// readChunk is how many sequence numbers one injected ReadReqMsg covers —
+// the client-side analogue of command batching: one request/reply pair
+// amortized over readChunk reads.
+const readChunk = 64
+
 // result is one run's measurement, marshalled into BENCH_consensus.json.
+// For the reads arm PeakPerSec covers total served operations (applied
+// writes + answered reads) and the read-specific fields are populated.
 type result struct {
 	Name          string  `json:"name"`
 	BatchMax      int     `json:"batch_max"`
@@ -54,15 +67,29 @@ type result struct {
 	MsgsPerCmd    float64 `json:"msgs_per_cmd"`
 	BytesPerCmd   float64 `json:"wire_bytes_per_cmd"`
 	Dropped       uint64  `json:"dropped_frames"`
+
+	LeaseSec      float64 `json:"lease_sec,omitempty"`
+	Reads         int64   `json:"reads,omitempty"`
+	ReadsPerSec   float64 `json:"reads_per_sec,omitempty"`
+	LocalReads    uint64  `json:"reads_local,omitempty"`
+	FallbackReads uint64  `json:"reads_fallback,omitempty"`
+	// MsgsPerRead is measured over a trailing pure-read window: consensus
+	// messages (including lease refreshes and the read req/reply hops)
+	// divided by reads answered, with no writes in flight.
+	MsgsPerRead float64 `json:"msgs_per_read,omitempty"`
+	ReadP50NS   int64   `json:"read_latency_p50_ns,omitempty"`
+	ReadP99NS   int64   `json:"read_latency_p99_ns,omitempty"`
 }
 
 type report struct {
-	Harness string   `json:"harness"`
-	N       int      `json:"n"`
-	DurSec  float64  `json:"dur_sec"`
-	Reps    int      `json:"reps"`
-	Runs    []result `json:"runs"`
-	Speedup float64  `json:"speedup"`
+	Harness    string   `json:"harness"`
+	N          int      `json:"n"`
+	DurSec     float64  `json:"dur_sec"`
+	Reps       int      `json:"reps"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Runs       []result `json:"runs"`
+	Speedup    float64  `json:"speedup"`
 }
 
 func main() {
@@ -85,6 +112,9 @@ func run(args []string, out *os.File) error {
 		reps     = fs.Int("reps", 1, "runs per arm; the best run is reported (damps single-core scheduler noise)")
 		jsonPath = fs.String("json", "", "write the machine-readable report to this path")
 		profile  = fs.String("cpuprofile", "", "write a CPU profile of the load runs to this path")
+		reads    = fs.Float64("reads", 0, "run a third arm with this fraction of operations as reads (e.g. 0.9); 0 disables it")
+		lease    = fs.Duration("lease", 300*time.Millisecond, "leader read lease for the reads arm")
+		minspeed = fs.Float64("minspeedup", 0, "fail unless batched/baseline speedup reaches this factor (CI gate; 0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,18 +138,30 @@ func run(args []string, out *os.File) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	rep := report{Harness: "consload", N: *n, DurSec: dur.Seconds(), Reps: *reps}
-	arms := []struct {
+	rep := report{
+		Harness: "consload", N: *n, DurSec: dur.Seconds(), Reps: *reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
+	type loadArm struct {
 		name          string
 		batch, window int
-	}{
-		{"baseline", 1, 1},
-		{"batched", *batch, *window},
+		lease         time.Duration
+		readFrac      float64
+	}
+	arms := []loadArm{
+		{name: "baseline", batch: 1, window: 1},
+		{name: "batched", batch: *batch, window: *window},
+	}
+	if *reads > 0 {
+		if *reads >= 1 {
+			return fmt.Errorf("consload: -reads %v must be in (0, 1)", *reads)
+		}
+		arms = append(arms, loadArm{name: "reads", batch: *batch, window: *window, lease: *lease, readFrac: *reads})
 	}
 	for _, arm := range arms {
 		var best result
 		for i := 0; i < *reps; i++ {
-			r, err := runOne(arm.name, *n, *seed+int64(i), arm.batch, arm.window, *inflight, *dur, *drive)
+			r, err := runOne(arm.name, *n, *seed+int64(i), arm.batch, arm.window, *inflight, *dur, *drive, arm.lease, arm.readFrac)
 			if err != nil {
 				return err
 			}
@@ -128,8 +170,13 @@ func run(args []string, out *os.File) error {
 			}
 		}
 		rep.Runs = append(rep.Runs, best)
-		fmt.Fprintf(out, "consload: %-8s batch=%-3d window=%-2d  %8.0f cmds/sec (peak %.0f)  %6.2f msgs/cmd  %7.1f B/cmd  (%d applied in %.2fs, %d dropped)\n",
+		fmt.Fprintf(out, "consload: %-8s batch=%-3d window=%-2d  %8.0f ops/sec (peak %.0f)  %6.2f msgs/cmd  %7.1f B/cmd  (%d applied in %.2fs, %d dropped)\n",
 			best.Name, best.BatchMax, best.Window, best.AppliedPerSec, best.PeakPerSec, best.MsgsPerCmd, best.BytesPerCmd, best.Applied, best.ElapsedSec, best.Dropped)
+		if arm.readFrac > 0 {
+			fmt.Fprintf(out, "consload: %-8s reads %8.0f/sec (local %d, fallback %d)  %0.4f msgs/read  read p50 %v p99 %v\n",
+				"", best.ReadsPerSec, best.LocalReads, best.FallbackReads, best.MsgsPerRead,
+				time.Duration(best.ReadP50NS), time.Duration(best.ReadP99NS))
+		}
 	}
 	if base := rep.Runs[0].PeakPerSec; base > 0 {
 		rep.Speedup = rep.Runs[1].PeakPerSec / base
@@ -145,15 +192,85 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(out, "consload: wrote %s\n", *jsonPath)
 	}
-	if rep.Runs[0].Applied == 0 || rep.Runs[1].Applied == 0 {
-		return fmt.Errorf("consload: a run applied nothing — engine or transport broken")
+	for _, r := range rep.Runs {
+		if r.Applied == 0 {
+			return fmt.Errorf("consload: run %q applied nothing — engine or transport broken", r.Name)
+		}
+	}
+	if *minspeed > 0 && rep.Speedup < *minspeed {
+		return fmt.Errorf("consload: batched/baseline speedup %.2fx below required %.2fx", rep.Speedup, *minspeed)
 	}
 	return nil
 }
 
+// readLoop is the client-side read bookkeeping for the reads arm: a
+// closed loop of chunked ReadReqMsgs with per-chunk latency tracking.
+// Submission runs on the load loop; completion runs on the origin
+// replica's node loop via the OnReadReply hook.
+type readLoop struct {
+	mu      sync.Mutex
+	sent    map[uint64]time.Time // chunk base seq → submit time
+	nextSeq uint64
+	lat     *telemetry.Histogram
+
+	submitted atomic.Int64 // reads submitted (chunk count × readChunk)
+	answered  atomic.Int64 // reads answered
+	lost      atomic.Int64 // reads written off after chunkTimeout
+}
+
+// chunkTimeout writes off an unanswered chunk so a dropped frame can
+// never wedge the closed loop.
+const chunkTimeout = time.Second
+
+func newReadLoop() *readLoop {
+	return &readLoop{sent: make(map[uint64]time.Time), nextSeq: 1, lat: telemetry.NewHistogram("read_latency", 1)}
+}
+
+// onReply is the OnReadReply hook body.
+func (rl *readLoop) onReply(m rsm.ReadReplyMsg) {
+	rl.mu.Lock()
+	t0, ok := rl.sent[m.Seq]
+	if ok {
+		delete(rl.sent, m.Seq)
+	}
+	rl.mu.Unlock()
+	if ok {
+		rl.lat.Record(0, time.Since(t0))
+		rl.answered.Add(int64(m.Count))
+	}
+}
+
+// outstanding counts unanswered chunks, writing off any older than
+// chunkTimeout.
+func (rl *readLoop) outstanding() int {
+	now := time.Now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	for seq, t0 := range rl.sent {
+		if now.Sub(t0) > chunkTimeout {
+			delete(rl.sent, seq)
+			rl.lost.Add(readChunk)
+		}
+	}
+	return len(rl.sent)
+}
+
+// next registers one chunk and returns the request to inject.
+func (rl *readLoop) next(origin node.ID) rsm.ReadReqMsg {
+	rl.mu.Lock()
+	seq := rl.nextSeq
+	rl.nextSeq += readChunk
+	rl.sent[seq] = time.Now()
+	rl.mu.Unlock()
+	rl.submitted.Add(readChunk)
+	return rsm.ReadReqMsg{Seq: seq, Count: readChunk, Origin: origin}
+}
+
 // runOne boots a fresh TCP cluster with the given engine knobs, drives the
-// closed loop for dur, and measures from first submit to drain.
-func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur, driveInterval time.Duration) (result, error) {
+// closed loop for dur, and measures from first submit to drain. When
+// readFrac > 0 the loop mixes chunked reads with the writes at the given
+// ratio and a trailing pure-read window measures msgs-per-read.
+func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur, driveInterval, lease time.Duration, readFrac float64) (result, error) {
 	autos := make([]node.Automaton, n)
 	dets := make([]*core.Detector, n)
 	logs := make([]*rsm.Node, n)
@@ -163,8 +280,16 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 			DriveInterval: driveInterval,
 			BatchMax:      batchMax,
 			Window:        window,
+			Lease:         lease,
 		})
 		autos[i] = node.Compose(dets[i], logs[i])
+	}
+	var reads *readLoop
+	if readFrac > 0 {
+		reads = newReadLoop()
+		for i := range logs {
+			logs[i].OnReadReply(reads.onReply)
+		}
 	}
 	// The ingress link carries the request flood AND that follower's
 	// consensus replies; size the queue above the closed-loop cap so load
@@ -200,6 +325,19 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 		c.Inject(node.ID(follower), leader, rsm.RequestMsg{V: consensus.Value(name + "-probe")})
 		time.Sleep(50 * time.Millisecond)
 	}
+	// With leases on, wait until the leader actually holds one (grants
+	// ride the probe's accepts) so the measured run serves reads locally
+	// from the first operation.
+	if lease > 0 {
+		leaseDeadline := time.Now().Add(5 * time.Second)
+		for !logs[leader].LeaseHeld() {
+			if time.Now().After(leaseDeadline) {
+				return result{}, fmt.Errorf("consload: leader never acquired the read lease")
+			}
+			c.Inject(node.ID(follower), leader, rsm.RequestMsg{V: consensus.Value(name + "-lease-probe")})
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
 
 	msgsBefore := kindTotal(c.Stats())
 	bytesBefore := c.Stats().WireBytes()
@@ -215,14 +353,29 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 		t time.Time
 		c int
 	}
+	// maxReadChunks caps outstanding read chunks — a separate closed loop
+	// riding alongside the write loop.
+	const maxReadChunks = 64
 	begin := time.Now()
 	deadline := begin.Add(dur)
 	samples := []sample{{begin, 0}}
 	submitted := 0
 	for time.Now().Before(deadline) {
 		applied := logs[observer].Recorder().Count() - appliedBefore
+		served := applied
+		if reads != nil {
+			served += int(reads.answered.Load())
+		}
 		if now := time.Now(); now.Sub(samples[len(samples)-1].t) >= 50*time.Millisecond {
-			samples = append(samples, sample{now, applied})
+			samples = append(samples, sample{now, served})
+		}
+		// Keep reads flowing at readFrac of total operations: for a 90/10
+		// mix, nine reads per write submitted.
+		if reads != nil {
+			target := int64(float64(submitted) * readFrac / (1 - readFrac))
+			for reads.submitted.Load() < target && reads.outstanding() < maxReadChunks {
+				c.Inject(node.ID(follower), leader, reads.next(node.ID(follower)))
+			}
 		}
 		room := inflight - (submitted - applied)
 		if room <= 0 {
@@ -262,9 +415,40 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 	}
 	elapsed := lastMove.Sub(begin)
 	applied := last - appliedBefore
-	samples = append(samples, sample{lastMove, applied})
+	served := applied
+	if reads != nil {
+		served += int(reads.answered.Load())
+	}
+	samples = append(samples, sample{lastMove, served})
 	msgs := kindTotal(c.Stats()) - msgsBefore
 	wireBytes := c.Stats().WireBytes() - bytesBefore
+
+	// Trailing pure-read window: with no writes in flight the only
+	// consensus traffic is the read req/reply hops and idle lease
+	// refreshes, so messages ÷ reads over this span is the zero-message
+	// read-path claim, measured.
+	var msgsPerRead float64
+	if reads != nil {
+		drainReads := time.Now().Add(time.Second)
+		for reads.outstanding() > 0 && time.Now().Before(drainReads) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		msgsA, readsA := kindTotal(c.Stats()), reads.answered.Load()
+		pureDeadline := time.Now().Add(500 * time.Millisecond)
+		for time.Now().Before(pureDeadline) {
+			for reads.outstanding() < maxReadChunks {
+				c.Inject(node.ID(follower), leader, reads.next(node.ID(follower)))
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		drainReads = time.Now().Add(time.Second)
+		for reads.outstanding() > 0 && time.Now().Before(drainReads) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if delta := reads.answered.Load() - readsA; delta > 0 {
+			msgsPerRead = float64(kindTotal(c.Stats())-msgsA) / float64(delta)
+		}
+	}
 
 	// Peak sustained throughput: the best rate over any ≥250ms span of
 	// the run. On one-core boxes whole-run means are hostage to scheduler
@@ -303,6 +487,25 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 	if applied > 0 {
 		r.MsgsPerCmd = float64(msgs) / float64(applied)
 		r.BytesPerCmd = float64(wireBytes) / float64(applied)
+	}
+	if reads != nil {
+		answeredMixed := int64(served - applied)
+		r.LeaseSec = lease.Seconds()
+		r.Reads = reads.answered.Load()
+		// Sum over replicas: leadership (and with it the lease) can move
+		// mid-run when the serving core starves heartbeats, and the new
+		// leaseholder keeps serving forwarded reads locally.
+		for i := range logs {
+			r.LocalReads += logs[i].LocalReads()
+			r.FallbackReads += logs[i].FallbackReads()
+		}
+		r.MsgsPerRead = msgsPerRead
+		if elapsed > 0 {
+			r.ReadsPerSec = float64(answeredMixed) / elapsed.Seconds()
+		}
+		lat := reads.lat.Snapshot()
+		r.ReadP50NS = int64(lat.Quantile(0.50))
+		r.ReadP99NS = int64(lat.Quantile(0.99))
 	}
 	return r, nil
 }

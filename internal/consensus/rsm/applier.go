@@ -74,4 +74,5 @@ func (r *Node) apply() {
 	if r.cfg.Forget && r.prop.prepared {
 		r.maybeForget(r.dones.min())
 	}
+	r.completeFallbackReads()
 }

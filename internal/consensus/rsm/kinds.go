@@ -13,6 +13,11 @@ var (
 	kindAcceptedID = obs.Intern(KindAccepted)
 	kindDecideID   = obs.Intern(KindDecide)
 	kindLearnID    = obs.Intern(KindLearn)
+
+	kindLeaseGrantID = obs.Intern(KindLeaseGrant)
+	kindLeaseAckID   = obs.Intern(KindLeaseAck)
+	kindReadReqID    = obs.Intern(KindReadReq)
+	kindReadReplyID  = obs.Intern(KindReadReply)
 )
 
 // KindID implements node.KindIDer.
@@ -38,3 +43,15 @@ func (DecideMsg) KindID() obs.Kind { return kindDecideID }
 
 // KindID implements node.KindIDer.
 func (LearnMsg) KindID() obs.Kind { return kindLearnID }
+
+// KindID implements node.KindIDer.
+func (LeaseGrantMsg) KindID() obs.Kind { return kindLeaseGrantID }
+
+// KindID implements node.KindIDer.
+func (LeaseAckMsg) KindID() obs.Kind { return kindLeaseAckID }
+
+// KindID implements node.KindIDer.
+func (ReadReqMsg) KindID() obs.Kind { return kindReadReqID }
+
+// KindID implements node.KindIDer.
+func (ReadReplyMsg) KindID() obs.Kind { return kindReadReplyID }

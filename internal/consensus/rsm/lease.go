@@ -1,0 +1,250 @@
+package rsm
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// This file is the lease layer: leader read leases that make queries free
+// in steady state. The prepared leader numbers lease grants with a
+// monotonically increasing sequence and piggybacks the current grant on
+// every ACCEPT it already broadcasts; followers piggyback the ack on the
+// ACCEPTED they already return, so while commands flow the lease costs
+// zero extra messages. Only when phase-2 traffic idles does the leader
+// fall back to an explicit LeaseGrantMsg/LeaseAckMsg pair per refresh
+// interval (Config.Lease/4).
+//
+// A follower that honors grant seq at ballot b promises: "until
+// Config.Lease after I received this grant (my clock), I will not
+// promise any ballot owned by a process other than b's owner". It
+// enforces the promise by deferring — silently ignoring — PREPAREs from
+// other would-be leaders (they retry on their usual backoff), and by
+// holding off its own phase 1 while a foreign grant is unexpired.
+//
+// The leader counts grant seq acked by follower f as valid until
+// issued(seq) + Config.Lease − Config.LeaseSkew on its own clock, where
+// issued(seq) is when it FIRST sent that grant. It holds the lease while
+// a majority (its own vote included) of grants are valid. Safety needs
+// only a bound on clock *rate* divergence over one lease interval, not
+// synchronized clocks: the follower's window starts at receipt, which is
+// at or after first-send in real time, so the leader's window starts no
+// later than the follower's; LeaseSkew then covers the follower's clock
+// running fast relative to the leader's by up to LeaseSkew over one
+// Lease. Under that assumption, while the leader's conservative window
+// holds, every quorum of any competing prepare intersects a follower
+// still inside its deferral window, so no other ballot can complete
+// phase 1 — and nothing can be decided this replica's applied prefix
+// would miss. Serving a read at the leader's applied index while the
+// lease holds is therefore linearizable (see read.go for the fallback
+// when it does not hold).
+//
+// A lease holder that learns of a higher ballot (PREPARE or NACK) drops
+// its lease state along with leadership before acknowledging the ballot,
+// so it can never serve a local read after helping a competitor — the
+// lease breaks early, never stale.
+
+// leaseState holds both sides of the lease protocol for one replica.
+type leaseState struct {
+	// Leader side.
+	seq      uint64              // current grant sequence number
+	issued   map[uint64]sim.Time // grant seq → first-send time
+	granted  []sim.Time          // per follower: conservative grant expiry
+	lastSent sim.Time            // when a grant last rode out (any carrier)
+
+	// Follower side.
+	holder     node.ID  // owner of the last honored grant
+	blockUntil sim.Time // defer foreign prepares until then
+
+	// heldUntil mirrors the leader-side quorum expiry (unix-ish env
+	// nanos) for observers outside the node loop; 0 when not held.
+	heldUntil atomic.Int64
+	// localReads / fallbackReads count individual reads served from the
+	// lease vs through the no-op barrier (telemetry).
+	localReads    atomic.Uint64
+	fallbackReads atomic.Uint64
+}
+
+// leaseRefresh is the grant rollover period: a fresh grant sequence is
+// issued every quarter lease, so the quorum expiry is re-extended three
+// times before it can lapse under healthy links.
+func (r *Node) leaseRefresh() time.Duration {
+	q := r.cfg.Lease / 4
+	if q < r.cfg.DriveInterval {
+		q = r.cfg.DriveInterval
+	}
+	return q
+}
+
+// grantSeq returns the lease grant to piggyback on an outgoing ACCEPT,
+// rolling the sequence forward once per refresh interval. Zero when
+// leases are disabled.
+func (r *Node) grantSeq(now sim.Time) uint64 {
+	if r.cfg.Lease <= 0 {
+		return 0
+	}
+	if r.lease.seq == 0 || now.Sub(r.lease.issued[r.lease.seq]) >= r.leaseRefresh() {
+		r.lease.seq++
+		if r.lease.issued == nil {
+			r.lease.issued = make(map[uint64]sim.Time, 8)
+		}
+		r.lease.issued[r.lease.seq] = now
+		// Prune grants too old to extend any expiry.
+		for s, t := range r.lease.issued {
+			if now.Sub(t) > r.cfg.Lease {
+				delete(r.lease.issued, s)
+			}
+		}
+	}
+	r.lease.lastSent = now
+	return r.lease.seq
+}
+
+// refreshLease keeps grants flowing when no ACCEPT traffic carries them:
+// the drive tick broadcasts an explicit grant once per refresh interval.
+func (r *Node) refreshLease(now sim.Time) {
+	if r.cfg.Lease <= 0 || !r.prop.prepared {
+		return
+	}
+	if now.Sub(r.lease.lastSent) < r.leaseRefresh() {
+		return
+	}
+	r.env.Broadcast(LeaseGrantMsg{B: r.prop.ballot, Seq: r.grantSeq(now)})
+}
+
+// noteGrant is the follower side: honor a grant carried by an ACCEPT or
+// a LeaseGrantMsg whose ballot this acceptor has (just) promised.
+// Returns the sequence to ack, or zero when the grant is not honored.
+func (r *Node) noteGrant(b consensus.Ballot, seq uint64, now sim.Time) uint64 {
+	if r.cfg.Lease <= 0 || seq == 0 || b < r.acc.promised {
+		return 0
+	}
+	r.lease.holder = b.Owner(r.n)
+	if until := now.Add(r.cfg.Lease); until.After(r.lease.blockUntil) {
+		r.lease.blockUntil = until
+	}
+	return seq
+}
+
+// onLeaseGrant handles an explicit idle-path grant.
+func (r *Node) onLeaseGrant(from node.ID, m LeaseGrantMsg) {
+	if seq := r.noteGrant(m.B, m.Seq, r.env.Now()); seq != 0 {
+		r.env.Send(from, LeaseAckMsg{B: m.B, Seq: seq})
+	}
+}
+
+// onLeaseAck is the leader side: follower from has honored grant seq.
+// The grant is valid until first-send + Lease − LeaseSkew; the quorum
+// expiry is the Majority-th largest per-follower expiry (own vote
+// included).
+func (r *Node) onLeaseAck(from node.ID, b consensus.Ballot, seq uint64) {
+	if r.cfg.Lease <= 0 || seq == 0 || !r.prop.prepared || b != r.prop.ballot {
+		return
+	}
+	issued, ok := r.lease.issued[seq]
+	if !ok {
+		return // too old: conservatively worthless
+	}
+	until := issued.Add(r.cfg.Lease - r.cfg.LeaseSkew)
+	if r.lease.granted == nil {
+		r.lease.granted = make([]sim.Time, r.n)
+	}
+	if until.After(r.lease.granted[from]) {
+		r.lease.granted[from] = until
+	}
+	// Recompute the quorum expiry: with our own vote, we need
+	// Majority-1 unexpired follower grants.
+	need := consensus.Majority(r.n) - 1
+	if need <= 0 {
+		r.lease.heldUntil.Store(int64(until))
+		return
+	}
+	exp := make([]sim.Time, 0, r.n-1)
+	for f, t := range r.lease.granted {
+		if node.ID(f) != r.me && t > 0 {
+			exp = append(exp, t)
+		}
+	}
+	if len(exp) < need {
+		return
+	}
+	sort.Slice(exp, func(i, j int) bool { return exp[i] > exp[j] })
+	r.lease.heldUntil.Store(int64(exp[need-1]))
+}
+
+// holdsLease reports whether local reads are safe right now: prepared,
+// still nominated by Omega, and a quorum of grants unexpired.
+func (r *Node) holdsLease(now sim.Time) bool {
+	return r.cfg.Lease > 0 && r.prop.prepared && r.omega.Leader() == r.me &&
+		sim.Time(r.lease.heldUntil.Load()).After(now)
+}
+
+// leaseDefersOwnPrepare reports whether this process, freshly nominated
+// by Omega, must wait out a standing grant to the previous leader before
+// opening its own ballot.
+func (r *Node) leaseDefersOwnPrepare(now sim.Time) bool {
+	if r.cfg.Lease <= 0 || r.lease.holder == node.None || r.lease.holder == r.me {
+		return false
+	}
+	if !r.lease.blockUntil.After(now) {
+		r.lease.holder = node.None // expired
+		return false
+	}
+	return true
+}
+
+// leaseBlocks reports whether this acceptor's grant to another leader
+// forbids promising ballot b right now.
+func (r *Node) leaseBlocks(b consensus.Ballot, now sim.Time) bool {
+	if r.cfg.Lease <= 0 || r.lease.holder == node.None {
+		return false
+	}
+	if !r.lease.blockUntil.After(now) {
+		r.lease.holder = node.None // expired
+		return false
+	}
+	return b.Owner(r.n) != r.lease.holder
+}
+
+// abdicateLeader drops leader duties and every lease- and read-serving
+// right that came with them. Pending fallback reads are dropped (clients
+// retry against the new leader); the gauge clears before any competing
+// ballot gets our promise.
+func (r *Node) abdicateLeader() {
+	r.prop.abdicate()
+	if r.lease.heldUntil.Load() != 0 {
+		r.lease.heldUntil.Store(0)
+	}
+	if r.lease.granted != nil {
+		for i := range r.lease.granted {
+			r.lease.granted[i] = 0
+		}
+	}
+	r.lease.seq = 0
+	if len(r.lease.issued) > 0 {
+		clear(r.lease.issued)
+	}
+	r.failPendingReads()
+}
+
+// LeaseHeld reports whether this replica currently holds a quorum read
+// lease. Safe from any goroutine on live transports; in the simulator
+// call it only while the world is paused.
+func (r *Node) LeaseHeld() bool {
+	if r.env == nil {
+		return false
+	}
+	return sim.Time(r.lease.heldUntil.Load()).After(r.env.Now())
+}
+
+// LocalReads returns how many reads this replica served from its lease.
+// Safe from any goroutine.
+func (r *Node) LocalReads() uint64 { return r.lease.localReads.Load() }
+
+// FallbackReads returns how many reads this replica served through the
+// phase-2 no-op barrier. Safe from any goroutine.
+func (r *Node) FallbackReads() uint64 { return r.lease.fallbackReads.Load() }

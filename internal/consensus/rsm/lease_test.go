@@ -1,0 +1,187 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/network"
+)
+
+// TestLeaseAcquiredWhileIdle: a prepared leader with no client traffic
+// still converges on a held lease — explicit grant/ack refreshes cover
+// the idle case that accept piggybacking cannot.
+func TestLeaseAcquiredWhileIdle(t *testing.T) {
+	c := newClusterCfg(t, 3, 21, network.Timely(2*ms), Config{Lease: 200 * ms})
+	c.world.Start()
+	c.world.RunFor(time.Second)
+	if !c.nodes[0].LeaseHeld() {
+		t.Fatal("idle leader never acquired the lease")
+	}
+	for i := 1; i < 3; i++ {
+		if c.nodes[i].LeaseHeld() {
+			t.Fatalf("follower p%d claims the lease", i)
+		}
+	}
+	if c.world.Stats.KindCount(KindLeaseGrant) == 0 || c.world.Stats.KindCount(KindLeaseAck) == 0 {
+		t.Fatal("no explicit grant/ack traffic on an idle cluster")
+	}
+}
+
+// TestLeaseRidesAccepts: under a write stream the lease is maintained by
+// piggybacked grant sequence numbers alone — no explicit LeaseGrant
+// messages beyond what the idle prefix needed.
+func TestLeaseRidesAccepts(t *testing.T) {
+	c := newClusterCfg(t, 3, 22, network.Timely(2*ms), Config{Lease: 400 * ms})
+	c.world.Start()
+	c.world.RunFor(500 * ms)
+	grantsBefore := c.world.Stats.KindCount(KindLeaseGrant)
+	// A steady trickle of writes: every accept renews the grant stream.
+	for i := 0; i < 20; i++ {
+		c.nodes[0].Submit(consensus.Value(fmt.Sprintf("w%d", i)))
+		c.world.RunFor(20 * ms)
+	}
+	if !c.nodes[0].LeaseHeld() {
+		t.Fatal("lease lapsed under a write stream")
+	}
+	if got := c.world.Stats.KindCount(KindLeaseGrant) - grantsBefore; got != 0 {
+		t.Fatalf("write stream triggered %d explicit lease grants, want 0 (piggyback only)", got)
+	}
+}
+
+// TestFollowerReadForwardedAndServedLocally: a read issued at a follower
+// is forwarded to the lease-holding leader, served at its applied index
+// without consensus, and the reply routes back to the origin.
+func TestFollowerReadForwardedAndServedLocally(t *testing.T) {
+	c := newClusterCfg(t, 3, 23, network.Timely(2*ms), Config{Lease: 300 * ms})
+	var got []ReadReplyMsg
+	c.nodes[1].OnReadReply(func(m ReadReplyMsg) { got = append(got, m) })
+	c.world.Start()
+	c.world.RunFor(500 * ms)
+	c.nodes[0].Submit("w0")
+	c.world.RunFor(200 * ms)
+	if !c.nodes[0].LeaseHeld() {
+		t.Fatal("leader has no lease")
+	}
+	c.nodes[1].Read(7, 16)
+	c.world.RunFor(100 * ms)
+	if len(got) != 1 {
+		t.Fatalf("follower received %d read replies, want 1", len(got))
+	}
+	r := got[0]
+	if r.Seq != 7 || r.Count != 16 || !r.Local {
+		t.Fatalf("reply = %+v, want Seq 7 Count 16 Local", r)
+	}
+	if r.Index != c.nodes[0].Applied() {
+		t.Fatalf("reply index %d, leader applied %d", r.Index, c.nodes[0].Applied())
+	}
+	if c.nodes[0].LocalReads() < 16 {
+		t.Fatalf("leader local-read counter = %d, want >= 16", c.nodes[0].LocalReads())
+	}
+}
+
+// TestFallbackReadWithoutLease: with leases disabled every read takes the
+// no-op barrier through phase 2 — answered correctly, marked non-local,
+// and counted as a fallback.
+func TestFallbackReadWithoutLease(t *testing.T) {
+	c := newCluster(t, 3, 24, network.Timely(2*ms))
+	var got []ReadReplyMsg
+	c.nodes[0].OnReadReply(func(m ReadReplyMsg) { got = append(got, m) })
+	c.world.Start()
+	c.world.RunFor(500 * ms)
+	c.nodes[0].Submit("w0")
+	c.world.RunFor(300 * ms)
+	if c.nodes[0].LeaseHeld() {
+		t.Fatal("lease held with Lease unset")
+	}
+	acceptsBefore := c.world.Stats.KindCount(KindAccept)
+	c.nodes[0].Read(1, 4)
+	c.world.RunFor(300 * ms)
+	if len(got) != 1 {
+		t.Fatalf("received %d read replies, want 1", len(got))
+	}
+	if got[0].Local {
+		t.Fatal("fallback read claimed to be local")
+	}
+	if got[0].Index < c.nodes[0].Applied() {
+		t.Fatalf("fallback reply index %d below applied %d", got[0].Index, c.nodes[0].Applied())
+	}
+	if c.nodes[0].FallbackReads() != 4 {
+		t.Fatalf("fallback counter = %d, want 4", c.nodes[0].FallbackReads())
+	}
+	if c.world.Stats.KindCount(KindAccept) == acceptsBefore {
+		t.Fatal("fallback read cost no accepts — barrier never ran")
+	}
+}
+
+// TestFallbackReadsCoalesceOnOneBarrier: reads arriving while a barrier
+// is in flight share it — many reads, one no-op instance.
+func TestFallbackReadsCoalesceOnOneBarrier(t *testing.T) {
+	c := newCluster(t, 3, 25, network.Timely(2*ms))
+	answered := 0
+	c.nodes[0].OnReadReply(func(m ReadReplyMsg) { answered += int(m.Count) })
+	c.world.Start()
+	c.world.RunFor(500 * ms)
+	gapBefore := c.nodes[0].FirstGap()
+	for i := 0; i < 10; i++ {
+		c.nodes[0].Read(uint64(1+i), 1)
+	}
+	c.world.RunFor(300 * ms)
+	if answered != 10 {
+		t.Fatalf("answered %d reads, want 10", answered)
+	}
+	if used := c.nodes[0].FirstGap() - gapBefore; used > 2 {
+		t.Fatalf("10 coalesced reads consumed %d instances, want <= 2", used)
+	}
+	if c.nodes[0].FallbackReads() != 10 {
+		t.Fatalf("fallback counter = %d, want 10", c.nodes[0].FallbackReads())
+	}
+}
+
+// TestLeaseBlocksCompetingPrepareUntilExpiry: after the lease-holding
+// leader crashes, the survivors' first successful phase 1 cannot land
+// before the granted lease windows run out — and once they do, the
+// cluster recovers and decides fresh commands (safety then liveness).
+func TestLeaseBlocksCompetingPrepareUntilExpiry(t *testing.T) {
+	const lease = 400 * ms
+	c := newClusterCfg(t, 3, 26, network.Timely(2*ms), Config{Lease: lease})
+	c.world.Start()
+	c.world.RunFor(500 * ms)
+	c.nodes[0].Submit("pre")
+	c.world.RunFor(100 * ms)
+	if !c.nodes[0].LeaseHeld() {
+		t.Fatal("leader has no lease before the crash")
+	}
+	crashAt := c.world.Kernel.Now()
+	c.world.Crash(0)
+	// Well inside the lease window: detectors have long suspected p0, but
+	// no survivor may complete phase 1 against the outstanding grants.
+	c.world.RunFor(lease / 2)
+	for i := 1; i < 3; i++ {
+		if c.nodes[i].IsLeader() {
+			t.Fatalf("p%d prepared a ballot %v after the crash, inside the lease window", i, c.world.Kernel.Now().Sub(crashAt))
+		}
+	}
+	// Past expiry: a survivor takes over and the log makes progress.
+	c.nodes[1].Submit("post")
+	c.nodes[2].Submit("post2")
+	c.world.RunFor(5 * time.Second)
+	decided := c.appliedSet(1)
+	if !decided["post"] || !decided["post2"] {
+		t.Fatal("survivors never decided fresh commands after lease expiry")
+	}
+	if rep := c.safety(); !rep.Holds() {
+		t.Fatalf("safety: %v", rep.Violations)
+	}
+}
+
+// TestLeaseSkewDefault: a configured lease without an explicit skew gets
+// the documented Lease/10 margin.
+func TestLeaseSkewDefault(t *testing.T) {
+	cfg := Config{Lease: time.Second}
+	cfg.fill()
+	if cfg.LeaseSkew != 100*ms {
+		t.Fatalf("default LeaseSkew = %v, want %v", cfg.LeaseSkew, 100*ms)
+	}
+}

@@ -1,6 +1,9 @@
 package rsm
 
-import "repro/internal/consensus"
+import (
+	"repro/internal/consensus"
+	"repro/internal/node"
+)
 
 // Message kind tags.
 const (
@@ -20,6 +23,16 @@ const (
 	KindDecide = "RSM-DECIDE"
 	// KindLearn tags gap-fill requests from lagging followers.
 	KindLearn = "RSM-LEARN"
+	// KindLeaseGrant tags idle-path lease refreshes; under load, grants
+	// ride on ACCEPTs instead (see lease.go).
+	KindLeaseGrant = "RSM-LEASE"
+	// KindLeaseAck tags explicit grant acknowledgements; under load,
+	// acks ride on ACCEPTEDs.
+	KindLeaseAck = "RSM-LEASEACK"
+	// KindReadReq tags linearizable read requests.
+	KindReadReq = "RSM-READ"
+	// KindReadReply tags read answers.
+	KindReadReply = "RSM-READR"
 )
 
 // RequestMsg forwards a client command to the leader.
@@ -68,12 +81,17 @@ func (NackMsg) Kind() string { return KindNack }
 // MinDone piggybacks the Done vector's cluster minimum (see
 // Config.Forget): every process has applied instances below it, so the
 // receiver may forget them. Zero means "no forgetting".
+//
+// LeaseSeq, when non-zero, piggybacks a read-lease grant (see lease.go):
+// the receiver promises not to promise a ballot owned by anyone else for
+// Config.Lease from receipt, and acks the grant on its ACCEPTED.
 type AcceptMsg struct {
 	B          consensus.Ballot
 	Inst       int
 	V          consensus.Value
 	CommitUpTo int
 	MinDone    int
+	LeaseSeq   uint64
 }
 
 // Kind implements node.Message.
@@ -82,10 +100,13 @@ func (AcceptMsg) Kind() string { return KindAccept }
 // AcceptedMsg acknowledges acceptance of instance Inst at ballot B. Done
 // advertises the sender's applied-through count (its first gap) — the
 // sender's entry in the leader's Done vector (see Config.Forget).
+// LeaseSeq, when non-zero, acknowledges the lease grant of that sequence
+// number (see lease.go).
 type AcceptedMsg struct {
-	B    consensus.Ballot
-	Inst int
-	Done int
+	B        consensus.Ballot
+	Inst     int
+	Done     int
+	LeaseSeq uint64
 }
 
 // Kind implements node.Message.
@@ -107,6 +128,54 @@ type LearnMsg struct{ FirstGap int }
 
 // Kind implements node.Message.
 func (LearnMsg) Kind() string { return KindLearn }
+
+// LeaseGrantMsg refreshes the leader's read lease when no ACCEPT traffic
+// is flowing to carry the grant (see lease.go). B is the granting
+// leader's stable ballot; Seq identifies the grant for acknowledgement.
+type LeaseGrantMsg struct {
+	B   consensus.Ballot
+	Seq uint64
+}
+
+// Kind implements node.Message.
+func (LeaseGrantMsg) Kind() string { return KindLeaseGrant }
+
+// LeaseAckMsg acknowledges lease grant Seq at ballot B when no ACCEPTED
+// is about to carry the ack.
+type LeaseAckMsg struct {
+	B   consensus.Ballot
+	Seq uint64
+}
+
+// Kind implements node.Message.
+func (LeaseAckMsg) Kind() string { return KindLeaseAck }
+
+// ReadReqMsg asks the leader to position the Count reads numbered
+// [Seq, Seq+Count) against the log (see read.go). Origin is the process
+// the reply goes to; followers forward requests to the believed leader
+// with Origin preserved, so one client hop reaches the serving replica.
+type ReadReqMsg struct {
+	Seq    uint64
+	Count  uint32
+	Origin node.ID
+}
+
+// Kind implements node.Message.
+func (ReadReqMsg) Kind() string { return KindReadReq }
+
+// ReadReplyMsg answers reads [Seq, Seq+Count): state that has applied
+// Index commands reflects every write that completed before the reads
+// were served. Local reports whether the leader served from its lease
+// (zero consensus messages) or fell back to a phase-2 no-op barrier.
+type ReadReplyMsg struct {
+	Seq   uint64
+	Count uint32
+	Index int
+	Local bool
+}
+
+// Kind implements node.Message.
+func (ReadReplyMsg) Kind() string { return KindReadReply }
 
 // learnBatch bounds how many decisions a LearnMsg response carries.
 const learnBatch = 64

@@ -93,10 +93,13 @@ func (r *Node) onAccept(from node.ID, m AcceptMsg) {
 		return // forgotten: decided and applied cluster-wide long ago
 	}
 	if m.B >= r.acc.promised {
+		now := r.env.Now()
 		r.acc.promised = m.B
 		r.acc.accepted[m.Inst] = acceptedEntry{b: m.B, v: m.V}
-		r.acc.lastAcceptAt = r.env.Now()
-		r.env.Send(from, AcceptedMsg{B: m.B, Inst: m.Inst, Done: r.log.firstGap})
+		r.acc.lastAcceptAt = now
+		// The ACCEPTED doubles as the lease ack for a piggybacked grant.
+		ack := r.noteGrant(m.B, m.LeaseSeq, now)
+		r.env.Send(from, AcceptedMsg{B: m.B, Inst: m.Inst, Done: r.log.firstGap, LeaseSeq: ack})
 		// Piggybacked commit information: everything below CommitUpTo
 		// that we accepted at this very ballot carries the decided
 		// value (a ballot binds one value per instance).
@@ -116,6 +119,7 @@ func (r *Node) onAccepted(from node.ID, m AcceptedMsg) {
 	if m.B != r.prop.ballot {
 		return
 	}
+	r.onLeaseAck(from, m.B, m.LeaseSeq)
 	fl, ok := r.pipe.inflights[m.Inst]
 	if !ok {
 		return
@@ -138,8 +142,8 @@ func (r *Node) maybeDecide(inst int) {
 	r.pump()
 }
 
-// acceptMsg builds a phase-2 message carrying the current commit index
-// and forgetting horizon.
+// acceptMsg builds a phase-2 message carrying the current commit index,
+// forgetting horizon, and lease grant.
 func (r *Node) acceptMsg(inst int, v consensus.Value) AcceptMsg {
 	m := AcceptMsg{B: r.prop.ballot, Inst: inst, V: v}
 	if r.cfg.PiggybackDecides {
@@ -148,5 +152,6 @@ func (r *Node) acceptMsg(inst int, v consensus.Value) AcceptMsg {
 	if r.cfg.Forget {
 		m.MinDone = r.dones.min()
 	}
+	m.LeaseSeq = r.grantSeq(r.env.Now())
 	return m
 }

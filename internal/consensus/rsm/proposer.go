@@ -68,11 +68,19 @@ func (r *Node) undecidedAccepted() []PromEntry {
 }
 
 func (r *Node) onPrepare(from node.ID, m PrepareMsg) {
+	if r.leaseBlocks(m.B, r.env.Now()) {
+		// A standing lease grant forbids promising this ballot: defer
+		// silently. The preparer retries on its backoff; by then the
+		// grant has expired — this is what makes the lease holder's
+		// local reads safe across leader changes.
+		return
+	}
 	if m.B > r.acc.promised {
 		r.acc.promised = m.B
 		if m.B > r.prop.ballot {
-			// A higher ballot exists: abdicate leader duties.
-			r.prop.abdicate()
+			// A higher ballot exists: abdicate leader duties (and any
+			// read lease that came with them) before promising.
+			r.abdicateLeader()
 		}
 		r.env.Send(from, PromiseMsg{B: m.B, Entries: r.undecidedAccepted()})
 	} else {
@@ -155,5 +163,5 @@ func (r *Node) onNack(m NackMsg) {
 	}
 	// The next drive tick re-prepares with a higher ballot if Omega
 	// still says we lead.
-	r.prop.abdicate()
+	r.abdicateLeader()
 }

@@ -1,0 +1,119 @@
+package rsm
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/node"
+)
+
+// This file is the read path. A linearizable read must observe every
+// write that completed before it was issued. While the leader holds a
+// quorum lease (lease.go) its applied prefix is guaranteed current, so
+// it positions reads at its applied index and replies immediately — zero
+// consensus messages per read. When the lease does not hold (disabled,
+// lapsed, or leadership in doubt) the read falls back to a phase-2
+// no-op barrier: the leader proposes consensus.Noop through the normal
+// pipeline and answers once its applier passes the barrier instance. If
+// a competing ballot has superseded ours, the barrier's quorum cannot
+// form (intersection with the promoters of the higher ballot), so a
+// stale reply is never sent — the read simply times out at the client
+// and is retried against the new leader. All reads arriving while one
+// barrier is in flight coalesce onto it: the reply index is sampled at
+// completion time, which lies between each such read's arrival and its
+// reply, so sharing the barrier preserves linearizability.
+
+// readState is the leader-side fallback-read bookkeeping.
+type readState struct {
+	pending []ReadReqMsg // reads awaiting the barrier
+	barrier int          // in-flight no-op barrier instance, -1 when none
+	onReply func(ReadReplyMsg)
+}
+
+// Read submits Count reads numbered [Seq, Seq+Count) from this replica.
+// The reply arrives through the OnReadReply hook — immediately and
+// locally when this replica is the lease-holding leader, otherwise after
+// a forward to the believed leader. Unknown leader or lost messages mean
+// no reply: clients retry with the same sequence numbers.
+func (r *Node) Read(seq uint64, count int) {
+	if count <= 0 {
+		count = 1
+	}
+	r.onReadReq(r.me, ReadReqMsg{Seq: seq, Count: uint32(count), Origin: r.me})
+}
+
+// OnReadReply installs the read-reply hook, invoked once per served
+// ReadReqMsg that named this replica as Origin. Install before Start;
+// the hook runs on the node's event loop.
+func (r *Node) OnReadReply(fn func(ReadReplyMsg)) { r.reads.onReply = fn }
+
+// onReadReq serves, forwards, or drops one read request.
+func (r *Node) onReadReq(from node.ID, m ReadReqMsg) {
+	if m.Count == 0 {
+		m.Count = 1
+	}
+	leader := r.omega.Leader()
+	if leader != r.me {
+		// Forward toward the believed leader, Origin preserved. No
+		// leader to believe in → drop; the client retries.
+		if leader != node.None && from == m.Origin {
+			r.env.Send(leader, m)
+		}
+		return
+	}
+	if !r.prop.prepared {
+		return // preparing: the client retries after the dust settles
+	}
+	now := r.env.Now()
+	if r.holdsLease(now) {
+		r.lease.localReads.Add(uint64(m.Count))
+		r.replyRead(m, true)
+		return
+	}
+	// Fallback: ride the (shared) no-op barrier through phase 2.
+	r.reads.pending = append(r.reads.pending, m)
+	if r.reads.barrier < 0 {
+		r.reads.barrier = r.propose(consensus.Noop, nil)
+	}
+}
+
+// completeFallbackReads answers pending reads once the applier has
+// passed the barrier instance. Called at the end of every apply pass.
+func (r *Node) completeFallbackReads() {
+	if r.reads.barrier < 0 || r.app.next <= r.reads.barrier {
+		return
+	}
+	r.reads.barrier = -1
+	pending := r.reads.pending
+	r.reads.pending = nil
+	for _, m := range pending {
+		r.lease.fallbackReads.Add(uint64(m.Count))
+		r.replyRead(m, false)
+	}
+}
+
+// failPendingReads drops reads waiting on a barrier that can no longer
+// complete under this leadership. Clients retry elsewhere.
+func (r *Node) failPendingReads() {
+	r.reads.pending = nil
+	r.reads.barrier = -1
+}
+
+// replyRead answers one read batch at the current applied index. A reply
+// to this very replica is delivered straight to the hook — stations
+// refuse self-sends, and there is nothing to serialize anyway.
+func (r *Node) replyRead(m ReadReqMsg, local bool) {
+	reply := ReadReplyMsg{Seq: m.Seq, Count: m.Count, Index: r.app.count, Local: local}
+	if m.Origin == r.me {
+		if r.reads.onReply != nil {
+			r.reads.onReply(reply)
+		}
+		return
+	}
+	r.env.Send(m.Origin, reply)
+}
+
+// onReadReply delivers a forwarded read's answer to the hook.
+func (r *Node) onReadReply(m ReadReplyMsg) {
+	if r.reads.onReply != nil {
+		r.reads.onReply(m)
+	}
+}

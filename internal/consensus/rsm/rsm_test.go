@@ -22,6 +22,14 @@ type cluster struct {
 
 func newCluster(t *testing.T, n int, seed int64, link network.Profile) *cluster {
 	t.Helper()
+	return newClusterCfg(t, n, seed, link, Config{})
+}
+
+// newClusterCfg builds a simulated cluster with an explicit engine
+// config — the lease tests need Config.Lease, everything else uses the
+// defaults via newCluster.
+func newClusterCfg(t *testing.T, n int, seed int64, link network.Profile, cfg Config) *cluster {
+	t.Helper()
 	w, err := node.NewWorld(node.WorldConfig{N: n, Seed: seed, DefaultLink: link})
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +37,7 @@ func newCluster(t *testing.T, n int, seed int64, link network.Profile) *cluster 
 	c := &cluster{world: w, dets: make([]*core.Detector, n), nodes: make([]*Node, n)}
 	for i := 0; i < n; i++ {
 		c.dets[i] = core.New(core.WithEta(10 * ms))
-		c.nodes[i] = New(c.dets[i], Config{})
+		c.nodes[i] = New(c.dets[i], cfg)
 		w.SetAutomaton(node.ID(i), node.Compose(c.dets[i], c.nodes[i]))
 	}
 	return c
@@ -171,7 +179,17 @@ func TestSteadyStateCostIsLinearPerBatch(t *testing.T) {
 	// DECIDE) under a prepared ballot. The per-command cost therefore
 	// drops with the batch size.
 	const n = 5
-	c := newCluster(t, n, 4, network.Timely(2*ms))
+	// Leases on: the trailing read series below asserts the zero-message
+	// read path. A long lease keeps idle refresh traffic out of the
+	// measurement windows.
+	c := newClusterCfg(t, n, 4, network.Timely(2*ms), Config{Lease: 2 * time.Second})
+	var readsAnswered, readsLocal int
+	c.nodes[0].OnReadReply(func(m ReadReplyMsg) {
+		readsAnswered += int(m.Count)
+		if m.Local {
+			readsLocal += int(m.Count)
+		}
+	})
 	c.world.Start()
 	c.world.RunFor(500 * ms) // leader stable, ballot prepared
 	startGap := c.nodes[0].FirstGap()
@@ -199,6 +217,42 @@ func TestSteadyStateCostIsLinearPerBatch(t *testing.T) {
 	// unbatched 3(n−1).
 	if perCmd := consensusMsgs / cmds; perCmd > 1.5*float64(n-1) {
 		t.Fatalf("consensus messages per command = %.1f with batching, want ≤ 1.5(n-1) = %.0f", perCmd, 1.5*float64(n-1))
+	}
+
+	// Read series: with the quorum lease held after the write burst, the
+	// leader serves reads locally — the per-read consensus cost is ~0.
+	if !c.nodes[0].LeaseHeld() {
+		t.Fatal("leader does not hold the lease after the write burst")
+	}
+	kinds := []string{KindPrepare, KindPromise, KindAccept, KindAccepted,
+		KindDecide, KindLeaseGrant, KindLeaseAck, KindReadReq, KindReadReply}
+	before := make(map[string]uint64, len(kinds))
+	for _, k := range kinds {
+		before[k] = c.world.Stats.KindCount(k)
+	}
+	const readSeries = 200
+	for i := 0; i < readSeries; i++ {
+		c.nodes[0].Read(uint64(1+i), 1)
+	}
+	c.world.RunFor(200 * ms)
+	if readsAnswered != readSeries || readsLocal != readSeries {
+		t.Fatalf("answered %d reads (%d local), want %d local", readsAnswered, readsLocal, readSeries)
+	}
+	// Leader-origin reads under a lease touch the wire not at all; the
+	// only tolerated traffic is a stray idle lease refresh.
+	var total uint64
+	for _, k := range kinds {
+		delta := c.world.Stats.KindCount(k) - before[k]
+		total += delta
+		if k != KindLeaseGrant && k != KindLeaseAck && delta != 0 {
+			t.Fatalf("read series sent %d %s messages, want 0", delta, k)
+		}
+	}
+	if perRead := float64(total) / readSeries; perRead >= 0.1 {
+		t.Fatalf("consensus messages per read = %.3f while lease held, want ~0", perRead)
+	}
+	if got := c.nodes[0].LocalReads(); got < readSeries {
+		t.Fatalf("leader's local-read counter = %d, want >= %d", got, readSeries)
 	}
 }
 

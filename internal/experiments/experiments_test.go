@@ -146,8 +146,8 @@ func TestTableAndSeriesRender(t *testing.T) {
 
 func TestSuiteAndRunOne(t *testing.T) {
 	items := Suite()
-	if len(items) != 13 {
-		t.Fatalf("suite has %d items, want 13", len(items))
+	if len(items) != 14 {
+		t.Fatalf("suite has %d items, want 14", len(items))
 	}
 	var b strings.Builder
 	if err := RunOne(&b, "E5", quick); err != nil {

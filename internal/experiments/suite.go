@@ -33,6 +33,7 @@ func Suite() []Item {
 		{"E11", "◊-f-source boundary sweep", func(o Opts) Renderable { return E11FSourceBoundary(o) }},
 		{"E12", "replicated-log decide piggybacking", func(o Opts) Renderable { return E12PiggybackAblation(o) }},
 		{"E13", "lossy partition and heal", func(o Opts) Renderable { return E13PartitionHeal(o) }},
+		{"E14", "leader-lease local reads", func(o Opts) Renderable { return E14LeaseReads(o) }},
 	}
 }
 

@@ -1,0 +1,227 @@
+package link
+
+import (
+	"testing"
+	"time"
+)
+
+// flushSender builds a started sender against a fresh echo server whose
+// flush sizes stream to the returned channel.
+func flushSender(t *testing.T, cfg Config) (*Sender, *Pool, <-chan int, <-chan []byte) {
+	t.Helper()
+	addr, out := echoServer(t)
+	pool := NewPool(64)
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	flushes := make(chan int, 2048) // never block the sender goroutine
+	cfg.Addr = addr
+	cfg.Pool = pool
+	cfg.Stop = stop
+	cfg.OnFlush = func(frames, bytes int) { flushes <- frames }
+	s := NewSender(cfg)
+	go s.Run()
+	return s, pool, flushes, out
+}
+
+// TestAwaitMoreGrowsBatchOnTrickle: with BatchWait set, a batch that
+// drained the queue waits for stragglers instead of flushing one frame
+// per writev — the trickled frames land in a single flush.
+func TestAwaitMoreGrowsBatchOnTrickle(t *testing.T) {
+	s, pool, flushes, out := flushSender(t, Config{BatchWait: 400 * time.Millisecond, Seed: 11})
+
+	for i := 0; i < 3; i++ {
+		if !s.Enqueue(frame(pool, []byte{byte(i)})) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+		time.Sleep(30 * time.Millisecond) // trickle well inside the wait
+	}
+	select {
+	case n := <-flushes:
+		if n != 3 {
+			t.Fatalf("first flush coalesced %d frames, want 3", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no flush before the batch wait elapsed")
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case b := <-out:
+			if b[0] != byte(i) {
+				t.Fatalf("frame %d delivered as % x", i, b)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("frame %d never delivered", i)
+		}
+	}
+}
+
+// TestAwaitMoreStopEndsCollection: a stop signal arriving mid-wait ends
+// collection with a best-effort flush, and Run returns promptly rather
+// than sitting out the full BatchWait.
+func TestAwaitMoreStopEndsCollection(t *testing.T) {
+	addr, out := echoServer(t)
+	pool := NewPool(64)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s := NewSender(Config{Addr: addr, Pool: pool, Stop: stop, BatchWait: time.Minute, Seed: 12})
+	go func() {
+		s.Run()
+		close(done)
+	}()
+
+	if !s.Enqueue(frame(pool, []byte{0x5A})) {
+		t.Fatal("enqueue refused")
+	}
+	time.Sleep(50 * time.Millisecond) // let the sender enter awaitMore
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after stop during the batch wait")
+	}
+	select {
+	case b := <-out:
+		if b[0] != 0x5A {
+			t.Fatalf("delivered % x", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("best-effort flush on stop never delivered the frame")
+	}
+	s.Drain()
+	if got := pool.Balance(); got != 0 {
+		t.Fatalf("pool balance = %d, want 0", got)
+	}
+}
+
+// TestAwaitMoreDelayedFrameEndsBatch: a frame carrying an injected link
+// delay terminates the wait — the collected batch flushes first, then
+// the delayed frame goes out alone, preserving FIFO order.
+func TestAwaitMoreDelayedFrameEndsBatch(t *testing.T) {
+	s, pool, flushes, out := flushSender(t, Config{BatchWait: 10 * time.Second, Seed: 13})
+
+	if !s.Enqueue(frame(pool, []byte{1})) {
+		t.Fatal("enqueue refused")
+	}
+	time.Sleep(50 * time.Millisecond) // sender is now waiting for more
+	f := frame(pool, []byte{2})
+	f.Delay = 30 * time.Millisecond
+	if !s.Enqueue(f) {
+		t.Fatal("delayed enqueue refused")
+	}
+	// Two one-frame flushes, long before the 10s wait could expire.
+	for i := 0; i < 2; i++ {
+		select {
+		case n := <-flushes:
+			if n != 1 {
+				t.Fatalf("flush %d coalesced %d frames, want 1", i, n)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("flush %d never happened — delayed frame did not end the batch", i)
+		}
+	}
+	for i, want := range []byte{1, 2} {
+		select {
+		case b := <-out:
+			if b[0] != want {
+				t.Fatalf("frame %d delivered as % x, want %d", i, b, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("frame %d never delivered", i)
+		}
+	}
+}
+
+// TestAdaptStretchesOnDegenerateFlushes: trains of 1–2-frame flushes in
+// dense traffic double the wait from adaptStep up to the cap.
+func TestAdaptStretchesOnDegenerateFlushes(t *testing.T) {
+	pool := NewPool(64)
+	s := NewSender(Config{Addr: "127.0.0.1:1", Pool: pool, BatchWaitMax: time.Millisecond, Seed: 14})
+	if got := s.Wait(); got != 0 {
+		t.Fatalf("initial wait = %v, want 0", got)
+	}
+	for i := 0; i < 12; i++ {
+		s.lastFlush = time.Now() // dense: no idle gap between flushes
+		s.adapt(1)
+	}
+	if got := s.Wait(); got != time.Millisecond {
+		t.Fatalf("wait after degenerate flush train = %v, want cap %v", got, time.Millisecond)
+	}
+}
+
+// TestAdaptBacksOffOnFullFlushes: once batches arrive at the goal size,
+// the wait is no longer buying amortization and halves back to zero.
+func TestAdaptBacksOffOnFullFlushes(t *testing.T) {
+	pool := NewPool(64)
+	s := NewSender(Config{
+		Addr: "127.0.0.1:1", Pool: pool,
+		BatchWait: time.Millisecond, BatchWaitMax: time.Millisecond, Seed: 15,
+	})
+	if got := s.Wait(); got != time.Millisecond {
+		t.Fatalf("seeded wait = %v, want %v", got, time.Millisecond)
+	}
+	for i := 0; i < 12; i++ {
+		s.lastFlush = time.Now()
+		s.adapt(s.goal)
+	}
+	if got := s.Wait(); got != 0 {
+		t.Fatalf("wait after full-flush train = %v, want 0", got)
+	}
+}
+
+// TestAdaptTreatsIdleGapAsBackoff: a long gap since the previous flush
+// means the link idled — even a tiny flush must not stretch the wait.
+func TestAdaptTreatsIdleGapAsBackoff(t *testing.T) {
+	pool := NewPool(64)
+	s := NewSender(Config{
+		Addr: "127.0.0.1:1", Pool: pool,
+		BatchWait: time.Millisecond, BatchWaitMax: time.Millisecond, Seed: 16,
+	})
+	s.lastFlush = time.Now().Add(-100 * time.Millisecond)
+	s.adapt(1)
+	if got := s.Wait(); got >= time.Millisecond {
+		t.Fatalf("wait after idle gap = %v, want < %v", got, time.Millisecond)
+	}
+}
+
+// TestAdaptiveWaitEndToEnd drives a burst through an adaptive sender
+// while a second goroutine polls Wait(), exercising the controller and
+// its cross-goroutine read under the race detector.
+func TestAdaptiveWaitEndToEnd(t *testing.T) {
+	s, pool, flushes, out := flushSender(t, Config{
+		BatchWaitMax: 200 * time.Microsecond, Seed: 17, Queue: 1024,
+	})
+	poll := make(chan struct{})
+	go func() {
+		defer close(poll)
+		for i := 0; i < 100; i++ {
+			_ = s.Wait()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	const n = 400
+	for i := 0; i < n; i++ {
+		f := frame(pool, []byte{byte(i)})
+		for !s.Enqueue(f) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for got < n {
+		select {
+		case <-out:
+			got++
+		case <-deadline:
+			t.Fatalf("delivered %d/%d frames", got, n)
+		}
+	}
+	<-poll
+	// Drain the flush channel so nothing blocks the sender during cleanup.
+	for {
+		select {
+		case <-flushes:
+		default:
+			return
+		}
+	}
+}

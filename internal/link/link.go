@@ -20,6 +20,7 @@ package link
 import (
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -63,6 +64,14 @@ type Config struct {
 	// degenerates to one tiny write per frame. 0 (the default) flushes as
 	// soon as the queue is empty.
 	BatchWait time.Duration
+	// BatchWaitMax, when positive, makes the wait adaptive: the sender
+	// adjusts it within [0, BatchWaitMax] from observed flush sizes —
+	// stretching (doubling) when consecutive flushes degenerate to one
+	// or two frames under sustained traffic, backing off toward zero
+	// when batches arrive full or the link idles. BatchWait seeds the
+	// initial value (clamped to the cap); no hand-tuning needed after
+	// that. Zero (the default) keeps the fixed BatchWait behaviour.
+	BatchWaitMax time.Duration
 	// WriteTimeout bounds each vectored write (default 1s).
 	WriteTimeout time.Duration
 	// DialTimeout bounds each dial attempt (default 1s).
@@ -77,6 +86,11 @@ type Config struct {
 	// accepting it (write failure, link down, stop-drain). Accounting
 	// only — the sender itself releases the buffer. May be nil.
 	OnDrop func(Frame)
+	// OnFlush is called after every successful vectored write with the
+	// frame count and payload bytes it coalesced — the flush-size signal
+	// the adaptive controller steers on, exported for telemetry. Runs on
+	// the sender goroutine; keep it cheap. May be nil.
+	OnFlush func(frames, bytes int)
 }
 
 func (c *Config) fill() {
@@ -94,6 +108,9 @@ func (c *Config) fill() {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = time.Second
+	}
+	if c.BatchWaitMax > 0 && c.BatchWait > c.BatchWaitMax {
+		c.BatchWait = c.BatchWaitMax
 	}
 }
 
@@ -116,7 +133,23 @@ type Sender struct {
 	frames []Frame      // collected batch (owns the buffers)
 	bufs   net.Buffers  // reusable writev view over frames
 	view   *net.Buffers // heap box handed to WriteTo, which consumes it
+
+	// Adaptive-wait state (BatchWaitMax > 0). wait is atomic only so
+	// observers outside the sender goroutine (tests, telemetry) can read
+	// it; the controller itself runs on the sender goroutine.
+	wait      atomic.Int64 // current wait, nanoseconds
+	goal      int          // flush size that counts as "batches arrive full"
+	lastFlush time.Time    // previous successful flush (idle detection)
 }
+
+// Adaptive-wait controller constants: the smallest non-zero wait (and the
+// step a degenerate flush starts from), the flush gap treated as an idle
+// link, and the flush size treated as degenerate.
+const (
+	adaptStep     = 20 * time.Microsecond
+	adaptIdleGap  = 5 * time.Millisecond
+	adaptLowWater = 2
+)
 
 // NewSender builds a sender for one directed link. Run must be started on
 // its own goroutine before frames flow.
@@ -125,11 +158,32 @@ func NewSender(cfg Config) *Sender {
 	if cfg.Pool == nil {
 		panic("link: Config.Pool is required")
 	}
-	return &Sender{
+	s := &Sender{
 		cfg:   cfg,
 		queue: make(chan Frame, cfg.Queue),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	s.wait.Store(int64(cfg.BatchWait))
+	// "Full" for adaptation purposes is an eighth of the frame cap,
+	// clamped to [4, 64]: the point of the wait is syscall amortization,
+	// which has flattened long before the hard cap.
+	s.goal = cfg.BatchFrames / 8
+	if s.goal < 4 {
+		s.goal = 4
+	} else if s.goal > 64 {
+		s.goal = 64
+	}
+	return s
+}
+
+// Wait returns the sender's current batch wait — cfg.BatchWait when the
+// controller is off, the adapted value when BatchWaitMax is set. Safe
+// from any goroutine.
+func (s *Sender) Wait() time.Duration {
+	if s.cfg.BatchWaitMax <= 0 {
+		return s.cfg.BatchWait
+	}
+	return time.Duration(s.wait.Load())
 }
 
 // Enqueue offers a frame to the link without blocking. It reports whether
@@ -222,10 +276,11 @@ func (s *Sender) collect(first Frame) {
 // caller still owns the batch: false means a delayed frame or a stop
 // signal ended collection here (the batch was flushed or dropped).
 func (s *Sender) awaitMore(bytes *int, maxFrames, maxBytes int) bool {
-	if s.cfg.BatchWait <= 0 {
+	wait := s.Wait()
+	if wait <= 0 {
 		return true
 	}
-	t := time.NewTimer(s.cfg.BatchWait)
+	t := time.NewTimer(wait)
 	defer t.Stop()
 	for len(s.frames) < maxFrames && *bytes < maxBytes {
 		select {
@@ -309,7 +364,56 @@ func (s *Sender) flush() {
 		return
 	}
 	s.backoff = 0
+	n, written := len(s.frames), 0
+	for i := range s.frames {
+		written += len(*s.frames[i].Buf)
+	}
 	s.releaseBatch(false)
+	if s.cfg.OnFlush != nil {
+		s.cfg.OnFlush(n, written)
+	}
+	s.adapt(n)
+}
+
+// adapt is the BatchWait controller (see Config.BatchWaitMax), fed the
+// size of each successful flush. Sustained trains of 1–2-frame flushes
+// mean the sender is keeping pace with its producer frame-for-frame —
+// the degenerate one-writev-per-frame regime — so the wait doubles
+// (from adaptStep) toward the cap, letting batches refill. Full batches
+// mean the wait is no longer buying amortization, and a long gap since
+// the previous flush means the link is idle and the wait only adds
+// latency; both halve it toward zero. The result is a per-link wait
+// that follows load without hand-tuning.
+func (s *Sender) adapt(frames int) {
+	if s.cfg.BatchWaitMax <= 0 {
+		return
+	}
+	now := time.Now()
+	gap := now.Sub(s.lastFlush)
+	s.lastFlush = now
+	w := time.Duration(s.wait.Load())
+	switch {
+	case gap > adaptIdleGap:
+		w /= 2
+		if w < adaptStep {
+			w = 0
+		}
+	case frames <= adaptLowWater:
+		if w < adaptStep {
+			w = adaptStep
+		} else {
+			w *= 2
+		}
+		if w > s.cfg.BatchWaitMax {
+			w = s.cfg.BatchWaitMax
+		}
+	case frames >= s.goal:
+		w /= 2
+		if w < adaptStep {
+			w = 0
+		}
+	}
+	s.wait.Store(int64(w))
 }
 
 // releaseBatch returns every buffer in the current batch to the pool

@@ -41,9 +41,15 @@ type Collector struct {
 	hbKind [obs.MaxKinds]bool
 	lastHB []atomic.Int64
 
-	hbJitter *Histogram // per-link heartbeat inter-arrival
-	downtime *Histogram // election downtime: leader change → next stable leader
-	decision *Histogram // proposer-side consensus decision latency
+	hbJitter    *Histogram // per-link heartbeat inter-arrival
+	downtime    *Histogram // election downtime: leader change → next stable leader
+	decision    *Histogram // proposer-side consensus decision latency
+	flushFrames *Histogram // frames per vectored write (count-unit, see lease.go)
+	flushBytes  *Histogram // payload bytes per vectored write (count-unit)
+
+	// leaseProbes feed the read-path gauges (registered via WatchLease,
+	// polled at scrape time under mu).
+	leaseProbes []LeaseProbe
 
 	// Election tracker. Leader changes are rare (finitely many, after
 	// GST), so a mutex is fine here; the message path never touches it.
@@ -105,15 +111,17 @@ func WithQuiescenceWindow(d time.Duration) Option {
 // New returns a collector for an n-process system.
 func New(n int, opts ...Option) *Collector {
 	c := &Collector{
-		n:          n,
-		win:        DefaultQuiescenceWindow,
-		lastHB:     make([]atomic.Int64, n*n),
-		hbJitter:   NewHistogram("heartbeat_interarrival", n),
-		downtime:   NewHistogram("election_downtime", 1),
-		decision:   NewHistogram("decision_latency", n),
-		leaders:    make([]node.ID, n),
-		down:       make([]bool, n),
-		inDowntime: true, // the initial election counts, from time zero
+		n:           n,
+		win:         DefaultQuiescenceWindow,
+		lastHB:      make([]atomic.Int64, n*n),
+		hbJitter:    NewHistogram("heartbeat_interarrival", n),
+		downtime:    NewHistogram("election_downtime", 1),
+		decision:    NewHistogram("decision_latency", n),
+		flushFrames: NewHistogram("flush_frames", n),
+		flushBytes:  NewHistogram("flush_bytes", n),
+		leaders:     make([]node.ID, n),
+		down:        make([]bool, n),
+		inDowntime:  true, // the initial election counts, from time zero
 	}
 	for i := range c.leaders {
 		c.leaders[i] = node.None

@@ -54,6 +54,9 @@ type Dump struct {
 	ActiveLinks    int                 `json:"active_links"`
 	NonLeaderSends uint64              `json:"non_leader_sends"`
 	WindowNS       int64               `json:"quiescence_window_ns"`
+	LeaseHolders   int                 `json:"lease_holders"`
+	LocalReads     uint64              `json:"reads_local"`
+	FallbackReads  uint64              `json:"reads_fallback"`
 	Histograms     map[string]HistJSON `json:"histograms"`
 }
 
@@ -73,8 +76,12 @@ func (c *Collector) Dump() Dump {
 			"election_downtime":      histJSON(c.ElectionDowntime()),
 			"decision_latency":       histJSON(c.DecisionLatency()),
 			"heartbeat_interarrival": histJSON(c.HeartbeatJitter()),
+			// Count-unit: "ns" fields hold frame/byte counts per flush.
+			"flush_frames": histJSON(c.FlushFrames()),
+			"flush_bytes":  histJSON(c.FlushBytes()),
 		},
 	}
+	d.LeaseHolders, d.LocalReads, d.FallbackReads = c.leaseSnapshot()
 	if leader, ok := c.Leader(); ok {
 		d.Leader = int(leader)
 	}

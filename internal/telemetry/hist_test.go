@@ -8,10 +8,10 @@ import (
 func TestHistogramBuckets(t *testing.T) {
 	h := NewHistogram("t", 2)
 	h.Record(0, 0)
-	h.Record(0, 1)            // bucket 1: [1,2)
-	h.Record(1, 3)            // bucket 2: [2,4)
-	h.Record(1, 1024)         // bucket 11: [1024, 2048)
-	h.Record(3, 1025)         // shard 3%2=1
+	h.Record(0, 1)              // bucket 1: [1,2)
+	h.Record(1, 3)              // bucket 2: [2,4)
+	h.Record(1, 1024)           // bucket 11: [1024, 2048)
+	h.Record(3, 1025)           // shard 3%2=1
 	h.Record(0, -5*time.Second) // clamped to 0
 	s := h.Snapshot()
 	if s.Count != 6 {

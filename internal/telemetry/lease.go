@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"time"
+
+	"repro/internal/node"
+)
+
+// LeaseProbe reports one process's read-path state: whether it currently
+// holds the leader lease, and its monotone local/fallback read counters.
+// Probes are polled at scrape time, never on a hot path, so an
+// implementation backed by atomics (rsm.Node.LeaseHeld, LocalReads,
+// FallbackReads) is plenty.
+type LeaseProbe func() (held bool, local, fallback uint64)
+
+// WatchLease registers a process's lease probe. Call during setup, before
+// Serve.
+func (c *Collector) WatchLease(probe LeaseProbe) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.leaseProbes = append(c.leaseProbes, probe)
+}
+
+// leaseSnapshot polls every registered probe once.
+func (c *Collector) leaseSnapshot() (held int, local, fallback uint64) {
+	c.mu.Lock()
+	probes := c.leaseProbes
+	c.mu.Unlock()
+	for _, p := range probes {
+		h, l, f := p()
+		if h {
+			held++
+		}
+		local += l
+		fallback += f
+	}
+	return held, local, fallback
+}
+
+// LeaseHolders returns how many watched processes currently believe they
+// hold the leader lease. In a healthy cluster this reads 0 or 1; a
+// sustained 2+ would falsify the lease safety argument.
+func (c *Collector) LeaseHolders() int {
+	held, _, _ := c.leaseSnapshot()
+	return held
+}
+
+// LocalReads returns the total reads served locally under a lease, with
+// zero consensus messages, across watched processes.
+func (c *Collector) LocalReads() uint64 {
+	_, local, _ := c.leaseSnapshot()
+	return local
+}
+
+// FallbackReads returns the total reads that took the phase-2 no-op
+// barrier across watched processes.
+func (c *Collector) FallbackReads() uint64 {
+	_, _, fallback := c.leaseSnapshot()
+	return fallback
+}
+
+// RecordFlush feeds one successful vectored write into the flush-size
+// histograms; its signature matches transport.Config.OnFlush so it wires
+// directly. Sharded by sending process; safe for concurrent use from
+// every sender goroutine.
+func (c *Collector) RecordFlush(from, to node.ID, frames, bytes int) {
+	// The histograms are duration-typed but count-unit here: one "ns" per
+	// frame (or byte). Power-of-two buckets make that exact, and the
+	// count-unit prom/dump exports never rescale to seconds.
+	c.flushFrames.Record(int(from), time.Duration(frames))
+	c.flushBytes.Record(int(from), time.Duration(bytes))
+}
+
+// FlushFrames returns the merged frames-per-flush snapshot (count-unit:
+// durations are frame counts, not nanoseconds).
+func (c *Collector) FlushFrames() HistSnapshot { return c.flushFrames.Snapshot() }
+
+// FlushBytes returns the merged bytes-per-flush snapshot (count-unit).
+func (c *Collector) FlushBytes() HistSnapshot { return c.flushBytes.Snapshot() }

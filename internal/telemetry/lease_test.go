@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWatchLeaseGauges(t *testing.T) {
+	c := New(3)
+	held := []bool{false, true, false}
+	local := []uint64{0, 120, 0}
+	fallback := []uint64{2, 3, 1}
+	for i := 0; i < 3; i++ {
+		i := i
+		c.WatchLease(func() (bool, uint64, uint64) { return held[i], local[i], fallback[i] })
+	}
+	if got := c.LeaseHolders(); got != 1 {
+		t.Fatalf("LeaseHolders = %d, want 1", got)
+	}
+	if got := c.LocalReads(); got != 120 {
+		t.Fatalf("LocalReads = %d, want 120", got)
+	}
+	if got := c.FallbackReads(); got != 6 {
+		t.Fatalf("FallbackReads = %d, want 6", got)
+	}
+	held[1] = false
+	if got := c.LeaseHolders(); got != 0 {
+		t.Fatalf("LeaseHolders after release = %d, want 0", got)
+	}
+}
+
+func TestRecordFlushHistograms(t *testing.T) {
+	c := New(2)
+	c.RecordFlush(0, 1, 8, 1024)
+	c.RecordFlush(1, 0, 32, 4096)
+	frames := c.FlushFrames()
+	if frames.Count != 2 {
+		t.Fatalf("flush frames count = %d, want 2", frames.Count)
+	}
+	if got := int64(frames.Sum); got != 40 {
+		t.Fatalf("flush frames sum = %d, want 40", got)
+	}
+	if got := int64(frames.Max); got != 32 {
+		t.Fatalf("flush frames max = %d, want 32", got)
+	}
+	bytes := c.FlushBytes()
+	if got := int64(bytes.Sum); got != 5120 {
+		t.Fatalf("flush bytes sum = %d, want 5120", got)
+	}
+}
+
+func TestPrometheusExportsLeaseAndFlush(t *testing.T) {
+	c := New(2)
+	c.WatchLease(func() (bool, uint64, uint64) { return true, 7, 1 })
+	c.RecordFlush(0, 1, 8, 1024)
+	var b strings.Builder
+	c.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"rsm_lease_held 1",
+		"rsm_reads_local_total 7",
+		"rsm_reads_fallback_total 1",
+		// Count-unit buckets: le in frames, not seconds. 8 frames land in
+		// the half-open bucket [8,16), so the cumulative count first hits
+		// 1 at le="16".
+		`link_flush_frames_bucket{le="16"} 1`,
+		"link_flush_frames_sum 8",
+		"link_flush_bytes_sum 1024",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpIncludesLeaseAndFlush(t *testing.T) {
+	c := New(2)
+	c.WatchLease(func() (bool, uint64, uint64) { return true, 9, 2 })
+	c.RecordFlush(0, 1, 16, 2048)
+	d := c.Dump()
+	if d.LeaseHolders != 1 || d.LocalReads != 9 || d.FallbackReads != 2 {
+		t.Fatalf("dump lease fields = %d/%d/%d, want 1/9/2",
+			d.LeaseHolders, d.LocalReads, d.FallbackReads)
+	}
+	h, ok := d.Histograms["flush_frames"]
+	if !ok || h.Count != 1 || h.SumNS != 16 {
+		t.Fatalf("dump flush_frames = %+v ok=%v, want count 1 sum 16", h, ok)
+	}
+}

@@ -28,6 +28,27 @@ func promHist(w io.Writer, name string, s HistSnapshot) {
 	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
 }
 
+// promCountHist writes one count-unit histogram (frames, bytes — values
+// recorded as raw counts, not nanoseconds) in Prometheus exposition
+// format, with cumulative le buckets in the native unit.
+func promCountHist(w io.Writer, name string, s HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	top := 0
+	for b, c := range s.Buckets {
+		if c > 0 {
+			top = b
+		}
+	}
+	for b := 0; b <= top; b++ {
+		cum += s.Buckets[b]
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, uint64(1)<<uint(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", name, int64(s.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
 // WritePrometheus writes the collector's full state in Prometheus text
 // exposition format: message counters (from the attached MessageStats),
 // the quiescence gauges, and the three latency histograms.
@@ -82,7 +103,21 @@ func (c *Collector) WritePrometheus(w io.Writer) {
 	counter("omega_leader_changes_total", "Per-process leader-output transitions.", c.LeaderChanges())
 	counter("omega_decides_total", "Consensus decisions learned across watched recorders.", c.Decides())
 
+	// Read path: lease occupancy and the local/fallback split. Local reads
+	// cost zero consensus messages; their ratio against fallbacks is the
+	// tentpole's headline number.
+	held, local, fallback := c.leaseSnapshot()
+	gauge("rsm_lease_held",
+		"Watched processes currently holding the leader lease (0 or 1 when healthy).",
+		float64(held))
+	counter("rsm_reads_local_total",
+		"Reads served locally under a lease, with zero consensus messages.", local)
+	counter("rsm_reads_fallback_total",
+		"Reads that took the phase-2 no-op barrier.", fallback)
+
 	promHist(w, "omega_election_downtime_seconds", c.ElectionDowntime())
 	promHist(w, "omega_decision_latency_seconds", c.DecisionLatency())
 	promHist(w, "omega_heartbeat_interarrival_seconds", c.HeartbeatJitter())
+	promCountHist(w, "link_flush_frames", c.FlushFrames())
+	promCountHist(w, "link_flush_bytes", c.FlushBytes())
 }

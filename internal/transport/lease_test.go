@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/rsm"
+	"repro/internal/core"
+	"repro/internal/faultline"
+	"repro/internal/node"
+)
+
+// leaseCluster is the slice of cluster surface the lease safety test
+// drives, satisfied by both the mem and TCP clusters.
+type leaseCluster interface {
+	Start()
+	Stop()
+	Inject(from, to node.ID, m node.Message)
+}
+
+// runLeaseCrashSafety is the linearizability-across-a-crash check for
+// the read path: stabilize a lease-holding leader, kill it from the
+// cluster's point of view via faultline (isolation — unlike a station
+// crash, the partitioned leader keeps running, which is exactly the
+// dangerous case), decide new writes under the successor, then verify
+// the old leader refuses to serve any read at its stale applied index.
+// The lease argument says its grants must have expired before the new
+// leader could complete phase 1, so by the time the successor's write
+// is observed decided, the old leader must answer zero reads: local
+// serving is forbidden (lease lapsed, unrecoverable while isolated) and
+// the fallback barrier cannot reach a quorum.
+func runLeaseCrashSafety(t *testing.T, build func(inj *faultline.Injector, autos []node.Automaton) (leaseCluster, []*station)) {
+	const n = 3
+	const lease = 400 * time.Millisecond
+	inj, err := faultline.New(n, 7, faultline.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	autos := make([]node.Automaton, n)
+	dets := make([]*core.Detector, n)
+	logs := make([]*rsm.Node, n)
+	var armed atomic.Bool
+	var replies, staleLocal atomic.Int64
+	for i := 0; i < n; i++ {
+		dets[i] = core.New(core.WithEta(5 * time.Millisecond))
+		logs[i] = rsm.New(dets[i], rsm.Config{DriveInterval: 10 * time.Millisecond, Lease: lease})
+		autos[i] = node.Compose(dets[i], logs[i])
+	}
+	logs[0].OnReadReply(func(m rsm.ReadReplyMsg) {
+		if !armed.Load() {
+			return
+		}
+		replies.Add(1)
+		if m.Local {
+			staleLocal.Add(1)
+		}
+	})
+	c, stations := build(inj, autos)
+	c.Start()
+	defer c.Stop()
+
+	waitFor(t, 10*time.Second, func() bool {
+		for _, d := range dets {
+			if d.History().Current() != 0 {
+				return false
+			}
+		}
+		return true
+	}, "leader 0 stabilization")
+
+	// Writes through the lease-holding leader; grants ride the accepts.
+	// Deciding 5 instances also proves leader 0's ballot is prepared.
+	waitFor(t, 10*time.Second, func() bool {
+		for i := 0; i < 5; i++ {
+			c.Inject(1, 0, rsm.RequestMsg{V: consensus.Value(fmt.Sprintf("pre-iso-%d", i))})
+		}
+		for _, l := range logs {
+			if l.Recorder().Count() < 5 {
+				return false
+			}
+		}
+		return true
+	}, "pre-isolation writes decided everywhere")
+	waitFor(t, 10*time.Second, func() bool { return logs[0].LeaseHeld() }, "leader holds the read lease")
+
+	// "Kill" the leader mid-lease: cut every link to and from it. The
+	// leader itself keeps running — and keeps believing it leads.
+	inj.Isolate(0)
+
+	// The survivors must elect a successor, wait out the lease, prepare,
+	// and decide a fresh write. The probe value is distinguishable from
+	// every pre-isolation command and is only ever injected toward the
+	// successor, so seeing it decided proves a post-isolation leader
+	// completed phase 1 and phase 2 — in-flight decides from the old
+	// leader cannot fake it.
+	decided := func(l *rsm.Node) bool {
+		for _, d := range l.Recorder().All() {
+			if d.Value == consensus.Value("post-iso") {
+				return true
+			}
+		}
+		return false
+	}
+	waitFor(t, 20*time.Second, func() bool {
+		l := dets[1].History().Current()
+		if l == node.None || l == 0 {
+			return false
+		}
+		from := node.ID(1)
+		if l == 1 {
+			from = 2
+		}
+		c.Inject(from, l, rsm.RequestMsg{V: consensus.Value("post-iso")})
+		return decided(logs[1]) && decided(logs[2])
+	}, "successor decides a write after isolation")
+
+	// By now the old leader's conservative lease validity must have
+	// lapsed — its expiry strictly precedes any successor's phase 1.
+	if logs[0].LeaseHeld() {
+		t.Fatal("old leader still claims the lease after the successor decided")
+	}
+
+	// Drive reads straight into the old leader, as a client colocated
+	// with it would. None may be answered: a Local reply would be a
+	// stale read (its applied index misses the post-isolation writes),
+	// and the fallback barrier cannot commit without a quorum.
+	armed.Store(true)
+	for i := 0; i < 30; i++ {
+		stations[0].deliver(0, rsm.ReadReqMsg{Seq: uint64(1000 + i), Count: 1, Origin: 0})
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := staleLocal.Load(); got != 0 {
+		t.Fatalf("old leader served %d stale local reads after the successor decided", got)
+	}
+	if got := replies.Load(); got != 0 {
+		t.Fatalf("old leader answered %d reads while isolated (fallback barrier cannot have committed)", got)
+	}
+}
+
+func TestMemLeaseCrashSafety(t *testing.T) {
+	runLeaseCrashSafety(t, func(inj *faultline.Injector, autos []node.Automaton) (leaseCluster, []*station) {
+		c, err := NewCluster(Config{N: 3, Seed: 7, Quiet: true, Fault: inj}, autos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, c.stations
+	})
+}
+
+func TestTCPLeaseCrashSafety(t *testing.T) {
+	runLeaseCrashSafety(t, func(inj *faultline.Injector, autos []node.Automaton) (leaseCluster, []*station) {
+		c, err := NewTCPCluster(Config{N: 3, Seed: 7, Quiet: true, Fault: inj}, autos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, c.stations
+	})
+}

@@ -65,6 +65,17 @@ type Config struct {
 	// writes under sustained load at the cost of that much added latency
 	// on the first frame. 0 flushes as soon as the queue empties.
 	BatchWait time.Duration
+	// BatchWaitMax, when positive, makes each TCP sender's batch wait
+	// adaptive within [0, BatchWaitMax]: stretched when flushes
+	// degenerate to one or two frames under load, backed off when
+	// batches arrive full or the link idles (see link.Config.
+	// BatchWaitMax). BatchWait seeds the initial value.
+	BatchWaitMax time.Duration
+	// OnFlush, when set, observes every successful TCP vectored write
+	// with its coalesced frame and payload counts — the flush-size
+	// signal for telemetry. Runs on sender goroutines; must be safe for
+	// concurrent use and cheap.
+	OnFlush func(from, to node.ID, frames, bytes int)
 }
 
 func (c *Config) fill() error {

@@ -92,12 +92,19 @@ func NewTCPCluster(cfg Config, automatons []nodepkg.Automaton) (*TCPCluster, err
 				continue
 			}
 			from, to := from, to
+			var onFlush func(frames, bytes int)
+			if cfg.OnFlush != nil {
+				onFlush = func(frames, bytes int) {
+					cfg.OnFlush(nodepkg.ID(from), nodepkg.ID(to), frames, bytes)
+				}
+			}
 			c.senders[from*cfg.N+to] = link.NewSender(link.Config{
 				Addr:         c.addrs[to].String(),
 				Queue:        cfg.SendQueue,
 				BatchFrames:  cfg.BatchFrames,
 				BatchBytes:   cfg.BatchBytes,
 				BatchWait:    cfg.BatchWait,
+				BatchWaitMax: cfg.BatchWaitMax,
 				WriteTimeout: cfg.WriteTimeout,
 				DialTimeout:  cfg.DialTimeout,
 				Seed:         cfg.Seed ^ int64(from*cfg.N+to+1),
@@ -106,6 +113,7 @@ func NewTCPCluster(cfg Config, automatons []nodepkg.Automaton) (*TCPCluster, err
 				OnDrop: func(f link.Frame) {
 					c.sink.OnDrop(c.stations[from].Now(), from, to, f.Kind)
 				},
+				OnFlush: onFlush,
 			})
 		}
 	}

@@ -35,7 +35,11 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 		{1, core.AccuseMsg{Epoch: 300}},
 		{2, source.AliveMsg{Counters: []uint64{1, 1 << 40, 0}}},
 		{3, synod.PromiseMsg{B: 9, AccB: 2, AccV: "seed"}},
-		{4, rsm.AcceptMsg{B: 5, Inst: 7, V: "cmd", CommitUpTo: 6}},
+		{4, rsm.AcceptMsg{B: 5, Inst: 7, V: "cmd", CommitUpTo: 6, LeaseSeq: 3}},
+		{1, rsm.LeaseGrantMsg{B: 5, Seq: 8}},
+		{2, rsm.LeaseAckMsg{B: 5, Seq: 8}},
+		{3, rsm.ReadReqMsg{Seq: 41, Count: 16, Origin: 3}},
+		{4, rsm.ReadReplyMsg{Seq: 41, Count: 16, Index: 99, Local: true}},
 	}
 	for _, s := range seedMsgs {
 		for _, c := range []*Codec{seed, seedFixed} {

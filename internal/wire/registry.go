@@ -43,6 +43,10 @@ const (
 	codeRSMDecide
 	codeRSMLearn
 	codeCoreRebuff
+	codeRSMLeaseGrant
+	codeRSMLeaseAck
+	codeRSMReadReq
+	codeRSMReadReply
 )
 
 // badType builds the error for an encoder handed the wrong concrete type.
@@ -348,7 +352,11 @@ func registerRSM(c *Codec) {
 			if err := e.Int(m.CommitUpTo); err != nil {
 				return err
 			}
-			return e.Int(m.MinDone)
+			if err := e.Int(m.MinDone); err != nil {
+				return err
+			}
+			e.U64(m.LeaseSeq)
+			return nil
 		},
 		func(d *Decoder) (rsm.AcceptMsg, error) {
 			b, err := d.U64()
@@ -368,7 +376,11 @@ func registerRSM(c *Codec) {
 				return rsm.AcceptMsg{}, err
 			}
 			minDone, err := d.Int()
-			return rsm.AcceptMsg{B: consensus.Ballot(b), Inst: inst, V: consensus.Value(v), CommitUpTo: commit, MinDone: minDone}, err
+			if err != nil {
+				return rsm.AcceptMsg{}, err
+			}
+			lease, err := d.U64()
+			return rsm.AcceptMsg{B: consensus.Ballot(b), Inst: inst, V: consensus.Value(v), CommitUpTo: commit, MinDone: minDone, LeaseSeq: lease}, err
 		})
 
 	reg(c, codeRSMAccepted, rsm.KindAccepted,
@@ -377,7 +389,11 @@ func registerRSM(c *Codec) {
 			if err := e.Int(m.Inst); err != nil {
 				return err
 			}
-			return e.Int(m.Done)
+			if err := e.Int(m.Done); err != nil {
+				return err
+			}
+			e.U64(m.LeaseSeq)
+			return nil
 		},
 		func(d *Decoder) (rsm.AcceptedMsg, error) {
 			b, err := d.U64()
@@ -389,7 +405,11 @@ func registerRSM(c *Codec) {
 				return rsm.AcceptedMsg{}, err
 			}
 			done, err := d.Int()
-			return rsm.AcceptedMsg{B: consensus.Ballot(b), Inst: inst, Done: done}, err
+			if err != nil {
+				return rsm.AcceptedMsg{}, err
+			}
+			lease, err := d.U64()
+			return rsm.AcceptedMsg{B: consensus.Ballot(b), Inst: inst, Done: done, LeaseSeq: lease}, err
 		})
 
 	reg(c, codeRSMDecide, rsm.KindDecide,
@@ -414,5 +434,85 @@ func registerRSM(c *Codec) {
 		func(d *Decoder) (rsm.LearnMsg, error) {
 			g, err := d.Int()
 			return rsm.LearnMsg{FirstGap: g}, err
+		})
+
+	reg(c, codeRSMLeaseGrant, rsm.KindLeaseGrant,
+		func(e *Encoder, m rsm.LeaseGrantMsg) error {
+			e.U64(uint64(m.B))
+			e.U64(m.Seq)
+			return nil
+		},
+		func(d *Decoder) (rsm.LeaseGrantMsg, error) {
+			b, err := d.U64()
+			if err != nil {
+				return rsm.LeaseGrantMsg{}, err
+			}
+			seq, err := d.U64()
+			return rsm.LeaseGrantMsg{B: consensus.Ballot(b), Seq: seq}, err
+		})
+
+	reg(c, codeRSMLeaseAck, rsm.KindLeaseAck,
+		func(e *Encoder, m rsm.LeaseAckMsg) error {
+			e.U64(uint64(m.B))
+			e.U64(m.Seq)
+			return nil
+		},
+		func(d *Decoder) (rsm.LeaseAckMsg, error) {
+			b, err := d.U64()
+			if err != nil {
+				return rsm.LeaseAckMsg{}, err
+			}
+			seq, err := d.U64()
+			return rsm.LeaseAckMsg{B: consensus.Ballot(b), Seq: seq}, err
+		})
+
+	reg(c, codeRSMReadReq, rsm.KindReadReq,
+		func(e *Encoder, m rsm.ReadReqMsg) error {
+			e.U64(m.Seq)
+			e.U32(m.Count)
+			return e.Int(int(m.Origin))
+		},
+		func(d *Decoder) (rsm.ReadReqMsg, error) {
+			seq, err := d.U64()
+			if err != nil {
+				return rsm.ReadReqMsg{}, err
+			}
+			count, err := d.U32()
+			if err != nil {
+				return rsm.ReadReqMsg{}, err
+			}
+			origin, err := d.Int()
+			return rsm.ReadReqMsg{Seq: seq, Count: count, Origin: node.ID(origin)}, err
+		})
+
+	reg(c, codeRSMReadReply, rsm.KindReadReply,
+		func(e *Encoder, m rsm.ReadReplyMsg) error {
+			e.U64(m.Seq)
+			e.U32(m.Count)
+			if err := e.Int(m.Index); err != nil {
+				return err
+			}
+			var local uint32
+			if m.Local {
+				local = 1
+			}
+			e.U32(local)
+			return nil
+		},
+		func(d *Decoder) (rsm.ReadReplyMsg, error) {
+			seq, err := d.U64()
+			if err != nil {
+				return rsm.ReadReplyMsg{}, err
+			}
+			count, err := d.U32()
+			if err != nil {
+				return rsm.ReadReplyMsg{}, err
+			}
+			index, err := d.Int()
+			if err != nil {
+				return rsm.ReadReplyMsg{}, err
+			}
+			local, err := d.U32()
+			return rsm.ReadReplyMsg{Seq: seq, Count: count, Index: index, Local: local != 0}, err
 		})
 }

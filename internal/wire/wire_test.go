@@ -56,10 +56,14 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 		rsm.PromiseMsg{B: 9, Entries: []rsm.PromEntry{{Inst: 1, AccB: 2, AccV: "a"}, {Inst: 5, AccB: 9, AccV: "b"}}},
 		rsm.PromiseMsg{B: 9},
 		rsm.NackMsg{B: 9, Promised: 12},
-		rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3, MinDone: 2},
-		rsm.AcceptedMsg{B: 9, Inst: 4, Done: 11},
+		rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3, MinDone: 2, LeaseSeq: 6},
+		rsm.AcceptedMsg{B: 9, Inst: 4, Done: 11, LeaseSeq: 6},
 		rsm.DecideMsg{Inst: 4, V: "x"},
 		rsm.LearnMsg{FirstGap: 11},
+		rsm.LeaseGrantMsg{B: 9, Seq: 7},
+		rsm.LeaseAckMsg{B: 9, Seq: 7},
+		rsm.ReadReqMsg{Seq: 100, Count: 64, Origin: 2},
+		rsm.ReadReplyMsg{Seq: 100, Count: 64, Index: 4242, Local: true},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, c, m)
@@ -71,7 +75,7 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 
 func TestRoundTripCoversEveryRegisteredKind(t *testing.T) {
 	c := NewCodec()
-	if got := len(c.Kinds()); got != 26 {
+	if got := len(c.Kinds()); got != 30 {
 		t.Fatalf("registered kinds = %d, update the round-trip test when adding messages", got)
 	}
 }
