@@ -139,6 +139,73 @@ func TestFallbackReadsCoalesceOnOneBarrier(t *testing.T) {
 	}
 }
 
+// TestStaleBarrierFailsPendingReads: a deposed leader whose no-op read
+// barrier lands on an instance a newer leader already used must fail the
+// pending reads when the foreign decision applies — even when the
+// decided value is an identical no-op (the new leader's gap fill).
+// Positional completion alone would answer at a stale applied index and
+// miss every write the new leader committed at later instances.
+func TestStaleBarrierFailsPendingReads(t *testing.T) {
+	r, env := prepareLeader(t, nil)
+	var replies []ReadReplyMsg
+	r.OnReadReply(func(m ReadReplyMsg) { replies = append(replies, m) })
+	env.drain()
+	r.Read(1, 2)
+	if r.reads.barrier < 0 || len(r.reads.pending) != 1 {
+		t.Fatalf("barrier = %d, pending = %d, want an armed barrier", r.reads.barrier, len(r.reads.pending))
+	}
+	// A follower that already learned a newer leader's decision at the
+	// barrier instance answers the ACCEPT with the decision, not an
+	// ACCEPTED (TestAcceptorAnswersDecidedInstanceWithDecide).
+	r.Deliver(1, DecideMsg{Inst: r.reads.barrier, V: consensus.Noop})
+	if len(replies) != 0 {
+		t.Fatalf("stale barrier answered %d read batches, want 0", len(replies))
+	}
+	if len(r.reads.pending) != 0 || r.reads.barrier != -1 {
+		t.Fatal("pending reads not failed after a foreign barrier decision")
+	}
+	if r.FallbackReads() != 0 {
+		t.Fatal("failed reads counted as served")
+	}
+}
+
+// TestOwnQuorumBarrierAnswersReads: the healthy fallback path on the
+// unit harness — a majority of ACCEPTEDs at the leader's own ballot
+// completes the barrier and answers the pending reads.
+func TestOwnQuorumBarrierAnswersReads(t *testing.T) {
+	r, env := prepareLeader(t, nil)
+	var replies []ReadReplyMsg
+	r.OnReadReply(func(m ReadReplyMsg) { replies = append(replies, m) })
+	env.drain()
+	r.Read(5, 3)
+	r.Deliver(1, AcceptedMsg{B: r.prop.ballot, Inst: r.reads.barrier})
+	if len(replies) != 1 || replies[0].Seq != 5 || replies[0].Count != 3 {
+		t.Fatalf("replies = %+v, want one batch for seq 5 count 3", replies)
+	}
+	if replies[0].Local {
+		t.Fatal("barrier read claimed to be local")
+	}
+	if r.reads.barrier != -1 || r.reads.barrierOwn || len(r.reads.pending) != 0 {
+		t.Fatal("barrier state not reset after completion")
+	}
+	if r.FallbackReads() != 3 {
+		t.Fatalf("fallback counter = %d, want 3", r.FallbackReads())
+	}
+}
+
+// TestPendingFallbackReadsAreCapped: a stuck barrier must not let client
+// retries grow the pending queue without bound.
+func TestPendingFallbackReadsAreCapped(t *testing.T) {
+	r, env := prepareLeader(t, nil)
+	env.drain()
+	for i := 0; i < maxPendingReads+100; i++ {
+		r.Read(uint64(i), 1)
+	}
+	if len(r.reads.pending) != maxPendingReads {
+		t.Fatalf("pending queue = %d, want capped at %d", len(r.reads.pending), maxPendingReads)
+	}
+}
+
 // TestLeaseBlocksCompetingPrepareUntilExpiry: after the lease-holding
 // leader crashes, the survivors' first successful phase 1 cannot land
 // before the granted lease windows run out — and once they do, the

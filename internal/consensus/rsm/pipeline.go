@@ -134,6 +134,11 @@ func (r *Node) maybeDecide(inst int) {
 		return
 	}
 	delete(r.pipe.inflights, inst)
+	if inst == r.reads.barrier {
+		// Our own ack quorum at our own ballot decided the read barrier —
+		// the completion proof completeFallbackReads requires.
+		r.reads.barrierOwn = true
+	}
 	r.learn(inst, fl.v)
 	if !r.cfg.PiggybackDecides {
 		r.env.Broadcast(DecideMsg{Inst: inst, V: fl.v})

@@ -342,6 +342,10 @@ func registerRSM(c *Codec) {
 			return rsm.NackMsg{B: consensus.Ballot(b), Promised: consensus.Ballot(p)}, err
 		})
 
+	// The trailing LeaseSeq on ACCEPT/ACCEPTED (PR 7) is not negotiated:
+	// strict decoding makes pre-lease and post-lease frames mutually
+	// unreadable, so clusters upgrade atomically across that boundary
+	// (DESIGN.md §14).
 	reg(c, codeRSMAccept, rsm.KindAccept,
 		func(e *Encoder, m rsm.AcceptMsg) error {
 			e.U64(uint64(m.B))
