@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race soak telemetry-smoke bench bench-micro bench-json bench-wire bench-consensus tables
+.PHONY: all build vet test test-race soak recovery-soak telemetry-smoke bench bench-micro bench-json bench-wire bench-consensus bench-durable tables
 
 all: vet test
 
@@ -38,6 +38,16 @@ soak:
 	$(GO) test -race -count=1 -run 'ChaosSoak' -v ./internal/transport/
 	$(GO) test -race -count=1 ./cmd/chaossoak/
 endif
+
+# Kill -9 recovery soak under the race detector (DESIGN.md §15): the
+# leader dies mid-batch, restarts from its write-ahead log, and must
+# rejoin, catch up, and regain proposer eligibility; afterwards every
+# WAL is reopened twice to check deterministic recovery and
+# prefix-consistent applied sequences. The restart/rejoin transport
+# tests ride along.
+recovery-soak:
+	$(GO) test -race -count=1 -run 'TestRunRecoveryPlan|Restart' -v ./cmd/chaossoak/ ./internal/transport/
+	$(GO) run ./cmd/chaossoak -transport mem -plan recovery -n 5 -fsync always
 
 # Boot wireload with the telemetry endpoint, scrape /healthz and /metrics
 # mid-run with curl, and let the run finish. /healthz reads 503 here by
@@ -81,6 +91,13 @@ bench-wire:
 # batched arm's peak decided-commands/sec should be ≥5x the baseline's.
 bench-consensus:
 	$(GO) run ./cmd/consload -n 5 -dur 2s -reps 3 -reads 0.9 -json BENCH_consensus.json
+
+# Durability cost surface as machine-readable JSON: WAL append ns/op and
+# B/op per fsync policy (off / group64k / always), and recovery time vs
+# log length. The append benches bound what a durable vote adds to the
+# phase-2 path; the recovery benches bound restart downtime.
+bench-durable:
+	$(GO) test -run '^$$' -bench 'WALAppend|WALRecovery' -benchmem -json ./internal/durable > BENCH_durable.json
 
 # Regenerate EXPERIMENTS.md-style tables at full size.
 tables:

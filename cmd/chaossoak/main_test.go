@@ -17,6 +17,26 @@ func TestRunFullPlanMem(t *testing.T) {
 	}
 }
 
+// TestRunRecoveryPlanMem is the CI recovery soak: kill -9 the leader
+// mid-batch, restart it from its WAL directory, and require rejoin,
+// catch-up, renewed proposer eligibility, and replay equivalence. It
+// stays enabled under -short so the -race CI job always runs it.
+func TestRunRecoveryPlanMem(t *testing.T) {
+	if err := run([]string{
+		"-transport", "mem", "-plan", "recovery", "-n", "3",
+		"-commands", "2", "-bound", "30s", "-fsync", "group",
+		"-wal-dir", t.TempDir(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecoveryPlanRequiresMem(t *testing.T) {
+	if err := run([]string{"-transport", "udp", "-plan", "recovery", "-n", "3"}); err == nil {
+		t.Fatal("recovery plan accepted a socket transport")
+	}
+}
+
 func TestRunChaosPlanMem(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos plan waits out a wall-clock GST")

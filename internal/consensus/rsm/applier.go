@@ -1,9 +1,11 @@
 package rsm
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/consensus"
+	"repro/internal/durable"
 	"repro/internal/sim"
 )
 
@@ -75,4 +77,44 @@ func (r *Node) apply() {
 		r.maybeForget(r.dones.min())
 	}
 	r.completeFallbackReads()
+	r.maybeSnapshot()
+}
+
+// maybeSnapshot checkpoints the durable store once SnapshotEvery
+// commands have been applied since the last checkpoint. The snapshot
+// absorbs the contiguous applied prefix (below firstGap) into the App
+// payload; entries at or above it — decided-but-unapplied islands and
+// open acceptor votes — ride along explicitly. In-memory forgetting is
+// untouched: logbook.retained() stays governed by the Done vector, the
+// snapshot only moves the *durable* horizon.
+func (r *Node) maybeSnapshot() {
+	if r.cfg.SnapshotEvery <= 0 || r.app.count-r.snapBase < r.cfg.SnapshotEvery {
+		return
+	}
+	st := &durable.State{
+		Promised:  uint64(r.acc.promised),
+		Ballot:    uint64(r.prop.ballot),
+		SnapIndex: uint64(r.log.firstGap),
+		SnapCount: uint64(r.app.count),
+	}
+	if r.cfg.SnapshotState != nil {
+		st.App = r.cfg.SnapshotState()
+	}
+	for inst, v := range r.log.entries {
+		if inst >= r.log.firstGap {
+			st.Decided = append(st.Decided, durable.DecidedRec{Inst: uint64(inst), V: string(v)})
+		}
+	}
+	sort.Slice(st.Decided, func(i, j int) bool { return st.Decided[i].Inst < st.Decided[j].Inst })
+	for inst, e := range r.acc.accepted {
+		st.Accepted = append(st.Accepted, durable.AcceptedRec{Inst: uint64(inst), B: uint64(e.b), V: string(e.v)})
+	}
+	sort.Slice(st.Accepted, func(i, j int) bool { return st.Accepted[i].Inst < st.Accepted[j].Inst })
+	if err := r.cfg.Store.Snapshot(st); err != nil {
+		// Nothing is lost on a failed checkpoint — the WAL keeps every
+		// record — it just cannot compact yet. Retry at the next batch.
+		r.env.Logf("rsm: snapshot at %d failed: %v", r.log.firstGap, err)
+		return
+	}
+	r.snapBase = r.app.count
 }

@@ -168,6 +168,12 @@ func (r *Node) forwardPending(leader node.ID) {
 	}
 }
 
+// DecodeBatch unpacks a decided value into its constituent commands —
+// the offline counterpart of the applier's fan-out, for tools replaying
+// recovered logs (cmd/chaossoak's replay-equivalence check). A value
+// without the batch marker is one raw command.
+func DecodeBatch(v consensus.Value) []consensus.Value { return decodeBatch(v) }
+
 // BatchRequest packs several client commands into one request message;
 // the serving leader unpacks the envelope into individual pending
 // commands. Clients with their own queues use this to amortize the

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/network"
 	"repro/internal/node"
 )
@@ -252,5 +253,68 @@ func TestPerCommandElapsedIsEnqueueToApply(t *testing.T) {
 		if d.Elapsed != 0 {
 			t.Fatalf("follower decision %q has Elapsed %v, want 0", d.Value, d.Elapsed)
 		}
+	}
+}
+
+func TestSnapshotRestartIgnoresAcceptsBelowIndex(t *testing.T) {
+	// Snapshot/forgetting interaction: a node that checkpointed at index
+	// k and restarted has absorbed everything below k. Stale phase-2
+	// traffic for those instances — a laggard leader's retransmissions —
+	// must neither re-grow logbook.retained() nor re-apply commands.
+	const k = 5
+	dir := t.TempDir()
+	w, err := durable.Open(dir, durable.Options{Sync: durable.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(consensus.StaticLeader(1), Config{Store: w, SnapshotEvery: 1, Forget: true})
+	env := newFakeEnv(2, 3)
+	r.Start(env)
+	for i := 0; i < k; i++ {
+		r.learn(i, consensus.Value(fmt.Sprintf("c%d", i)))
+	}
+	w.Close()
+
+	w2, err := durable.Open(dir, durable.Options{Sync: durable.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(consensus.StaticLeader(1), Config{Store: w2, SnapshotEvery: 1, Forget: true})
+	env2 := newFakeEnv(2, 3)
+	r2.Start(env2)
+	env2.drain()
+	if r2.MinDone() != k {
+		t.Fatalf("restored forgetting horizon = %d, want %d", r2.MinDone(), k)
+	}
+	if r2.Retained() != 0 {
+		t.Fatalf("restored log retains %d absorbed entries, want 0", r2.Retained())
+	}
+	baseApplied := r2.Applied()
+
+	// Stale ACCEPT below the snapshot index: silently dropped.
+	r2.Deliver(1, AcceptMsg{B: consensus.MakeBallot(9, 1, 3), Inst: 2, V: "zombie"})
+	if out := env2.drain(); len(out) != 0 {
+		t.Fatalf("stale accept answered: %v", out)
+	}
+	// Stale DECIDE below the snapshot index: same.
+	r2.Deliver(1, DecideMsg{Inst: 3, V: "zombie"})
+	if got := r2.Retained(); got != 0 {
+		t.Fatalf("retained grew to %d on stale traffic below k", got)
+	}
+	if got := r2.Applied(); got != baseApplied {
+		t.Fatalf("stale traffic re-applied commands: %d → %d", baseApplied, got)
+	}
+	if len(r2.acc.accepted) != 0 {
+		t.Fatalf("stale accept recorded a vote: %v", r2.acc.accepted)
+	}
+
+	// Fresh traffic at/above the snapshot index still flows normally.
+	r2.Deliver(1, AcceptMsg{B: consensus.MakeBallot(9, 1, 3), Inst: k, V: "new"})
+	out := env2.drain()
+	if len(out) != 1 {
+		t.Fatalf("live accept got %d replies, want ACCEPTED", len(out))
+	}
+	if _, ok := out[0].msg.(AcceptedMsg); !ok {
+		t.Fatalf("reply = %+v, want AcceptedMsg", out[0].msg)
 	}
 }

@@ -60,6 +60,14 @@ type leaseState struct {
 	holder     node.ID  // owner of the last honored grant
 	blockUntil sim.Time // defer foreign prepares until then
 
+	// restartHold covers the blind spot after crash-recovery: grant
+	// state lived only in RAM, so a restarted replica cannot know
+	// whether its previous incarnation granted (or held) a lease that
+	// is still running. Until this instant — recovery time + Lease —
+	// it defers every prepare, its own included, and serves no local
+	// reads. Conservative and bounded, so liveness is only delayed.
+	restartHold sim.Time
+
 	// heldUntil mirrors the leader-side quorum expiry (unix-ish env
 	// nanos) for observers outside the node loop; 0 when not held.
 	heldUntil atomic.Int64
@@ -177,9 +185,11 @@ func (r *Node) onLeaseAck(from node.ID, b consensus.Ballot, seq uint64) {
 }
 
 // holdsLease reports whether local reads are safe right now: prepared,
-// still nominated by Omega, and a quorum of grants unexpired.
+// still nominated by Omega, a quorum of grants unexpired, and no
+// post-restart blind spot in effect.
 func (r *Node) holdsLease(now sim.Time) bool {
 	return r.cfg.Lease > 0 && r.prop.prepared && r.omega.Leader() == r.me &&
+		!r.lease.restartHold.After(now) &&
 		sim.Time(r.lease.heldUntil.Load()).After(now)
 }
 
@@ -187,7 +197,13 @@ func (r *Node) holdsLease(now sim.Time) bool {
 // by Omega, must wait out a standing grant to the previous leader before
 // opening its own ballot.
 func (r *Node) leaseDefersOwnPrepare(now sim.Time) bool {
-	if r.cfg.Lease <= 0 || r.lease.holder == node.None || r.lease.holder == r.me {
+	if r.cfg.Lease <= 0 {
+		return false
+	}
+	if r.lease.restartHold.After(now) {
+		return true // pre-crash grants are unknown: wait out a full Lease
+	}
+	if r.lease.holder == node.None || r.lease.holder == r.me {
 		return false
 	}
 	if !r.lease.blockUntil.After(now) {
@@ -200,7 +216,16 @@ func (r *Node) leaseDefersOwnPrepare(now sim.Time) bool {
 // leaseBlocks reports whether this acceptor's grant to another leader
 // forbids promising ballot b right now.
 func (r *Node) leaseBlocks(b consensus.Ballot, now sim.Time) bool {
-	if r.cfg.Lease <= 0 || r.lease.holder == node.None {
+	if r.cfg.Lease <= 0 {
+		return false
+	}
+	if r.lease.restartHold.After(now) {
+		// Whoever held a lease before the crash, promising any ballot
+		// now could break it. Defer all prepares until it must have
+		// expired; preparers retry on their backoff.
+		return true
+	}
+	if r.lease.holder == node.None {
 		return false
 	}
 	if !r.lease.blockUntil.After(now) {

@@ -125,6 +125,7 @@ func (r *Node) learn(inst int, v consensus.Value) {
 	if !r.log.insert(inst, v) {
 		return
 	}
+	r.cfg.Store.Decide(uint64(inst), string(v))
 	delete(r.acc.accepted, inst) // acceptor state for decided instances is dead weight
 	if r.pipe.nextInst <= inst {
 		r.pipe.nextInst = inst + 1

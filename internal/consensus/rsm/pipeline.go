@@ -53,6 +53,9 @@ func (r *Node) propose(v consensus.Value, enqs []sim.Time) int {
 		r.app.track(inst, v, enqs)
 	}
 	r.acc.accepted[inst] = acceptedEntry{b: r.prop.ballot, v: v}
+	// The leader's self-accept is a vote like any other: durable before
+	// the ACCEPT broadcast makes it visible.
+	r.cfg.Store.Accept(uint64(inst), uint64(r.prop.ballot), string(v))
 	r.env.Broadcast(r.acceptMsg(inst, v))
 	r.maybeDecide(inst)
 	return inst
@@ -64,6 +67,7 @@ func (r *Node) propose(v consensus.Value, enqs []sim.Time) int {
 func (r *Node) reopen(inst int, v consensus.Value) {
 	r.pipe.inflights[inst] = &inflight{v: v, acks: map[node.ID]bool{r.me: true}, started: r.env.Now()}
 	r.acc.accepted[inst] = acceptedEntry{b: r.prop.ballot, v: v}
+	r.cfg.Store.Accept(uint64(inst), uint64(r.prop.ballot), string(v))
 	r.env.Broadcast(r.acceptMsg(inst, v))
 }
 
@@ -97,6 +101,10 @@ func (r *Node) onAccept(from node.ID, m AcceptMsg) {
 		r.acc.promised = m.B
 		r.acc.accepted[m.Inst] = acceptedEntry{b: m.B, v: m.V}
 		r.acc.lastAcceptAt = now
+		// Durable before visible: the vote must survive a crash once the
+		// ACCEPTED is out. The record also implies the promise at m.B, so
+		// no separate promise record is written here.
+		r.cfg.Store.Accept(uint64(m.Inst), uint64(m.B), string(m.V))
 		// The ACCEPTED doubles as the lease ack for a piggybacked grant.
 		ack := r.noteGrant(m.B, m.LeaseSeq, now)
 		r.env.Send(from, AcceptedMsg{B: m.B, Inst: m.Inst, Done: r.log.firstGap, LeaseSeq: ack})

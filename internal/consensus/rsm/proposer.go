@@ -47,6 +47,11 @@ func (r *Node) startPrepare() {
 	}
 	r.prop.promises = make(map[node.ID]PromiseMsg, r.n)
 	r.acc.promised = r.prop.ballot
+	// Durable before visible: the ballot (so a restart outbids it, never
+	// reattaching a new value to it) and the self-promise must hit the
+	// store before the PREPARE leaves this node.
+	r.cfg.Store.Ballot(uint64(r.prop.ballot))
+	r.cfg.Store.Promise(uint64(r.prop.ballot))
 	r.prop.promises[r.me] = PromiseMsg{B: r.prop.ballot, Entries: r.undecidedAccepted()}
 	r.env.Logf("rsm: preparing ballot %v", r.prop.ballot)
 	r.env.Broadcast(PrepareMsg{B: r.prop.ballot})
@@ -77,6 +82,9 @@ func (r *Node) onPrepare(from node.ID, m PrepareMsg) {
 	}
 	if m.B > r.acc.promised {
 		r.acc.promised = m.B
+		// Durable before visible: once the PROMISE is out, this acceptor
+		// may never again vote below m.B — not even after kill -9.
+		r.cfg.Store.Promise(uint64(m.B))
 		if m.B > r.prop.ballot {
 			// A higher ballot exists: abdicate leader duties (and any
 			// read lease that came with them) before promising.

@@ -1,0 +1,112 @@
+package synod
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/durable"
+)
+
+// Restart tests for the durable acceptor: a kill -9'd synod process must
+// come back bound by its pre-crash promises and votes.
+
+func openWAL(t *testing.T, dir string) *durable.WAL {
+	t.Helper()
+	w, err := durable.Open(dir, durable.Options{Sync: durable.SyncOff})
+	if err != nil {
+		t.Fatalf("durable.Open(%s): %v", dir, err)
+	}
+	return w
+}
+
+func TestRestartKeepsPromiseAndVote(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	s := New(consensus.StaticLeader(1), Config{Store: w})
+	env := newFakeEnv(2, 3)
+	s.Start(env)
+	b := consensus.MakeBallot(4, 1, 3)
+	s.Deliver(1, PrepareMsg{B: b})
+	s.Deliver(1, AcceptMsg{B: b, V: "voted"})
+	env.drain()
+	w.Close()
+
+	s2 := New(consensus.StaticLeader(1), Config{Store: openWAL(t, dir)})
+	env2 := newFakeEnv(2, 3)
+	s2.Start(env2)
+
+	// A lower ballot must be nacked — the pre-crash promise stands.
+	low := consensus.MakeBallot(1, 0, 3)
+	s2.Deliver(0, PrepareMsg{B: low})
+	out := env2.drain()
+	if len(out) != 1 {
+		t.Fatalf("replies = %v", out)
+	}
+	if n, ok := out[0].msg.(NackMsg); !ok || n.Promised != b {
+		t.Fatalf("reply = %+v, want nack at %v", out[0].msg, b)
+	}
+
+	// A higher prepare must learn of the pre-crash vote, so the new
+	// leader is forced to re-propose "voted".
+	high := consensus.MakeBallot(9, 0, 3)
+	s2.Deliver(0, PrepareMsg{B: high})
+	out = env2.drain()
+	if len(out) != 1 {
+		t.Fatalf("replies = %v", out)
+	}
+	p, ok := out[0].msg.(PromiseMsg)
+	if !ok || p.AccB != b || p.AccV != "voted" {
+		t.Fatalf("promise = %+v, want pre-crash vote (%v, voted)", out[0].msg, b)
+	}
+}
+
+func TestRestartKeepsDecision(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	s := New(consensus.StaticLeader(1), Config{Store: w})
+	env := newFakeEnv(2, 3)
+	s.Start(env)
+	s.Deliver(1, DecideMsg{V: "final"})
+	w.Close()
+
+	s2 := New(consensus.StaticLeader(1), Config{Store: openWAL(t, dir)})
+	env2 := newFakeEnv(2, 3)
+	s2.Start(env2)
+	if v, ok := s2.Decided(); !ok || v != "final" {
+		t.Fatalf("Decided() = %q,%v after restart, want final,true", v, ok)
+	}
+	// And it serves the decision to laggards immediately.
+	s2.Deliver(0, LearnMsg{})
+	out := env2.drain()
+	if len(out) != 1 {
+		t.Fatalf("replies = %v", out)
+	}
+	if d, ok := out[0].msg.(DecideMsg); !ok || d.V != "final" {
+		t.Fatalf("reply = %+v, want the decision", out[0].msg)
+	}
+}
+
+func TestRestartedProposerOutbidsItself(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	s := New(consensus.StaticLeader(0), Config{Store: w})
+	env := newFakeEnv(0, 3)
+	s.Start(env)
+	s.Propose("mine")
+	s.Tick(timerDrive)
+	first := s.cur
+	if first == consensus.NoBallot {
+		t.Fatal("no ballot opened")
+	}
+	w.Close()
+
+	s2 := New(consensus.StaticLeader(0), Config{Store: openWAL(t, dir)})
+	env2 := newFakeEnv(0, 3)
+	s2.Start(env2)
+	s2.Propose("mine")
+	env2.now = env2.now.Add(maxRetryTimeout) // past any stall backoff
+	s2.Tick(timerDrive)
+	if s2.cur <= first {
+		t.Fatalf("restarted ballot %v does not outbid pre-crash %v", s2.cur, first)
+	}
+}

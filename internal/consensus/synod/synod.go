@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/consensus"
+	"repro/internal/durable"
 	"repro/internal/node"
 	"repro/internal/sim"
 )
@@ -113,6 +114,11 @@ type Config struct {
 	// RetryTimeout is how long an in-flight ballot may stall before the
 	// leader outbids itself (default 100ms).
 	RetryTimeout time.Duration
+	// Store persists the acceptor's promise and vote, the proposer's
+	// ballot, and the decision, so a restarted process re-enters the
+	// protocol bound by its pre-crash past. Nil selects durable.Nop.
+	// Single-decree consensus uses instance number 0 for every record.
+	Store durable.Store
 }
 
 func (c *Config) fill() {
@@ -121,6 +127,9 @@ func (c *Config) fill() {
 	}
 	if c.RetryTimeout <= 0 {
 		c.RetryTimeout = 100 * time.Millisecond
+	}
+	if c.Store == nil {
+		c.Store = durable.Nop
 	}
 }
 
@@ -192,7 +201,29 @@ func (s *Node) Start(env node.Env) {
 	s.env = env
 	s.me = env.ID()
 	s.n = env.N()
+	if st := s.cfg.Store.State(); st != nil {
+		s.restore(st)
+	}
 	env.SetTimer(timerDrive, s.cfg.DriveInterval)
+}
+
+// restore re-installs recovered acceptor, proposer, and learner state:
+// the restarted process may never promise below its pre-crash promise,
+// vote against its pre-crash vote, or reuse a pre-crash ballot.
+func (s *Node) restore(st *durable.State) {
+	s.promised = consensus.Ballot(st.Promised)
+	s.cur = consensus.Ballot(st.Ballot) // Next() outbids it on the next drive
+	for _, a := range st.Accepted {
+		if a.Inst == 0 {
+			s.accB, s.accV = consensus.Ballot(a.B), consensus.Value(a.V)
+		}
+	}
+	for _, d := range st.Decided {
+		if d.Inst == 0 {
+			s.decided, s.decision = true, consensus.Value(d.V)
+			s.rec.Record(consensus.Decision{Instance: 0, Value: s.decision, At: s.env.Now(), By: s.me})
+		}
+	}
 }
 
 // Tick implements node.Automaton.
@@ -247,8 +278,11 @@ func (s *Node) startBallot() {
 	s.phase = phasePrepare
 	s.promises = make(map[node.ID]PromiseMsg, s.n)
 	s.accepts = nil
-	// Self-prepare: adopt the ballot locally and promise to ourselves.
+	// Self-prepare: adopt the ballot locally and promise to ourselves —
+	// durably, before the PREPARE makes the ballot visible.
 	s.promised = s.cur
+	s.cfg.Store.Ballot(uint64(s.cur))
+	s.cfg.Store.Promise(uint64(s.cur))
 	s.promises[s.me] = PromiseMsg{B: s.cur, AccB: s.accB, AccV: s.accV}
 	s.env.Logf("synod: ballot %v opened", s.cur)
 	s.env.Broadcast(PrepareMsg{B: s.cur})
@@ -286,6 +320,8 @@ func (s *Node) onPrepare(from node.ID, m PrepareMsg) {
 	}
 	if m.B > s.promised {
 		s.promised = m.B
+		// Durable before visible: the promise binds even across kill -9.
+		s.cfg.Store.Promise(uint64(m.B))
 		s.env.Send(from, PromiseMsg{B: m.B, AccB: s.accB, AccV: s.accV})
 	} else {
 		s.env.Send(from, NackMsg{B: m.B, Promised: s.promised})
@@ -325,9 +361,10 @@ func (s *Node) maybeFinishPrepare() {
 	s.phase = phaseAccept
 	s.chosenV = value
 	s.accepts = map[node.ID]bool{s.me: true}
-	// Self-accept.
+	// Self-accept, durable before the broadcast makes it visible.
 	s.accB = s.cur
 	s.accV = value
+	s.cfg.Store.Accept(0, uint64(s.cur), string(value))
 	s.env.Broadcast(AcceptMsg{B: s.cur, V: value})
 	s.maybeFinishAccept()
 }
@@ -353,6 +390,8 @@ func (s *Node) onAccept(from node.ID, m AcceptMsg) {
 		s.promised = m.B
 		s.accB = m.B
 		s.accV = m.V
+		// Durable before visible; the record also implies the promise.
+		s.cfg.Store.Accept(0, uint64(m.B), string(m.V))
 		s.env.Send(from, AcceptedMsg{B: m.B})
 	} else {
 		s.env.Send(from, NackMsg{B: m.B, Promised: s.promised})
@@ -383,6 +422,7 @@ func (s *Node) decide(v consensus.Value) {
 	s.decided = true
 	s.decision = v
 	s.phase = phaseIdle
+	s.cfg.Store.Decide(0, string(v))
 	s.rec.Record(consensus.Decision{Instance: 0, Value: v, At: s.env.Now(), By: s.me})
 	s.env.Logf("synod: decided %q", string(v))
 	s.env.StopTimer(timerDrive)

@@ -1,0 +1,167 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+// WAL record framing, mirroring the wire package's varint conventions:
+//
+//	frame   = uvarint(len(payload)) | crc32c(payload) LE32 | payload
+//	payload = type byte | varint fields
+//
+// Record payloads by type:
+//
+//	promise = 0x01 | b
+//	ballot  = 0x02 | b
+//	accept  = 0x03 | inst | b | uvarint(len(v)) | v
+//	decide  = 0x04 | inst | uvarint(len(v)) | v
+//
+// A frame is strict: the length prefix is a canonical uvarint, the CRC
+// covers the whole payload, and the payload must be consumed exactly.
+// Anything else is ErrCorrupt; a frame that runs off the end of the
+// buffer is errTorn (the open path truncates it when — and only when —
+// it sits at the tail of the newest segment).
+
+const (
+	recPromise byte = 0x01
+	recBallot  byte = 0x02
+	recAccept  byte = 0x03
+	recDecide  byte = 0x04
+)
+
+// maxRecord bounds a single record so a corrupted length prefix cannot
+// drive a giant allocation. Batch envelopes are the largest legitimate
+// payload and stay far below this.
+const maxRecord = 1 << 26
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a structurally invalid record: bad checksum,
+// zero-length or oversized payload, unknown type, or trailing garbage.
+var ErrCorrupt = errors.New("durable: corrupt record")
+
+// errTorn reports a record that is cut off by the end of the buffer —
+// the shape a crash mid-append leaves behind.
+var errTorn = errors.New("durable: torn record")
+
+type record struct {
+	typ  byte
+	inst uint64
+	b    uint64
+	v    string
+}
+
+// appendFrame frames payload onto dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// nextFrame splits one framed payload off b. io.EOF means a clean end,
+// errTorn a truncated frame, ErrCorrupt an invalid one.
+func nextFrame(b []byte) (payload, rest []byte, err error) {
+	if len(b) == 0 {
+		return nil, nil, io.EOF
+	}
+	n, k := binary.Uvarint(b)
+	if k < 0 {
+		return nil, nil, ErrCorrupt // uvarint overflow
+	}
+	if k == 0 {
+		return nil, nil, errTorn // length prefix itself is cut off
+	}
+	if n == 0 || n > maxRecord {
+		return nil, nil, ErrCorrupt
+	}
+	b = b[k:]
+	if len(b) < 4 {
+		return nil, nil, errTorn
+	}
+	want := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint64(len(b)) < n {
+		return nil, nil, errTorn
+	}
+	payload, rest = b[:n], b[n:]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, nil, ErrCorrupt
+	}
+	return payload, rest, nil
+}
+
+func appendRecordPayload(dst []byte, rec record) []byte {
+	dst = append(dst, rec.typ)
+	switch rec.typ {
+	case recPromise, recBallot:
+		dst = binary.AppendUvarint(dst, rec.b)
+	case recAccept:
+		dst = binary.AppendUvarint(dst, rec.inst)
+		dst = binary.AppendUvarint(dst, rec.b)
+		dst = binary.AppendUvarint(dst, uint64(len(rec.v)))
+		dst = append(dst, rec.v...)
+	case recDecide:
+		dst = binary.AppendUvarint(dst, rec.inst)
+		dst = binary.AppendUvarint(dst, uint64(len(rec.v)))
+		dst = append(dst, rec.v...)
+	}
+	return dst
+}
+
+// parseRecordPayload decodes a record payload strictly: every byte must
+// be consumed and every length must be in bounds.
+func parseRecordPayload(p []byte) (record, error) {
+	var rec record
+	if len(p) == 0 {
+		return rec, ErrCorrupt
+	}
+	rec.typ = p[0]
+	c := cursor{b: p[1:]}
+	switch rec.typ {
+	case recPromise, recBallot:
+		rec.b = c.uvarint()
+	case recAccept:
+		rec.inst = c.uvarint()
+		rec.b = c.uvarint()
+		rec.v = c.str()
+	case recDecide:
+		rec.inst = c.uvarint()
+		rec.v = c.str()
+	default:
+		return rec, ErrCorrupt
+	}
+	if c.bad || len(c.b) != 0 {
+		return rec, ErrCorrupt
+	}
+	return rec, nil
+}
+
+// cursor walks a payload, latching the first decode failure.
+type cursor struct {
+	b   []byte
+	bad bool
+}
+
+func (c *cursor) uvarint() uint64 {
+	n, k := binary.Uvarint(c.b)
+	if k <= 0 {
+		c.bad = true
+		return 0
+	}
+	c.b = c.b[k:]
+	return n
+}
+
+func (c *cursor) str() string {
+	n := c.uvarint()
+	if c.bad || n > uint64(len(c.b)) {
+		c.bad = true
+		return ""
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s
+}

@@ -1,0 +1,196 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// A checkpoint file is a single CRC frame whose payload serializes a
+// State with the same varint conventions as WAL records:
+//
+//	promised | ballot | snapIndex | snapCount
+//	| count | (inst | b | len | v)*    accepted
+//	| count | (inst | len | v)*        decided
+//	| len | app bytes
+
+func appendStatePayload(dst []byte, st *State) []byte {
+	dst = binary.AppendUvarint(dst, st.Promised)
+	dst = binary.AppendUvarint(dst, st.Ballot)
+	dst = binary.AppendUvarint(dst, st.SnapIndex)
+	dst = binary.AppendUvarint(dst, st.SnapCount)
+	dst = binary.AppendUvarint(dst, uint64(len(st.Accepted)))
+	for _, a := range st.Accepted {
+		dst = binary.AppendUvarint(dst, a.Inst)
+		dst = binary.AppendUvarint(dst, a.B)
+		dst = binary.AppendUvarint(dst, uint64(len(a.V)))
+		dst = append(dst, a.V...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(st.Decided)))
+	for _, d := range st.Decided {
+		dst = binary.AppendUvarint(dst, d.Inst)
+		dst = binary.AppendUvarint(dst, uint64(len(d.V)))
+		dst = append(dst, d.V...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(st.App)))
+	return append(dst, st.App...)
+}
+
+func parseStatePayload(p []byte) (*State, error) {
+	c := cursor{b: p}
+	st := &State{
+		Promised:  c.uvarint(),
+		Ballot:    c.uvarint(),
+		SnapIndex: c.uvarint(),
+		SnapCount: c.uvarint(),
+	}
+	nAcc := c.uvarint()
+	if c.bad || nAcc > uint64(len(c.b)) { // each entry costs ≥1 byte
+		return nil, ErrCorrupt
+	}
+	st.Accepted = make([]AcceptedRec, 0, nAcc)
+	for i := uint64(0); i < nAcc && !c.bad; i++ {
+		st.Accepted = append(st.Accepted, AcceptedRec{Inst: c.uvarint(), B: c.uvarint(), V: c.str()})
+	}
+	nDec := c.uvarint()
+	if c.bad || nDec > uint64(len(c.b)) {
+		return nil, ErrCorrupt
+	}
+	st.Decided = make([]DecidedRec, 0, nDec)
+	for i := uint64(0); i < nDec && !c.bad; i++ {
+		st.Decided = append(st.Decided, DecidedRec{Inst: c.uvarint(), V: c.str()})
+	}
+	nApp := c.uvarint()
+	if c.bad || nApp > uint64(len(c.b)) {
+		return nil, ErrCorrupt
+	}
+	st.App = append([]byte(nil), c.b[:nApp]...)
+	c.b = c.b[nApp:]
+	if c.bad || len(c.b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return st, nil
+}
+
+// loadSnapshot reads and validates one checkpoint file.
+func loadSnapshot(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, rest, err := nextFrame(data)
+	if err != nil {
+		return nil, fmt.Errorf("durable: checkpoint %s: %w", path, ErrCorrupt)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("durable: checkpoint %s: trailing bytes: %w", path, ErrCorrupt)
+	}
+	return parseStatePayload(payload)
+}
+
+// replay folds WAL records over a starting checkpoint. Replay is
+// idempotent and order-convergent: promises and ballots are monotone
+// maxima, an accept overwrites only at an equal-or-higher ballot, and a
+// decide is first-writer-wins (all writers carry the same value — that
+// is the consensus safety property this layer exists to preserve).
+type replay struct {
+	st  State
+	acc map[uint64]AcceptedRec
+	dec map[uint64]string
+	any bool
+}
+
+func newReplay(snap *State) *replay {
+	rp := &replay{acc: make(map[uint64]AcceptedRec), dec: make(map[uint64]string)}
+	if snap != nil {
+		rp.st = *snap
+		rp.any = true
+		for _, a := range snap.Accepted {
+			rp.acc[a.Inst] = a
+		}
+		for _, d := range snap.Decided {
+			rp.dec[d.Inst] = d.V
+		}
+	}
+	return rp
+}
+
+// run replays one segment's bytes, returning how many bytes of whole
+// valid records it consumed. err is non-nil when the segment ends in a
+// torn or corrupt record; the caller decides whether that tail is
+// truncatable (newest segment) or fatal (any other).
+func (rp *replay) run(data []byte) (good int, err error) {
+	rest := data
+	for {
+		var payload []byte
+		var ferr error
+		payload, rest, ferr = nextFrame(rest)
+		if ferr == io.EOF {
+			return good, nil
+		}
+		if ferr != nil {
+			return good, ferr
+		}
+		rec, perr := parseRecordPayload(payload)
+		if perr != nil {
+			return good, perr
+		}
+		rp.apply(rec)
+		good = len(data) - len(rest)
+	}
+}
+
+func (rp *replay) apply(rec record) {
+	rp.any = true
+	switch rec.typ {
+	case recPromise:
+		if rec.b > rp.st.Promised {
+			rp.st.Promised = rec.b
+		}
+	case recBallot:
+		if rec.b > rp.st.Ballot {
+			rp.st.Ballot = rec.b
+		}
+	case recAccept:
+		// Voting at b implies a promise at b.
+		if rec.b > rp.st.Promised {
+			rp.st.Promised = rec.b
+		}
+		if rec.inst >= rp.st.SnapIndex {
+			if cur, ok := rp.acc[rec.inst]; !ok || rec.b >= cur.B {
+				rp.acc[rec.inst] = AcceptedRec{Inst: rec.inst, B: rec.b, V: rec.v}
+			}
+		}
+	case recDecide:
+		if rec.inst >= rp.st.SnapIndex {
+			if _, ok := rp.dec[rec.inst]; !ok {
+				rp.dec[rec.inst] = rec.v
+			}
+		}
+	}
+}
+
+// finalize flattens the replay into a State: decided entries win over
+// accepted ones (mirroring the automaton, which drops an acceptor vote
+// once the instance decides), and both lists come out sorted so recovery
+// is deterministic. Returns nil when nothing at all was recovered.
+func (rp *replay) finalize() *State {
+	if !rp.any {
+		return nil
+	}
+	st := rp.st
+	st.Accepted, st.Decided = nil, nil
+	for inst, v := range rp.dec {
+		st.Decided = append(st.Decided, DecidedRec{Inst: inst, V: v})
+	}
+	sort.Slice(st.Decided, func(i, j int) bool { return st.Decided[i].Inst < st.Decided[j].Inst })
+	for inst, a := range rp.acc {
+		if _, decided := rp.dec[inst]; !decided {
+			st.Accepted = append(st.Accepted, a)
+		}
+	}
+	sort.Slice(st.Accepted, func(i, j int) bool { return st.Accepted[i].Inst < st.Accepted[j].Inst })
+	return &st
+}

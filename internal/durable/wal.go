@@ -1,0 +1,367 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when the WAL calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every appended record: no acknowledged
+	// vote is ever lost, even to power failure. The slowest policy.
+	SyncAlways SyncPolicy = iota
+	// SyncGroup fsyncs once per Options.GroupBytes of appended records
+	// (group commit): bounded loss on power failure, none on kill -9.
+	SyncGroup
+	// SyncOff never fsyncs. Records still survive kill -9 — Append
+	// write()s them into the page cache before returning, and the
+	// kernel outlives the process — but not machine or power failure.
+	// The right mode for sims, soaks, and benchmarks.
+	SyncOff
+)
+
+// Options tunes a WAL. The zero value is safe: per-record fsync, 4 MiB
+// segments.
+type Options struct {
+	Sync SyncPolicy
+	// GroupBytes is the SyncGroup flush threshold (default 64 KiB).
+	GroupBytes int
+	// SegmentBytes is the segment rotation threshold (default 4 MiB).
+	SegmentBytes int
+	// OnAppend, when set, observes the framed size of every appended
+	// record (telemetry: WAL append bytes).
+	OnAppend func(bytes int)
+	// OnFsync, when set, observes the latency of every fsync.
+	OnFsync func(d time.Duration)
+	// OnRecover, when set, observes how long Open spent loading the
+	// snapshot and replaying the tail.
+	OnRecover func(d time.Duration)
+}
+
+func (o *Options) fill() {
+	if o.GroupBytes <= 0 {
+		o.GroupBytes = 64 << 10
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+}
+
+// WAL is a disk-backed Store: a directory of numbered log segments plus
+// at most one checkpoint file. Concurrency: the consensus automaton is
+// single-threaded, but a mutex guards against Close/Snapshot racing an
+// append from another goroutine; the lock is uncontended in practice.
+//
+// Append errors panic. Automaton callbacks cannot return errors, and a
+// replica that cannot persist a vote must crash-stop rather than send
+// the message and later deny the vote — panicking is the safe response.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File // active segment
+	seq     uint64   // active segment number
+	size    int64    // bytes in the active segment
+	dirty   int      // bytes appended since the last fsync (SyncGroup)
+	payload []byte   // reused encode buffers
+	frame   []byte
+	st      *State // state recovered at Open; nil for a fresh dir
+}
+
+var _ Store = (*WAL)(nil)
+
+func segName(seq uint64) string  { return fmt.Sprintf("wal-%016x.seg", seq) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016x.ckpt", seq) }
+
+// parseSeq extracts the sequence number from a segment or snapshot file
+// name, returning ok=false for anything else.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	seq, err := strconv.ParseUint(mid, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open recovers a WAL directory: newest valid checkpoint, ordered replay
+// of the segments it does not cover, torn-tail truncation on the newest
+// segment. A missing or empty directory yields a fresh WAL whose State()
+// is nil. Corruption anywhere except the newest segment's tail is an
+// error — earlier records were acknowledged as durable and must parse.
+func Open(dir string, opts Options) (*WAL, error) {
+	opts.fill()
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open %s: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open %s: %w", dir, err)
+	}
+	var segs, snaps []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name)) // interrupted snapshot write
+			continue
+		}
+		if seq, ok := parseSeq(name, "wal-", ".seg"); ok {
+			segs = append(segs, seq)
+		} else if seq, ok := parseSeq(name, "snap-", ".ckpt"); ok {
+			snaps = append(snaps, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+
+	// Newest loadable checkpoint wins; a checkpoint that fails its CRC
+	// is skipped in favor of an older one (the rename was atomic, so
+	// this only happens to files damaged after the fact).
+	var snap *State
+	var replayFrom uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		st, err := loadSnapshot(filepath.Join(dir, snapName(snaps[i])))
+		if err == nil {
+			snap, replayFrom = st, snaps[i]
+			break
+		}
+	}
+
+	rp := newReplay(snap)
+	w := &WAL{dir: dir, opts: opts, st: nil}
+	for i, seq := range segs {
+		if seq < replayFrom {
+			continue
+		}
+		path := filepath.Join(dir, segName(seq))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("durable: open %s: %w", dir, err)
+		}
+		last := i == len(segs)-1
+		good, err := rp.run(data)
+		if err != nil {
+			if !last {
+				return nil, fmt.Errorf("durable: %s: record %d bytes in: %w", segName(seq), good, err)
+			}
+			// Torn tail: the crash landed mid-append. Everything after
+			// the last whole record was never acknowledged; cut it off.
+			if err := os.Truncate(path, int64(good)); err != nil {
+				return nil, fmt.Errorf("durable: truncate torn tail of %s: %w", segName(seq), err)
+			}
+		}
+	}
+	w.st = rp.finalize()
+
+	// Reopen (or create) the active segment for appending.
+	switch {
+	case len(segs) > 0:
+		w.seq = segs[len(segs)-1]
+		f, err := os.OpenFile(filepath.Join(dir, segName(w.seq)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("durable: open %s: %w", dir, err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("durable: open %s: %w", dir, err)
+		}
+		w.f, w.size = f, fi.Size()
+	default:
+		w.seq = replayFrom
+		if w.seq == 0 {
+			w.seq = 1
+		}
+		if err := w.createSegment(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Best-effort prune of files the chosen checkpoint superseded (a
+	// crash between checkpoint rename and deletion leaves them behind).
+	for _, seq := range segs {
+		if seq < replayFrom {
+			os.Remove(filepath.Join(dir, segName(seq)))
+		}
+	}
+	for _, seq := range snaps {
+		if seq < replayFrom {
+			os.Remove(filepath.Join(dir, snapName(seq)))
+		}
+	}
+
+	if opts.OnRecover != nil {
+		opts.OnRecover(time.Since(start))
+	}
+	return w, nil
+}
+
+// createSegment makes the file for w.seq and makes its dirent durable.
+func (w *WAL) createSegment() error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: create segment: %w", err)
+	}
+	w.f, w.size = f, 0
+	if w.opts.Sync != SyncOff {
+		syncDir(w.dir)
+	}
+	return nil
+}
+
+// State returns the state recovered by Open, nil for a fresh directory.
+func (w *WAL) State() *State { return w.st }
+
+// Dir returns the WAL's directory.
+func (w *WAL) Dir() string { return w.dir }
+
+func (w *WAL) Promise(b uint64)               { w.append(record{typ: recPromise, b: b}) }
+func (w *WAL) Ballot(b uint64)                { w.append(record{typ: recBallot, b: b}) }
+func (w *WAL) Accept(inst, b uint64, v string) { w.append(record{typ: recAccept, inst: inst, b: b, v: v}) }
+func (w *WAL) Decide(inst uint64, v string)   { w.append(record{typ: recDecide, inst: inst, v: v}) }
+
+func (w *WAL) append(rec record) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.payload = appendRecordPayload(w.payload[:0], rec)
+	w.frame = appendFrame(w.frame[:0], w.payload)
+	if _, err := w.f.Write(w.frame); err != nil {
+		panic("durable: wal append: " + err.Error())
+	}
+	n := len(w.frame)
+	w.size += int64(n)
+	if w.opts.OnAppend != nil {
+		w.opts.OnAppend(n)
+	}
+	switch w.opts.Sync {
+	case SyncAlways:
+		w.fsync()
+	case SyncGroup:
+		w.dirty += n
+		if w.dirty >= w.opts.GroupBytes {
+			w.fsync()
+		}
+	}
+	if w.size >= int64(w.opts.SegmentBytes) {
+		if err := w.rotate(); err != nil {
+			panic("durable: wal rotate: " + err.Error())
+		}
+	}
+}
+
+func (w *WAL) fsync() {
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		panic("durable: wal fsync: " + err.Error())
+	}
+	w.dirty = 0
+	if w.opts.OnFsync != nil {
+		w.opts.OnFsync(time.Since(start))
+	}
+}
+
+// rotate seals the active segment and starts the next one. Callers hold
+// w.mu.
+func (w *WAL) rotate() error {
+	if w.opts.Sync != SyncOff && (w.dirty > 0 || w.opts.Sync == SyncAlways) {
+		w.fsync()
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.seq++
+	return w.createSegment()
+}
+
+// Snapshot writes a checkpoint that absorbs st and compacts the log:
+// rotate to a fresh segment S, durably write snap-S (tmp + rename), then
+// delete every segment and checkpoint below S. Recovery replays exactly
+// the records appended after this call. A failed snapshot leaves the old
+// checkpoint and segments in place — the WAL keeps growing but loses
+// nothing.
+func (w *WAL) Snapshot(st *State) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.rotate(); err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	w.payload = appendStatePayload(w.payload[:0], st)
+	w.frame = appendFrame(w.frame[:0], w.payload)
+	tmp := filepath.Join(w.dir, snapName(w.seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if _, err := f.Write(w.frame); err == nil && w.opts.Sync != SyncOff {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapName(w.seq))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if w.opts.Sync != SyncOff {
+		syncDir(w.dir)
+	}
+	// The checkpoint is durable; everything below it is garbage.
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil // compaction is best-effort; next Open prunes
+	}
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "wal-", ".seg"); ok && seq < w.seq {
+			os.Remove(filepath.Join(w.dir, e.Name()))
+		}
+		if seq, ok := parseSeq(e.Name(), "snap-", ".ckpt"); ok && seq < w.seq {
+			os.Remove(filepath.Join(w.dir, e.Name()))
+		}
+	}
+	return nil
+}
+
+// Close flushes and releases the active segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if w.opts.Sync != SyncOff && w.dirty > 0 {
+		w.fsync()
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

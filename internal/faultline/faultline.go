@@ -40,6 +40,17 @@ type Crash struct {
 	After time.Duration
 }
 
+// Restart schedules one crash-recovery cycle: the process crash-stops
+// After the cluster starts and reboots Downtime later. Unlike Crash, the
+// process comes back — rebuilt from whatever its durable.Store recovered —
+// and must rejoin the protocol. A zero Downtime means "reboot
+// immediately".
+type Restart struct {
+	ID       node.ID
+	After    time.Duration
+	Downtime time.Duration
+}
+
 // Plan describes the faults to inject into a live cluster.
 type Plan struct {
 	// Default applies to every directed link without an override in
@@ -56,6 +67,12 @@ type Plan struct {
 	// Crashes is the scheduled crash-stop plan; the transports arm one
 	// timer per entry at Start.
 	Crashes []Crash
+	// Restarts is the scheduled crash-recovery plan; each entry kills the
+	// process at After and reboots it at After+Downtime. A process may
+	// appear in several entries (kill -9 it repeatedly) but scheduling
+	// both a Crash and a Restart for the same process is rejected — the
+	// permanent crash would race the reboot.
+	Restarts []Restart
 }
 
 // linkState is one directed link's fault machinery. The profile is read
@@ -76,8 +93,9 @@ type Injector struct {
 	seed int64
 	gst  time.Duration
 
-	crashes []Crash
-	links   []linkState // n*n, row-major [from*n+to]
+	crashes  []Crash
+	restarts []Restart
+	links    []linkState // n*n, row-major [from*n+to]
 
 	cutMu sync.RWMutex
 	cut   []bool // n*n, true = severed (delivers nothing)
@@ -106,6 +124,7 @@ func New(n int, seed int64, plan Plan) (*Injector, error) {
 			}
 		}
 	}
+	crashed := make(map[node.ID]bool, len(plan.Crashes))
 	for _, cr := range plan.Crashes {
 		if int(cr.ID) < 0 || int(cr.ID) >= n {
 			return nil, fmt.Errorf("faultline: crash id %d out of range", cr.ID)
@@ -113,14 +132,30 @@ func New(n int, seed int64, plan Plan) (*Injector, error) {
 		if cr.After < 0 {
 			return nil, fmt.Errorf("faultline: crash of %d at negative offset %v", cr.ID, cr.After)
 		}
+		crashed[cr.ID] = true
+	}
+	for _, rs := range plan.Restarts {
+		if int(rs.ID) < 0 || int(rs.ID) >= n {
+			return nil, fmt.Errorf("faultline: restart id %d out of range", rs.ID)
+		}
+		if rs.After < 0 {
+			return nil, fmt.Errorf("faultline: restart of %d at negative offset %v", rs.ID, rs.After)
+		}
+		if rs.Downtime < 0 {
+			return nil, fmt.Errorf("faultline: restart of %d with negative downtime %v", rs.ID, rs.Downtime)
+		}
+		if crashed[rs.ID] {
+			return nil, fmt.Errorf("faultline: process %d has both a crash and a restart scheduled", rs.ID)
+		}
 	}
 	inj := &Injector{
-		n:       n,
-		seed:    seed,
-		gst:     plan.GST,
-		crashes: append([]Crash(nil), plan.Crashes...),
-		links:   make([]linkState, n*n),
-		cut:     make([]bool, n*n),
+		n:        n,
+		seed:     seed,
+		gst:      plan.GST,
+		crashes:  append([]Crash(nil), plan.Crashes...),
+		restarts: append([]Restart(nil), plan.Restarts...),
+		links:    make([]linkState, n*n),
+		cut:      make([]bool, n*n),
 	}
 	for from := 0; from < n; from++ {
 		for to := 0; to < n; to++ {
@@ -171,8 +206,12 @@ func (inj *Injector) N() int { return inj.n }
 // GST returns the plan's wall-clock global stabilization offset.
 func (inj *Injector) GST() time.Duration { return inj.gst }
 
-// Crashes returns the scheduled crash plan.
-func (inj *Injector) Crashes() []Crash { return inj.crashes }
+// Crashes returns a copy of the scheduled crash plan. Callers get their
+// own slice: mutating it cannot corrupt the injector's schedule.
+func (inj *Injector) Crashes() []Crash { return append([]Crash(nil), inj.crashes...) }
+
+// Restarts returns a copy of the scheduled crash-recovery plan.
+func (inj *Injector) Restarts() []Restart { return append([]Restart(nil), inj.restarts...) }
 
 // Transmit decides the fate of one message sent on from→to at the given
 // elapsed time since cluster start: lost, or delivered after the returned

@@ -244,4 +244,55 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(2, 0, Plan{Crashes: []Crash{{ID: 0, After: -time.Second}}}); err == nil {
 		t.Fatal("negative crash offset accepted")
 	}
+	if _, err := New(2, 0, Plan{Restarts: []Restart{{ID: 9}}}); err == nil {
+		t.Fatal("out-of-range restart accepted")
+	}
+	if _, err := New(2, 0, Plan{Restarts: []Restart{{ID: 0, After: -time.Second}}}); err == nil {
+		t.Fatal("negative restart offset accepted")
+	}
+	if _, err := New(2, 0, Plan{Restarts: []Restart{{ID: 0, Downtime: -time.Second}}}); err == nil {
+		t.Fatal("negative restart downtime accepted")
+	}
+	if _, err := New(2, 0, Plan{
+		Crashes:  []Crash{{ID: 0, After: time.Second}},
+		Restarts: []Restart{{ID: 0, After: 2 * time.Second}},
+	}); err == nil {
+		t.Fatal("crash+restart of the same process accepted")
+	}
+}
+
+func TestScheduleAccessorsReturnCopies(t *testing.T) {
+	plan := Plan{
+		Crashes:  []Crash{{ID: 0, After: time.Second}},
+		Restarts: []Restart{{ID: 1, After: 2 * time.Second, Downtime: time.Second}},
+	}
+	inj, err := New(3, 7, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A caller mutating the returned slice must not corrupt the schedule
+	// the transports will read later.
+	cr := inj.Crashes()
+	cr[0] = Crash{ID: 2, After: 0}
+	if got := inj.Crashes(); got[0] != (Crash{ID: 0, After: time.Second}) {
+		t.Fatalf("crash schedule corrupted through accessor: %+v", got[0])
+	}
+
+	rs := inj.Restarts()
+	rs[0] = Restart{ID: 0}
+	if got := inj.Restarts(); got[0] != (Restart{ID: 1, After: 2 * time.Second, Downtime: time.Second}) {
+		t.Fatalf("restart schedule corrupted through accessor: %+v", got[0])
+	}
+
+	// The plan slices handed to New are copied too: later caller-side
+	// mutation of the plan must not reach the injector.
+	plan.Crashes[0].ID = 2
+	plan.Restarts[0].Downtime = 0
+	if got := inj.Crashes(); got[0].ID != 0 {
+		t.Fatalf("injector aliases the caller's crash plan: %+v", got[0])
+	}
+	if got := inj.Restarts(); got[0].Downtime != time.Second {
+		t.Fatalf("injector aliases the caller's restart plan: %+v", got[0])
+	}
 }

@@ -13,8 +13,10 @@ import (
 // faultline.Plan for the live clusters (internal/transport), so the same
 // named regimes and failure plans drive real sockets. The mapping mirrors
 // applyRegime link for link: the per-link profiles are identical, the
-// simulated GST becomes a wall-clock offset from cluster start, and each
-// scheduled crash becomes a wall-clock crash-stop.
+// simulated GST becomes a wall-clock offset from cluster start, each
+// scheduled crash becomes a wall-clock crash-stop, and each restart
+// becomes a crash-then-reboot cycle (the in-memory transport rebuilds
+// the automaton from its durable store after Downtime).
 //
 // The translation is semantic, not bit-exact: the simulator draws delays
 // on a virtual clock while the injector draws them on top of real socket
@@ -30,6 +32,13 @@ func LiveFaultPlan(cfg Config) (faultline.Plan, error) {
 	}
 	for _, cr := range cfg.Crashes {
 		plan.Crashes = append(plan.Crashes, faultline.Crash{ID: cr.ID, After: time.Duration(cr.At)})
+	}
+	for _, rs := range cfg.Restarts {
+		plan.Restarts = append(plan.Restarts, faultline.Restart{
+			ID:       rs.ID,
+			After:    time.Duration(rs.At),
+			Downtime: time.Duration(rs.Downtime),
+		})
 	}
 
 	setOutgoing := func(from int, p network.Profile) {

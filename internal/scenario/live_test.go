@@ -91,6 +91,30 @@ func TestLiveFaultPlanCarriesGSTAndCrashes(t *testing.T) {
 	}
 }
 
+// TestLiveFaultPlanCarriesRestarts checks the live-only restart mapping:
+// LiveFaultPlan translates scheduled reboots, while Build rejects them
+// because the simulator cannot rebuild an automaton from durable state.
+func TestLiveFaultPlanCarriesRestarts(t *testing.T) {
+	cfg := Config{
+		N:        3,
+		Restarts: []Restart{{ID: 2, At: sim.Time(60 * time.Millisecond), Downtime: sim.Time(15 * time.Millisecond)}},
+	}
+	plan, err := LiveFaultPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Restarts) != 1 {
+		t.Fatalf("restarts = %+v", plan.Restarts)
+	}
+	rs := plan.Restarts[0]
+	if rs.ID != 2 || rs.After != 60*time.Millisecond || rs.Downtime != 15*time.Millisecond {
+		t.Fatalf("restart = %+v", rs)
+	}
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("Build accepted a restart plan; restarts are live-cluster only")
+	}
+}
+
 func TestLiveFaultPlanRejectsBadConfig(t *testing.T) {
 	if _, err := LiveFaultPlan(Config{N: 1}); err == nil {
 		t.Fatal("N=1 accepted")

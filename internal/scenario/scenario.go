@@ -94,6 +94,19 @@ type Crash struct {
 	At sim.Time
 }
 
+// Restart schedules a crash-stop followed by a reboot from durable
+// state. The simulator has no restart path — its automatons hold state
+// in memory only — so restarts are live-cluster only: Build rejects a
+// Config carrying them, while LiveFaultPlan maps them onto
+// faultline.Restart for the in-memory transport's reboot machinery.
+type Restart struct {
+	ID node.ID
+	// At is when the process crash-stops.
+	At sim.Time
+	// Downtime is how long it stays down before rebooting.
+	Downtime sim.Time
+}
+
 // Config fully describes a runnable scenario. Zero values select defaults.
 type Config struct {
 	N         int
@@ -117,6 +130,10 @@ type Config struct {
 	Source node.ID
 	// Crashes is the failure plan.
 	Crashes []Crash
+	// Restarts schedules crash-then-reboot cycles. Live clusters only:
+	// Build returns an error when set (the simulator cannot rebuild an
+	// automaton from durable state), LiveFaultPlan translates them.
+	Restarts []Restart
 	// EnableTrace turns on the structured event log.
 	EnableTrace bool
 	// Observer is an optional extra obs.Sink teed with the world's stats
@@ -158,6 +175,14 @@ func (c *Config) fill() error {
 			return fmt.Errorf("scenario: crash id %d out of range", cr.ID)
 		}
 	}
+	for _, rs := range c.Restarts {
+		if int(rs.ID) < 0 || int(rs.ID) >= c.N {
+			return fmt.Errorf("scenario: restart id %d out of range", rs.ID)
+		}
+		if rs.Downtime < 0 {
+			return fmt.Errorf("scenario: restart p%d has negative downtime", rs.ID)
+		}
+	}
 	return nil
 }
 
@@ -176,6 +201,9 @@ type System struct {
 func Build(cfg Config) (*System, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
+	}
+	if len(cfg.Restarts) > 0 {
+		return nil, fmt.Errorf("scenario: restarts are live-cluster only (use LiveFaultPlan); the simulator cannot rebuild an automaton from durable state")
 	}
 	w, err := node.NewWorld(node.WorldConfig{
 		N:           cfg.N,

@@ -35,6 +35,8 @@ func TestBuildValidation(t *testing.T) {
 		{N: 3, Regime: "nope"},
 		{N: 3, Source: 7},
 		{N: 3, Crashes: []Crash{{ID: 9}}},
+		{N: 3, Restarts: []Restart{{ID: 9}}},
+		{N: 3, Restarts: []Restart{{ID: 0, Downtime: -1}}},
 	}
 	for i, cfg := range cases {
 		if _, err := Build(cfg); err == nil {

@@ -46,6 +46,9 @@ type Collector struct {
 	decision    *Histogram // proposer-side consensus decision latency
 	flushFrames *Histogram // frames per vectored write (count-unit, see lease.go)
 	flushBytes  *Histogram // payload bytes per vectored write (count-unit)
+	walFsync    *Histogram // WAL fsync latency (see wal.go)
+	walAppend   *Histogram // framed bytes per WAL append (count-unit)
+	walRecovery *Histogram // snapshot-load + replay time per recovery
 
 	// leaseProbes feed the read-path gauges (registered via WatchLease,
 	// polled at scrape time under mu).
@@ -119,6 +122,9 @@ func New(n int, opts ...Option) *Collector {
 		decision:    NewHistogram("decision_latency", n),
 		flushFrames: NewHistogram("flush_frames", n),
 		flushBytes:  NewHistogram("flush_bytes", n),
+		walFsync:    NewHistogram("wal_fsync", n),
+		walAppend:   NewHistogram("wal_append_bytes", n),
+		walRecovery: NewHistogram("wal_recovery", n),
 		leaders:     make([]node.ID, n),
 		down:        make([]bool, n),
 		inDowntime:  true, // the initial election counts, from time zero
@@ -229,6 +235,22 @@ func (c *Collector) MarkDown(id node.ID) {
 		return
 	}
 	c.down[id] = true
+	c.recomputeLocked(t)
+}
+
+// MarkUp returns a restarted process to agreement tracking. Its leader
+// output restarts from "no output yet", so cluster-wide agreement is
+// withheld until the rejoined process converges on the survivors' leader
+// — the recovery-to-agreement span lands in the downtime histogram.
+func (c *Collector) MarkUp(id node.ID) {
+	t := c.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.down[id] {
+		return
+	}
+	c.down[id] = false
+	c.leaders[id] = node.None
 	c.recomputeLocked(t)
 }
 

@@ -79,6 +79,10 @@ func (c *Collector) Dump() Dump {
 			// Count-unit: "ns" fields hold frame/byte counts per flush.
 			"flush_frames": histJSON(c.FlushFrames()),
 			"flush_bytes":  histJSON(c.FlushBytes()),
+			"wal_fsync":    histJSON(c.FsyncLatency()),
+			// Count-unit: framed bytes per appended record.
+			"wal_append_bytes": histJSON(c.WALAppendBytes()),
+			"wal_recovery":     histJSON(c.RecoveryTime()),
 		},
 	}
 	d.LeaseHolders, d.LocalReads, d.FallbackReads = c.leaseSnapshot()

@@ -120,4 +120,10 @@ func (c *Collector) WritePrometheus(w io.Writer) {
 	promHist(w, "omega_heartbeat_interarrival_seconds", c.HeartbeatJitter())
 	promCountHist(w, "link_flush_frames", c.FlushFrames())
 	promCountHist(w, "link_flush_bytes", c.FlushBytes())
+
+	// Durability: WAL write amplification and the price of surviving
+	// kill -9 — fsync latency on the commit path, recovery time on boot.
+	promHist(w, "wal_fsync_seconds", c.FsyncLatency())
+	promCountHist(w, "wal_append_bytes", c.WALAppendBytes())
+	promHist(w, "wal_recovery_seconds", c.RecoveryTime())
 }

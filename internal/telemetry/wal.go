@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"time"
+
+	"repro/internal/node"
+)
+
+// This file is the durability view: fsync latency, WAL append sizes, and
+// recovery time, sharded by process like every other histogram here. The
+// hooks match internal/durable's Options callbacks field for field, so a
+// WAL wires in with DurableHooks and the collector never imports durable.
+
+// RecordFsync feeds one WAL fsync's latency. Safe for concurrent use from
+// node loops and snapshot paths.
+func (c *Collector) RecordFsync(id node.ID, d time.Duration) {
+	c.walFsync.Record(int(id), d)
+}
+
+// RecordWALAppend feeds one appended record's framed size (count-unit:
+// the histogram's "ns" values are bytes).
+func (c *Collector) RecordWALAppend(id node.ID, bytes int) {
+	c.walAppend.Record(int(id), time.Duration(bytes))
+}
+
+// RecordRecovery feeds one recovery's duration — the snapshot-load plus
+// WAL-replay time observed by durable.Open.
+func (c *Collector) RecordRecovery(id node.ID, d time.Duration) {
+	c.walRecovery.Record(int(id), d)
+}
+
+// DurableHooks returns the three observer callbacks for one process's
+// durable.Options (OnAppend, OnFsync, OnRecover), bound to process id.
+func (c *Collector) DurableHooks(id node.ID) (onAppend func(int), onFsync, onRecover func(time.Duration)) {
+	return func(bytes int) { c.RecordWALAppend(id, bytes) },
+		func(d time.Duration) { c.RecordFsync(id, d) },
+		func(d time.Duration) { c.RecordRecovery(id, d) }
+}
+
+// FsyncLatency returns the merged WAL fsync latency snapshot.
+func (c *Collector) FsyncLatency() HistSnapshot { return c.walFsync.Snapshot() }
+
+// WALAppendBytes returns the merged append-size snapshot (count-unit:
+// durations are framed bytes per record).
+func (c *Collector) WALAppendBytes() HistSnapshot { return c.walAppend.Snapshot() }
+
+// RecoveryTime returns the merged recovery-duration snapshot.
+func (c *Collector) RecoveryTime() HistSnapshot { return c.walRecovery.Snapshot() }

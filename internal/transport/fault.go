@@ -23,3 +23,26 @@ func scheduleCrashes(fault *faultline.Injector, crash func(node.ID)) []*time.Tim
 	}
 	return timers
 }
+
+// scheduleRestarts arms the injector's crash-recovery plan: each entry
+// crashes its process at After and reboots it Downtime later with an
+// automaton from rebuild. The reboot timer is armed only after the crash
+// has taken effect, so crash always precedes reboot even at zero
+// Downtime; arm registers the late timer for Stop cancellation (a
+// stopped cluster cancels it immediately, abandoning the reboot).
+func scheduleRestarts(fault *faultline.Injector, rebuild func(node.ID) node.Automaton,
+	crash func(node.ID), restart func(node.ID, node.Automaton), arm func(*time.Timer) bool) []*time.Timer {
+	if fault == nil {
+		return nil
+	}
+	plan := fault.Restarts()
+	timers := make([]*time.Timer, 0, len(plan))
+	for _, rs := range plan {
+		id, down := rs.ID, rs.Downtime
+		timers = append(timers, time.AfterFunc(rs.After, func() {
+			crash(id)
+			arm(time.AfterFunc(down, func() { restart(id, rebuild(id)) }))
+		}))
+	}
+	return timers
+}

@@ -44,6 +44,14 @@ type Config struct {
 	// The injector must be built for the same N and must not be shared
 	// between clusters (sharing desynchronizes its decision streams).
 	Fault *faultline.Injector
+	// Rebuild constructs the next incarnation of a rebooting process —
+	// typically a fresh automaton recovered from the process's durable
+	// store. It is called once per scheduled faultline.Restart reboot,
+	// from a timer goroutine, so it must be safe to run concurrently with
+	// the rest of the cluster. Required when Fault carries a restart
+	// plan; only the in-memory Cluster arms restart plans (the socket
+	// transports would need process supervision, not an in-process swap).
+	Rebuild func(node.ID) node.Automaton
 	// WriteTimeout bounds each socket write — a TCP frame or a UDP
 	// datagram — so a peer that stops reading can never wedge a sender
 	// (default 1s).
@@ -96,6 +104,9 @@ func (c *Config) fill() error {
 	}
 	if c.Fault != nil && c.Fault.N() != c.N {
 		return fmt.Errorf("transport: fault injector built for n=%d, cluster has N=%d", c.Fault.N(), c.N)
+	}
+	if c.Fault != nil && len(c.Fault.Restarts()) > 0 && c.Rebuild == nil {
+		return fmt.Errorf("transport: fault plan schedules restarts but Config.Rebuild is nil")
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = time.Second
@@ -179,11 +190,32 @@ func (c *Cluster) Start() {
 	}
 	c.mu.Lock()
 	c.crashers = scheduleCrashes(c.cfg.Fault, c.Crash)
+	c.crashers = append(c.crashers, scheduleRestarts(c.cfg.Fault, c.cfg.Rebuild, c.Crash, c.Restart, c.armTimer)...)
 	c.mu.Unlock()
 }
 
 // Crash makes process id inert (crash-stop).
 func (c *Cluster) Crash(id node.ID) { c.stations[id].crash() }
+
+// Restart reboots process id with a fresh automaton — the in-process
+// equivalent of restarting a kill -9'd process from its durable state.
+// The swap happens on the process's node loop; the new automaton's Start
+// runs under the same single-threaded Env contract as at boot. Safe to
+// call from any goroutine.
+func (c *Cluster) Restart(id node.ID, a node.Automaton) { c.stations[id].reboot(a) }
+
+// armTimer registers t for cancellation at Stop; when the cluster has
+// already stopped it cancels t immediately and reports false.
+func (c *Cluster) armTimer(t *time.Timer) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		t.Stop()
+		return false
+	}
+	c.crashers = append(c.crashers, t)
+	return true
+}
 
 // Inject hands m to the cluster's send path as if process from had sent
 // it to process to — the entry point for external clients (tests, the
@@ -196,8 +228,8 @@ func (c *Cluster) Stop() {
 	if c.stopped || !c.started {
 		return
 	}
-	c.stopped = true
 	c.mu.Lock()
+	c.stopped = true // under mu: armTimer reads it from timer goroutines
 	for _, t := range c.crashers {
 		t.Stop()
 	}

@@ -11,12 +11,14 @@ import (
 	"repro/internal/sim"
 )
 
-// event is one unit of work for a node loop: a delivery or a timer firing.
+// event is one unit of work for a node loop: a delivery, a timer firing,
+// or a reboot carrying the next incarnation's automaton.
 type event struct {
 	from     node.ID
 	msg      node.Message
 	timerKey string
 	timerGen uint64
+	reboot   node.Automaton
 }
 
 // sender is how a station hands an outbound message to the network layer.
@@ -90,6 +92,13 @@ func (s *station) run(wg *sync.WaitGroup) {
 }
 
 func (s *station) dispatch(e event) {
+	if e.reboot != nil {
+		// Handled before the crashed check: the whole point is waking a
+		// crashed process. Runs on the node loop, so the new automaton's
+		// Start sees the same single-threaded Env as a boot-time Start.
+		s.rebootNow(e.reboot)
+		return
+	}
 	if s.crashed.Load() {
 		return
 	}
@@ -112,6 +121,26 @@ func (s *station) deliver(from node.ID, m node.Message) {
 // crash makes the station inert (crash-stop).
 func (s *station) crash() {
 	s.crashed.Store(true)
+}
+
+// reboot schedules a restart of the station with a fresh automaton —
+// typically one rebuilt from the process's durable store. Safe from any
+// goroutine; the swap itself happens on the node loop.
+func (s *station) reboot(a node.Automaton) {
+	s.mbox.push(event{reboot: a})
+}
+
+// rebootNow performs the restart on the node loop: every timer of the
+// previous incarnation is invalidated (its RAM died with it; pending
+// AfterFuncs fire into stale generations), the automaton is swapped, and
+// the new incarnation boots exactly like a fresh process.
+func (s *station) rebootNow(a node.Automaton) {
+	for k := range s.timers {
+		s.timers[k]++
+	}
+	s.automaton = a
+	s.crashed.Store(false)
+	s.automaton.Start(s)
 }
 
 // stop terminates the node loop.
