@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race soak recovery-soak telemetry-smoke bench bench-micro bench-json bench-wire bench-consensus bench-durable tables
+.PHONY: all build vet test test-race soak recovery-soak telemetry-smoke bench bench-micro bench-json bench-wire bench-consensus bench-consensus-mc bench-durable tables
 
 all: vet test
 
@@ -44,10 +44,13 @@ endif
 # rejoin, catch up, and regain proposer eligibility; afterwards every
 # WAL is reopened twice to check deterministic recovery and
 # prefix-consistent applied sequences. The restart/rejoin transport
-# tests ride along.
+# tests ride along. The -groups run repeats the drill sharded: the killed
+# replica hosts 4 groups, so 4 WAL directories must recover at once and
+# the replay check runs per group.
 recovery-soak:
 	$(GO) test -race -count=1 -run 'TestRunRecoveryPlan|Restart' -v ./cmd/chaossoak/ ./internal/transport/
 	$(GO) run ./cmd/chaossoak -transport mem -plan recovery -n 5 -fsync always
+	$(GO) run ./cmd/chaossoak -transport mem -plan recovery -n 3 -groups 4
 
 # Boot wireload with the telemetry endpoint, scrape /healthz and /metrics
 # mid-run with curl, and let the run finish. /healthz reads 503 here by
@@ -91,6 +94,15 @@ bench-wire:
 # batched arm's peak decided-commands/sec should be ≥5x the baseline's.
 bench-consensus:
 	$(GO) run ./cmd/consload -n 5 -dur 2s -reps 3 -reads 0.9 -json BENCH_consensus.json
+
+# Multi-core rerun with the sharded arm: 4 consensus groups multiplexed
+# over one TCP connection per directed peer pair, all cores enabled.
+# Feeds the same BENCH_consensus.json (the report records num_cpu, so a
+# sharded series from this target is distinguishable from a 1-core run).
+# On >= 4 cores the sharded arm's aggregate peak should be >= 3x the
+# single-group batched arm's.
+bench-consensus-mc:
+	GOMAXPROCS=$(shell nproc) $(GO) run ./cmd/consload -n 5 -dur 2s -reps 3 -reads 0.9 -groups 4 -json BENCH_consensus.json
 
 # Durability cost surface as machine-readable JSON: WAL append ns/op and
 # B/op per fsync policy (off / group64k / always), and recovery time vs

@@ -12,6 +12,7 @@
 //	chaossoak -transport tcp -plan crash -n 3
 //	chaossoak -transport udp -plan chaos -gst 2s -bound 30s
 //	chaossoak -transport mem -plan recovery -n 3 -fsync group
+//	chaossoak -transport mem -plan recovery -n 3 -groups 4
 //
 // The recovery plan is the kill -9 drill: every replica journals its
 // consensus state through internal/durable, the leader is killed mid
@@ -20,6 +21,12 @@
 // and regain proposer eligibility — then the run re-reads the WAL
 // directories offline and cross-checks them against the in-memory
 // decision logs (replay equivalence).
+//
+// With -groups G the recovery drill shards every process into G
+// consensus groups (internal/consensus/group), each journaling to its
+// own WAL directory (walroot/p<i>/g<g>). The killed replica hosts all G
+// groups at once — the rebuild must reopen every one of its G WALs, and
+// the offline replay check runs per group.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/consensus"
+	"repro/internal/consensus/group"
 	"repro/internal/consensus/rsm"
 	"repro/internal/core"
 	"repro/internal/durable"
@@ -83,12 +91,19 @@ func run(args []string) (err error) {
 		fsyncName     = fs.String("fsync", "group", "WAL fsync policy for the recovery plan: always, group, off")
 		walDir        = fs.String("wal-dir", "", "WAL root for the recovery plan (default: a fresh temp dir, removed on success)")
 		snapEvery     = fs.Int("snapshot-every", 8, "checkpoint the WAL every this many applied commands in the recovery plan")
+		groupsFlag    = fs.Int("groups", 0, "shard the recovery plan into this many consensus groups, one WAL dir per group (0 = unsharded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *groupsFlag < 0 {
+		return fmt.Errorf("-groups %d must be >= 0", *groupsFlag)
+	}
+	if *groupsFlag > 0 && *planName != "recovery" {
+		return fmt.Errorf("-groups needs -plan recovery (sharded soaking is the durable multi-group drill)")
+	}
 
-	s := &soak{eta: *eta, bound: *bound, commands: *commands, lease: *lease}
+	s := &soak{eta: *eta, bound: *bound, commands: *commands, lease: *lease, groups: *groupsFlag}
 	switch *planName {
 	case "recovery":
 		if *transportName != "mem" {
@@ -166,7 +181,12 @@ func run(args []string) (err error) {
 
 	tel := telemetry.New(*n, telemetry.WithHeartbeatKinds(core.KindLeader))
 	s.tel = tel
-	autos, err := s.buildReplicas(*n)
+	var autos []node.Automaton
+	if s.groups > 0 {
+		autos, err = s.buildGroupReplicas(*n)
+	} else {
+		autos, err = s.buildReplicas(*n)
+	}
 	if err != nil {
 		return err
 	}
@@ -201,6 +221,9 @@ func run(args []string) (err error) {
 		s.memc = c.(*transport.Cluster)
 	}
 	tel.AttachStats(c.Stats())
+	// Omega watching stays unsharded-only: each group's detectors speak a
+	// rotated logical id space, so the cluster-wide leader gauge would read
+	// garbage. Sharded runs get per-group labeled series instead.
 	for i, d := range s.dets {
 		tel.WatchOmega(node.ID(i), d.History())
 	}
@@ -209,6 +232,11 @@ func run(args []string) (err error) {
 		tel.WatchLease(func() (bool, uint64, uint64) {
 			return l.LeaseHeld(), l.LocalReads(), l.FallbackReads()
 		})
+	}
+	for i := range s.glogs {
+		for g := 0; g < s.groups; g++ {
+			tel.WatchGroupRecorder(g, node.ID(i), s.glogs[i][g].Recorder())
+		}
 	}
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr, tel)
@@ -232,19 +260,38 @@ func run(args []string) (err error) {
 	case "full":
 		err = s.runPartition(true)
 	case "recovery":
-		err = s.runRecovery()
+		if s.groups > 0 {
+			err = s.runGroupRecovery()
+		} else {
+			err = s.runRecovery()
+		}
 	}
 	if err != nil {
 		return err
 	}
-	if err := s.checkSafety(); err != nil {
+	if s.groups > 0 {
+		err = s.checkGroupSafety()
+	} else {
+		err = s.checkSafety()
+	}
+	if err != nil {
 		return err
 	}
 	if *planName == "recovery" {
 		// Quiesce before re-reading the WAL directories offline: an open
-		// on a live, appending log would race the node loops.
+		// on a live, appending log would race the node loops. Sharded runs
+		// additionally halt every engine's group loops — their timers fire
+		// process-internally, outside the cluster's control.
 		c.Stop()
-		if err := s.checkReplayEquivalence(); err != nil {
+		for _, e := range s.engines {
+			e.Halt()
+		}
+		if s.groups > 0 {
+			err = s.checkGroupReplayEquivalence()
+		} else {
+			err = s.checkReplayEquivalence()
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -289,6 +336,13 @@ type soak struct {
 	tel      *telemetry.Collector
 	dets     []*core.Detector
 	logs     []*rsm.Node
+
+	// Sharded recovery (-groups > 0): per-process engines and the
+	// [process][group] detector/log matrices; dets and logs stay nil.
+	groups  int
+	engines []*group.Engine
+	gdets   [][]*core.Detector
+	glogs   [][]*rsm.Node
 
 	// Durability wiring, recovery plan only.
 	walRoot   string
@@ -376,6 +430,84 @@ const appliedSep = "\x1f"
 
 func (s *soak) walPath(id node.ID) string {
 	return filepath.Join(s.walRoot, fmt.Sprintf("p%d", id))
+}
+
+// groupWALPath is group g's journal directory on process id: each group
+// in a sharded replica recovers independently, so each gets its own WAL.
+func (s *soak) groupWALPath(id node.ID, g int) string {
+	return filepath.Join(s.walPath(id), fmt.Sprintf("g%d", g))
+}
+
+// buildGroupReplicas builds the sharded fleet: one engine per process,
+// each running s.groups detector+log pairs on their own loops, each pair
+// journaling to its own WAL directory.
+func (s *soak) buildGroupReplicas(n int) ([]node.Automaton, error) {
+	autos := make([]node.Automaton, n)
+	s.engines = make([]*group.Engine, n)
+	s.gdets = make([][]*core.Detector, n)
+	s.glogs = make([][]*rsm.Node, n)
+	for i := 0; i < n; i++ {
+		auto, err := s.buildGroupReplica(i)
+		if err != nil {
+			return nil, err
+		}
+		autos[i] = auto
+	}
+	return autos, nil
+}
+
+// buildGroupReplica composes one process's engine, opening (or, on the
+// restart path, reopening) all of its per-group WAL directories. Build
+// runs synchronously inside group.New, so WAL open errors are carried out
+// through the closure.
+func (s *soak) buildGroupReplica(i int) (node.Automaton, error) {
+	s.gdets[i] = make([]*core.Detector, s.groups)
+	s.glogs[i] = make([]*rsm.Node, s.groups)
+	var buildErr error
+	eng := group.New(group.Config{
+		Groups: s.groups,
+		Build: func(g int) node.Automaton {
+			cfg := rsm.Config{DriveInterval: 2 * s.eta, Group: g}
+			opts := durable.Options{Sync: s.sync}
+			opts.OnAppend, opts.OnFsync, opts.OnRecover = s.tel.DurableHooks(node.ID(i))
+			al := &appliedLog{}
+			if w, err := durable.Open(s.groupWALPath(node.ID(i), g), opts); err != nil {
+				buildErr = err
+			} else {
+				cfg.Store = w
+				cfg.SnapshotEvery = s.snapEvery
+				cfg.SnapshotState = al.snapshot
+				cfg.RestoreState = al.restore
+			}
+			s.gdets[i][g] = core.New(core.WithEta(s.eta), core.WithRebuff())
+			s.glogs[i][g] = rsm.New(s.gdets[i][g], cfg)
+			s.glogs[i][g].OnApply(func(inst, cmd int, v consensus.Value) { al.cmds = append(al.cmds, string(v)) })
+			return node.Compose(s.gdets[i][g], s.glogs[i][g])
+		},
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	s.engines[i] = eng
+	return eng, nil
+}
+
+// restartGroup rebuilds process id's engine from its G WAL directories
+// and reboots it in place. The caller must have Halted the dead
+// incarnation first: its group loops own timers that fire process-
+// internally, and a zombie loop appending to a WAL the new incarnation is
+// recovering from would corrupt kill -9 semantics into a two-writer race.
+func (s *soak) restartGroup(id node.ID) error {
+	auto, err := s.buildGroupReplica(int(id))
+	if err != nil {
+		return err
+	}
+	for g := 0; g < s.groups; g++ {
+		s.tel.WatchGroupRecorder(g, id, s.glogs[id][g].Recorder())
+	}
+	s.tel.MarkUp(id)
+	s.memc.Restart(id, auto)
+	return nil
 }
 
 // restart rebuilds process id from its WAL directory and reboots it in
@@ -667,9 +799,179 @@ func (s *soak) runRecovery() error {
 	return s.pump(correct, "post", 3*s.commands)
 }
 
+// groupAgreement reports the common leader of group g — in the group's
+// logical id space — among processes not in skip.
+func (s *soak) groupAgreement(g int, skip map[int]bool) (node.ID, bool) {
+	leader := node.None
+	for i := range s.gdets {
+		if skip[i] {
+			continue
+		}
+		l := s.gdets[i][g].History().Current()
+		if leader == node.None {
+			leader = l
+		} else if l != leader {
+			return node.None, false
+		}
+	}
+	return leader, leader != node.None
+}
+
+// allGroupsAgree returns every group's agreed logical leader, or nil if
+// any group is still in dispute among the processes not in skip.
+func (s *soak) allGroupsAgree(skip map[int]bool) []node.ID {
+	leaders := make([]node.ID, s.groups)
+	for g := 0; g < s.groups; g++ {
+		l, ok := s.groupAgreement(g, skip)
+		if !ok {
+			return nil
+		}
+		leaders[g] = l
+	}
+	return leaders
+}
+
+// groupPump keeps injecting client requests at every group's current
+// physical leader until each replica in correct has decided target
+// instances in every group.
+func (s *soak) groupPump(correct []int, prefix string, target int) error {
+	n := len(s.gdets)
+	skip := skipAllBut(n, correct)
+	counters := make([]int, s.groups)
+	return s.waitFor(func() bool {
+		for g := 0; g < s.groups; g++ {
+			l, ok := s.groupAgreement(g, skip)
+			if !ok {
+				continue
+			}
+			phys := group.Physical(l, g, n)
+			if skip[int(phys)] {
+				continue // this group's leader is outside the correct set
+			}
+			from := node.ID(correct[0])
+			if from == phys {
+				from = node.ID(correct[1])
+			}
+			s.c.Inject(from, phys, group.Wrap(g, rsm.RequestMsg{V: consensus.Value(fmt.Sprintf("%s-g%d-%d", prefix, g, counters[g]))}))
+			counters[g]++
+		}
+		for _, p := range correct {
+			for g := 0; g < s.groups; g++ {
+				if s.glogs[p][g].Recorder().Count() < target {
+					return false
+				}
+			}
+		}
+		return true
+	}, prefix+" sharded consensus progress")
+}
+
+// runGroupRecovery is the sharded kill -9 drill: commit a batch in every
+// group, kill the process that leads group 0 — it hosts all G groups, so
+// G WAL directories die with it and G-1 other groups lose a follower —
+// with bursts in flight in every group it led, let the survivors advance
+// everywhere, rebuild the dead process from all G of its WALs at once,
+// and require per-group catch-up before the per-group safety and replay
+// checks.
+func (s *soak) runGroupRecovery() error {
+	n := len(s.gdets)
+	all := ints(0, n)
+	if err := s.waitFor(func() bool { return s.allGroupsAgree(nil) != nil }, "initial agreement in every group"); err != nil {
+		return err
+	}
+	if err := s.groupPump(all, "pre", s.commands); err != nil {
+		return err
+	}
+
+	l0, _ := s.groupAgreement(0, nil)
+	victim := group.Physical(l0, 0, n)
+	s.recovered = victim
+	led := 0
+	for g := 0; g < s.groups; g++ {
+		l, ok := s.groupAgreement(g, nil)
+		if !ok || group.Physical(l, g, n) != victim {
+			continue
+		}
+		from := node.ID(0)
+		if from == victim {
+			from = node.ID(1)
+		}
+		for i := 0; i < s.commands; i++ {
+			s.c.Inject(from, victim, group.Wrap(g, rsm.RequestMsg{V: consensus.Value(fmt.Sprintf("burst-g%d-%d", g, i))}))
+		}
+		led++
+	}
+	s.crash(victim)
+	// The cluster stops delivering to the victim, but its group loops run
+	// their own timers — halt them so the dead incarnation truly stops
+	// appending before its WAL directories are reopened.
+	s.engines[victim].Halt()
+	fmt.Printf("fault:     killed p%v mid-batch — led %d of %d groups, hosted %d WALs\n", victim, led, s.groups, s.groups)
+
+	survivors := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if node.ID(i) != victim {
+			survivors = append(survivors, i)
+		}
+	}
+	skip := map[int]bool{int(victim): true}
+	if err := s.waitFor(func() bool {
+		leaders := s.allGroupsAgree(skip)
+		if leaders == nil {
+			return false
+		}
+		for g, l := range leaders {
+			if group.Physical(l, g, n) == victim {
+				return false
+			}
+		}
+		return true
+	}, "live leader in every group after kill"); err != nil {
+		return err
+	}
+	if err := s.groupPump(survivors, "outage", 2*s.commands); err != nil {
+		return err
+	}
+	// Per group, the highest instance the survivors decided while the
+	// victim was down: the bar each of its G recoveries has to clear.
+	outageMax := make([]int, s.groups)
+	for g := 0; g < s.groups; g++ {
+		for _, d := range s.glogs[survivors[0]][g].Recorder().All() {
+			if d.Instance > outageMax[g] {
+				outageMax[g] = d.Instance
+			}
+		}
+	}
+
+	if err := s.restartGroup(victim); err != nil {
+		return err
+	}
+	fmt.Printf("fault:     restarted p%v from %d WAL directories under %s\n", victim, s.groups, s.walPath(victim))
+	if err := s.waitFor(func() bool { return s.allGroupsAgree(nil) != nil }, "convergence after restart"); err != nil {
+		return err
+	}
+	if err := s.waitFor(func() bool {
+		for g := 0; g < s.groups; g++ {
+			if _, ok := s.glogs[victim][g].Recorder().Get(outageMax[g]); !ok {
+				return false
+			}
+		}
+		return true
+	}, "restarted replica catch-up in every group"); err != nil {
+		return err
+	}
+	return s.groupPump(all, "post", 3*s.commands)
+}
+
 // reopen loads one WAL directory offline and returns its recovered state.
 func (s *soak) reopen(id node.ID) (*durable.State, error) {
-	w, err := durable.Open(s.walPath(id), durable.Options{Sync: durable.SyncOff})
+	return reopenPath(s.walPath(id))
+}
+
+// reopenPath loads a WAL directory offline and returns its recovered
+// state.
+func reopenPath(dir string) (*durable.State, error) {
+	w, err := durable.Open(dir, durable.Options{Sync: durable.SyncOff})
 	if err != nil {
 		return nil, err
 	}
@@ -744,6 +1046,73 @@ func (s *soak) checkReplayEquivalence() error {
 	}
 	fmt.Printf("replay:    WAL recovery deterministic; applied sequences prefix-consistent (restarted p%v rebuilds %d commands)\n",
 		s.recovered, len(seqs[s.recovered]))
+	return nil
+}
+
+// checkGroupReplayEquivalence is the sharded offline replay check: for
+// every group independently, re-read each process's group WAL directory
+// twice (determinism), then require the G applied sequences the cluster
+// would rebuild to be pairwise prefix-consistent within the group. The
+// restarted process must rebuild a non-empty sequence in every group it
+// hosted, so no group's check can pass vacuously.
+func (s *soak) checkGroupReplayEquivalence() error {
+	rebuilt := make([]int, s.groups)
+	for g := 0; g < s.groups; g++ {
+		seqs := make([][]string, len(s.glogs))
+		for i := range s.glogs {
+			dir := s.groupWALPath(node.ID(i), g)
+			a, err := reopenPath(dir)
+			if err != nil {
+				return err
+			}
+			b, err := reopenPath(dir)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(a, b) {
+				return fmt.Errorf("group %d: replay of p%d is not deterministic across opens", g, i)
+			}
+			if a == nil {
+				return fmt.Errorf("group %d: p%d recovered no durable state", g, i)
+			}
+			seqs[i] = recoveredSequence(a)
+		}
+		if len(seqs[s.recovered]) == 0 {
+			return fmt.Errorf("group %d replay check vacuous: restarted p%v rebuilds an empty sequence", g, s.recovered)
+		}
+		rebuilt[g] = len(seqs[s.recovered])
+		for i := range seqs {
+			for j := i + 1; j < len(seqs); j++ {
+				short, long := seqs[i], seqs[j]
+				if len(short) > len(long) {
+					short, long = long, short
+				}
+				for k := range short {
+					if short[k] != long[k] {
+						return fmt.Errorf("group %d replay divergence: applied command %d is %q on p%d, %q on p%d", g, k, seqs[i][k], i, seqs[j][k], j)
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("replay:    %d WAL dirs per process deterministic; applied sequences prefix-consistent per group (restarted p%v rebuilds %v commands)\n",
+		s.groups, s.recovered, rebuilt)
+	return nil
+}
+
+// checkGroupSafety verifies, per group, that no consensus instance
+// decided two values on any process.
+func (s *soak) checkGroupSafety() error {
+	for g := 0; g < s.groups; g++ {
+		recs := make([]*consensus.Recorder, len(s.glogs))
+		for i := range s.glogs {
+			recs[i] = s.glogs[i][g].Recorder()
+		}
+		rep := consensus.CheckSafety(consensus.SafetyInput{Recorders: recs})
+		if !rep.Agreement {
+			return fmt.Errorf("group %d consensus disagreement: %v", g, rep.Violations)
+		}
+	}
 	return nil
 }
 

@@ -31,6 +31,20 @@ func TestRunRecoveryPlanMem(t *testing.T) {
 	}
 }
 
+// TestRunRecoveryPlanGroups is the sharded variant: the killed replica
+// hosts 2 consensus groups, so 2 WAL directories must recover at once
+// and the replay-equivalence check runs per group. Enabled under -short
+// so the -race CI job always runs it.
+func TestRunRecoveryPlanGroups(t *testing.T) {
+	if err := run([]string{
+		"-transport", "mem", "-plan", "recovery", "-n", "3",
+		"-commands", "2", "-bound", "30s", "-fsync", "group",
+		"-groups", "2", "-wal-dir", t.TempDir(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRecoveryPlanRequiresMem(t *testing.T) {
 	if err := run([]string{"-transport", "udp", "-plan", "recovery", "-n", "3"}); err == nil {
 		t.Fatal("recovery plan accepted a socket transport")
@@ -48,10 +62,11 @@ func TestRunChaosPlanMem(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := map[string][]string{
-		"unknown transport": {"-transport", "carrier-pigeon"},
-		"unknown plan":      {"-plan", "mayhem"},
-		"partition needs 5": {"-plan", "partition", "-n", "3"},
-		"crash needs 3":     {"-plan", "crash", "-n", "2"},
+		"unknown transport":     {"-transport", "carrier-pigeon"},
+		"unknown plan":          {"-plan", "mayhem"},
+		"partition needs 5":     {"-plan", "partition", "-n", "3"},
+		"crash needs 3":         {"-plan", "crash", "-n", "2"},
+		"groups needs recovery": {"-plan", "crash", "-n", "3", "-groups", "2"},
 	}
 	for name, args := range cases {
 		err := run(args)

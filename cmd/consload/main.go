@@ -10,11 +10,20 @@
 // one command per instance) against the batched + pipelined configuration
 // (defaults BatchMax 16, Window 8), and prints the speedup.
 //
+// With -groups G it adds a fourth arm: the sharded write engine
+// (internal/consensus/group), G independent consensus groups multiplexed
+// over the same per-peer TCP links, each group driven by its own closed
+// loop at its own physical leader. The run fails unless the cluster held
+// exactly one TCP connection per directed peer pair — the shared-socket
+// property is asserted from counters, never eyeballed.
+//
 // Usage examples:
 //
 //	consload                          # baseline vs batched, 3s each
 //	consload -n 5 -dur 5s -json BENCH_consensus.json
 //	consload -batch 4 -window 2      # tune the batched arm
+//	consload -groups 4               # add the sharded arm, 4 groups
+//	consload -cpuprofile cpu.pprof   # per-arm cpu-<arm>.pprof over the load window
 package main
 
 import (
@@ -22,13 +31,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/consensus"
+	"repro/internal/consensus/group"
 	"repro/internal/consensus/rsm"
 	"repro/internal/core"
 	"repro/internal/node"
@@ -79,6 +91,16 @@ type result struct {
 	MsgsPerRead float64 `json:"msgs_per_read,omitempty"`
 	ReadP50NS   int64   `json:"read_latency_p50_ns,omitempty"`
 	ReadP99NS   int64   `json:"read_latency_p99_ns,omitempty"`
+
+	// Sharded-arm fields: group count, per-group applied counts, and the
+	// shared-socket evidence (receiver-side open TCP connections, lifetime
+	// sender dials, distinct directed links used) — each must equal
+	// n*(n-1) no matter how many groups multiplexed over the mesh.
+	Groups          int    `json:"groups,omitempty"`
+	AppliedPerGroup []int  `json:"applied_per_group,omitempty"`
+	OpenConns       int    `json:"open_conns,omitempty"`
+	Dials           uint64 `json:"dials,omitempty"`
+	ActiveLinks     int    `json:"active_links,omitempty"`
 }
 
 type report struct {
@@ -89,7 +111,11 @@ type report struct {
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	NumCPU     int      `json:"num_cpu"`
 	Runs       []result `json:"runs"`
-	Speedup    float64  `json:"speedup"`
+	// Speedup is the legacy batched/baseline ratio; Speedups names every
+	// pairwise ratio so consumers key by name instead of grepping
+	// positional fields.
+	Speedup  float64            `json:"speedup"`
+	Speedups map[string]float64 `json:"speedups,omitempty"`
 }
 
 func main() {
@@ -111,10 +137,13 @@ func run(args []string, out *os.File) error {
 		drive    = fs.Duration("drive", 5*time.Millisecond, "engine drive tick (partial-batch flush bound)")
 		reps     = fs.Int("reps", 1, "runs per arm; the best run is reported (damps single-core scheduler noise)")
 		jsonPath = fs.String("json", "", "write the machine-readable report to this path")
-		profile  = fs.String("cpuprofile", "", "write a CPU profile of the load runs to this path")
+		profile  = fs.String("cpuprofile", "", "write per-arm CPU profiles (suffixed <base>-<arm>.pprof) covering only the sustained load window")
+		memprof  = fs.String("memprofile", "", "write per-arm heap profiles (suffixed <base>-<arm>.pprof) at the end of the load window")
 		reads    = fs.Float64("reads", 0, "run a third arm with this fraction of operations as reads (e.g. 0.9); 0 disables it")
 		lease    = fs.Duration("lease", 300*time.Millisecond, "leader read lease for the reads arm")
 		minspeed = fs.Float64("minspeedup", 0, "fail unless batched/baseline speedup reaches this factor (CI gate; 0 disables)")
+		groups   = fs.Int("groups", 0, "run a sharded arm with this many consensus groups over shared links; 0 disables it")
+		mingroup = fs.Float64("mingroupspeedup", 0, "fail unless sharded/batched speedup reaches this factor (CI gate; skipped with a warning below 4 CPUs; 0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,17 +154,11 @@ func run(args []string, out *os.File) error {
 	if *dur <= 0 || *inflight <= 0 || *reps <= 0 {
 		return fmt.Errorf("consload: dur, inflight and reps must be positive")
 	}
-
-	if *profile != "" {
-		f, err := os.Create(*profile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	if *groups < 0 {
+		return fmt.Errorf("consload: -groups %d must be >= 0", *groups)
+	}
+	if *mingroup > 0 && *groups < 1 {
+		return fmt.Errorf("consload: -mingroupspeedup requires -groups")
 	}
 
 	rep := report{
@@ -147,6 +170,7 @@ func run(args []string, out *os.File) error {
 		batch, window int
 		lease         time.Duration
 		readFrac      float64
+		groups        int
 	}
 	arms := []loadArm{
 		{name: "baseline", batch: 1, window: 1},
@@ -158,14 +182,29 @@ func run(args []string, out *os.File) error {
 		}
 		arms = append(arms, loadArm{name: "reads", batch: *batch, window: *window, lease: *lease, readFrac: *reads})
 	}
+	if *groups > 0 {
+		arms = append(arms, loadArm{name: "sharded", batch: *batch, window: *window, groups: *groups})
+	}
 	for _, arm := range arms {
 		var best result
 		for i := 0; i < *reps; i++ {
-			r, err := runOne(arm.name, *n, *seed+int64(i), arm.batch, arm.window, *inflight, *dur, *drive, arm.lease, arm.readFrac)
+			// Profiles are captured on the final rep only, covering just
+			// the sustained load window (probe and lease warmup excluded).
+			cpuP, memP := "", ""
+			if i == *reps-1 {
+				cpuP, memP = profPath(*profile, "cpu", arm.name), profPath(*memprof, "mem", arm.name)
+			}
+			var r result
+			var err error
+			if arm.groups > 0 {
+				r, err = runSharded(arm.name, *n, arm.groups, *seed+int64(i), arm.batch, arm.window, *inflight, *dur, *drive, cpuP, memP)
+			} else {
+				r, err = runOne(arm.name, *n, *seed+int64(i), arm.batch, arm.window, *inflight, *dur, *drive, arm.lease, arm.readFrac, cpuP, memP)
+			}
 			if err != nil {
 				return err
 			}
-			if r.PeakPerSec > best.PeakPerSec {
+			if i == 0 || r.PeakPerSec > best.PeakPerSec {
 				best = r
 			}
 		}
@@ -177,11 +216,36 @@ func run(args []string, out *os.File) error {
 				"", best.ReadsPerSec, best.LocalReads, best.FallbackReads, best.MsgsPerRead,
 				time.Duration(best.ReadP50NS), time.Duration(best.ReadP99NS))
 		}
+		if arm.groups > 0 {
+			fmt.Fprintf(out, "consload: %-8s groups=%d per-group applied %v  conns %d dials %d links %d\n",
+				"", best.Groups, best.AppliedPerGroup, best.OpenConns, best.Dials, best.ActiveLinks)
+		}
 	}
-	if base := rep.Runs[0].PeakPerSec; base > 0 {
-		rep.Speedup = rep.Runs[1].PeakPerSec / base
+
+	// Named speedups: every pairwise ratio keyed by name, so nothing
+	// downstream greps positional fields.
+	peaks := make(map[string]float64, len(rep.Runs))
+	for _, r := range rep.Runs {
+		peaks[r.Name] = r.PeakPerSec
 	}
-	fmt.Fprintf(out, "consload: batched/baseline speedup %.1fx\n", rep.Speedup)
+	rep.Speedups = make(map[string]float64)
+	if base := peaks["baseline"]; base > 0 {
+		rep.Speedups["batched/baseline"] = peaks["batched"] / base
+	}
+	if base := peaks["batched"]; base > 0 {
+		if v, ok := peaks["reads"]; ok {
+			rep.Speedups["reads/batched"] = v / base
+		}
+		if v, ok := peaks["sharded"]; ok {
+			rep.Speedups["sharded/batched"] = v / base
+		}
+	}
+	rep.Speedup = rep.Speedups["batched/baseline"]
+	for _, k := range []string{"batched/baseline", "sharded/batched", "reads/batched"} {
+		if v, ok := rep.Speedups[k]; ok {
+			fmt.Fprintf(out, "consload: speedup %-16s %.1fx\n", k, v)
+		}
+	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -200,7 +264,31 @@ func run(args []string, out *os.File) error {
 	if *minspeed > 0 && rep.Speedup < *minspeed {
 		return fmt.Errorf("consload: batched/baseline speedup %.2fx below required %.2fx", rep.Speedup, *minspeed)
 	}
+	if *mingroup > 0 {
+		if runtime.NumCPU() < 4 {
+			fmt.Fprintf(out, "consload: WARNING: %d CPUs — skipping the -mingroupspeedup %.1fx gate; the sharded engine needs >= 4 cores to show scaling (run make bench-consensus-mc on a multi-core box)\n",
+				runtime.NumCPU(), *mingroup)
+		} else if v := rep.Speedups["sharded/batched"]; v < *mingroup {
+			return fmt.Errorf("consload: sharded/batched speedup %.2fx below required %.2fx", v, *mingroup)
+		}
+	}
 	return nil
+}
+
+// profPath derives the per-arm profile path from the flag's base path:
+// ("prof.pprof", "cpu", "sharded") → "prof-cpu-sharded.pprof" when both
+// cpu and mem profiles share a base, or just the arm suffix when the base
+// already names the kind ("cpu.pprof" → "cpu-sharded.pprof").
+func profPath(base, kind, arm string) string {
+	if base == "" {
+		return ""
+	}
+	ext := filepath.Ext(base)
+	stem := strings.TrimSuffix(base, ext)
+	if !strings.Contains(stem, kind) {
+		arm = kind + "-" + arm
+	}
+	return stem + "-" + arm + ext
 }
 
 // readLoop is the client-side read bookkeeping for the reads arm: a
@@ -266,11 +354,72 @@ func (rl *readLoop) next(origin node.ID) rsm.ReadReqMsg {
 	return rsm.ReadReqMsg{Seq: seq, Count: readChunk, Origin: origin}
 }
 
+// sample is one throughput observation: cumulative served operations at t.
+type sample struct {
+	t time.Time
+	c int
+}
+
+// peakRate returns the best served-ops rate over any >=250ms span of the
+// samples. On one-core boxes whole-run means are hostage to scheduler
+// regimes; the peak window reads the engine's demonstrated capacity.
+func peakRate(samples []sample) float64 {
+	var peak float64
+	for i := 0; i < len(samples); i++ {
+		for j := i + 1; j < len(samples); j++ {
+			span := samples[j].t.Sub(samples[i].t)
+			if span < 250*time.Millisecond {
+				continue
+			}
+			if rate := float64(samples[j].c-samples[i].c) / span.Seconds(); rate > peak {
+				peak = rate
+			}
+			break // longer spans from i only dilute the window
+		}
+	}
+	return peak
+}
+
+// startCPUProfile begins a CPU profile into path (no-op on ""), returning
+// a stop func. Started after probe/lease warmup so the profile covers only
+// the sustained load window.
+func startCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile dumps a post-GC heap profile to path (no-op on "").
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
 // runOne boots a fresh TCP cluster with the given engine knobs, drives the
 // closed loop for dur, and measures from first submit to drain. When
 // readFrac > 0 the loop mixes chunked reads with the writes at the given
 // ratio and a trailing pure-read window measures msgs-per-read.
-func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur, driveInterval, lease time.Duration, readFrac float64) (result, error) {
+func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur, driveInterval, lease time.Duration, readFrac float64, cpuProf, memProf string) (result, error) {
 	autos := make([]node.Automaton, n)
 	dets := make([]*core.Detector, n)
 	logs := make([]*rsm.Node, n)
@@ -339,6 +488,11 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 		}
 	}
 
+	stopProf, err := startCPUProfile(cpuProf)
+	if err != nil {
+		return result{}, err
+	}
+
 	msgsBefore := kindTotal(c.Stats())
 	bytesBefore := c.Stats().WireBytes()
 	droppedBefore := c.Stats().Dropped()
@@ -349,10 +503,6 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 	// follower — the real client path — and are forwarded to the leader.
 	// Applied counts are sampled as the run goes so peak sustained
 	// throughput can be read off afterwards.
-	type sample struct {
-		t time.Time
-		c int
-	}
 	// maxReadChunks caps outstanding read chunks — a separate closed loop
 	// riding alongside the write loop.
 	const maxReadChunks = 64
@@ -413,6 +563,10 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 			last, lastMove = cur, time.Now()
 		}
 	}
+	stopProf()
+	if err := writeHeapProfile(memProf); err != nil {
+		return result{}, err
+	}
 	elapsed := lastMove.Sub(begin)
 	applied := last - appliedBefore
 	served := applied
@@ -450,22 +604,7 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 		}
 	}
 
-	// Peak sustained throughput: the best rate over any ≥250ms span of
-	// the run. On one-core boxes whole-run means are hostage to scheduler
-	// regimes; the peak window reads the engine's demonstrated capacity.
-	var peak float64
-	for i := 0; i < len(samples); i++ {
-		for j := i + 1; j < len(samples); j++ {
-			span := samples[j].t.Sub(samples[i].t)
-			if span < 250*time.Millisecond {
-				continue
-			}
-			if rate := float64(samples[j].c-samples[i].c) / span.Seconds(); rate > peak {
-				peak = rate
-			}
-			break // longer spans from i only dilute the window
-		}
-	}
+	peak := peakRate(samples)
 
 	r := result{
 		Name:       name,
@@ -506,6 +645,224 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 		lat := reads.lat.Snapshot()
 		r.ReadP50NS = int64(lat.Quantile(0.50))
 		r.ReadP99NS = int64(lat.Quantile(0.99))
+	}
+	return r, nil
+}
+
+// runSharded boots a fresh TCP cluster of n sharded processes — G
+// independent consensus groups (internal/consensus/group) multiplexed over
+// the shared per-peer links — and drives one closed write loop per group
+// in parallel, each entering at its own group's physical leader (the id
+// rotation spreads leaders across processes). Throughput is the aggregate
+// applied count across groups; the run FAILS unless the cluster held
+// exactly one TCP connection per directed peer pair, so the shared-socket
+// property is part of the measurement, not a claim.
+//
+// Message accounting: every sharded frame carries the GROUP wrapper kind,
+// so msgs-per-cmd counts KindGroup — the wrapped Omega heartbeats ride
+// along in the numerator, which only makes the reported cost conservative.
+func runSharded(name string, n, groups int, seed int64, batchMax, window, inflight int, dur, driveInterval time.Duration, cpuProf, memProf string) (result, error) {
+	autos := make([]node.Automaton, n)
+	dets := make([][]*core.Detector, n)
+	logs := make([][]*rsm.Node, n)
+	for i := 0; i < n; i++ {
+		dets[i] = make([]*core.Detector, groups)
+		logs[i] = make([]*rsm.Node, groups)
+		i := i
+		autos[i] = group.New(group.Config{
+			Groups: groups,
+			Build: func(g int) node.Automaton {
+				dets[i][g] = core.New(core.WithEta(5*time.Millisecond), core.WithRebuff())
+				logs[i][g] = rsm.New(dets[i][g], rsm.Config{
+					DriveInterval: driveInterval,
+					BatchMax:      batchMax,
+					Window:        window,
+					Group:         g,
+				})
+				return node.Compose(dets[i][g], logs[i][g])
+			},
+		})
+	}
+	c, err := transport.NewTCPCluster(transport.Config{
+		N: n, Seed: seed, Quiet: true, SendQueue: 2*inflight + 1024,
+	}, autos)
+	if err != nil {
+		return result{}, err
+	}
+	c.Start()
+	defer func() {
+		for _, a := range autos {
+			a.(*group.Engine).Halt()
+		}
+	}()
+	defer c.Stop()
+
+	// Every group must stabilize: all processes agree on the group's
+	// logical leader, which the rotation places on physical g mod n.
+	leaderPhys := make([]node.ID, groups)
+	follower := make([]node.ID, groups)
+	observer := make([]int, groups)
+	for g := 0; g < groups; g++ {
+		col := make([]*core.Detector, n)
+		for i := 0; i < n; i++ {
+			col[i] = dets[i][g]
+		}
+		l, err := awaitLeader(col, 10*time.Second)
+		if err != nil {
+			return result{}, fmt.Errorf("group %d: %w", g, err)
+		}
+		leaderPhys[g] = group.Physical(l, g, n)
+		follower[g] = node.ID((int(leaderPhys[g]) + 1) % n)
+		observer[g] = (int(leaderPhys[g]) + 2) % n
+	}
+
+	// Probe every group until its leader's ballot is prepared.
+	probeDeadline := time.Now().Add(10 * time.Second)
+	for g := 0; g < groups; g++ {
+		for logs[observer[g]][g].Recorder().Count() == 0 {
+			if time.Now().After(probeDeadline) {
+				return result{}, fmt.Errorf("consload: group %d leader never served the probe command", g)
+			}
+			c.Inject(follower[g], leaderPhys[g], group.Wrap(g, rsm.RequestMsg{V: consensus.Value(fmt.Sprintf("%s-g%d-probe", name, g))}))
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	stopProf, err := startCPUProfile(cpuProf)
+	if err != nil {
+		return result{}, err
+	}
+
+	msgsBefore := c.Stats().KindCount(group.KindGroup)
+	bytesBefore := c.Stats().WireBytes()
+	droppedBefore := c.Stats().Dropped()
+	appliedBefore := make([]int, groups)
+	for g := range appliedBefore {
+		appliedBefore[g] = logs[observer[g]][g].Recorder().Count()
+	}
+	appliedByGroup := func(g int) int {
+		return logs[observer[g]][g].Recorder().Count() - appliedBefore[g]
+	}
+	appliedNow := func() int {
+		total := 0
+		for g := 0; g < groups; g++ {
+			total += appliedByGroup(g)
+		}
+		return total
+	}
+
+	// One closed loop per group on its own goroutine — the multi-core
+	// ingress the sharded engine exists for. The global inflight budget is
+	// split evenly across groups.
+	perCap := inflight / groups
+	if perCap < 1 {
+		perCap = 1
+	}
+	begin := time.Now()
+	loadDeadline := begin.Add(dur)
+	submitted := make([]int, groups)
+	var wg sync.WaitGroup
+	wg.Add(groups)
+	for g := 0; g < groups; g++ {
+		go func(g int) {
+			defer wg.Done()
+			sub := 0
+			chunkMax := logs[0][g].Config().BatchMax
+			for time.Now().Before(loadDeadline) {
+				room := perCap - (sub - appliedByGroup(g))
+				if room <= 0 {
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				if room > 64 {
+					room = 64 // bursts bounded below the send queue
+				}
+				for room > 0 {
+					chunk := chunkMax
+					if chunk > room {
+						chunk = room
+					}
+					cmds := make([]consensus.Value, chunk)
+					for k := range cmds {
+						cmds[k] = consensus.Value(fmt.Sprintf("%s-g%d-%d", name, g, sub))
+						sub++
+					}
+					c.Inject(follower[g], leaderPhys[g], group.Wrap(g, rsm.BatchRequest(cmds)))
+					room -= chunk
+				}
+				runtime.Gosched()
+			}
+			submitted[g] = sub
+		}(g)
+	}
+
+	// Aggregate sampler for the peak window, on the main goroutine.
+	samples := []sample{{begin, 0}}
+	for time.Now().Before(loadDeadline) {
+		time.Sleep(50 * time.Millisecond)
+		samples = append(samples, sample{time.Now(), appliedNow()})
+	}
+	wg.Wait()
+	totalSubmitted := 0
+	for _, s := range submitted {
+		totalSubmitted += s
+	}
+
+	// Drain: wait until the aggregate applied count stops moving.
+	last, lastMove := appliedNow(), time.Now()
+	for time.Since(lastMove) < time.Second && last < totalSubmitted {
+		time.Sleep(10 * time.Millisecond)
+		if cur := appliedNow(); cur > last {
+			last, lastMove = cur, time.Now()
+		}
+	}
+	stopProf()
+	if err := writeHeapProfile(memProf); err != nil {
+		return result{}, err
+	}
+	elapsed := lastMove.Sub(begin)
+	samples = append(samples, sample{lastMove, last})
+	msgs := c.Stats().KindCount(group.KindGroup) - msgsBefore
+	wireBytes := c.Stats().WireBytes() - bytesBefore
+
+	// The shared-socket assertion, from counters: G groups' frames rode
+	// exactly n*(n-1) sockets, each dialed once, spanning exactly the full
+	// mesh of directed links.
+	wantConns := n * (n - 1)
+	if got := c.OpenConns(); got != wantConns {
+		return result{}, fmt.Errorf("consload: sharded cluster holds %d open conns, want %d — groups opened extra sockets", got, wantConns)
+	}
+	if got := c.Dials(); got != uint64(wantConns) {
+		return result{}, fmt.Errorf("consload: sharded cluster dialed %d times, want %d", got, wantConns)
+	}
+
+	r := result{
+		Name:        name,
+		Groups:      groups,
+		BatchMax:    logs[0][0].Config().BatchMax,
+		Window:      logs[0][0].Config().Window,
+		Submitted:   totalSubmitted,
+		Applied:     last,
+		ElapsedSec:  elapsed.Seconds(),
+		Msgs:        msgs,
+		Dropped:     c.Stats().Dropped() - droppedBefore,
+		PeakPerSec:  peakRate(samples),
+		OpenConns:   c.OpenConns(),
+		Dials:       c.Dials(),
+		ActiveLinks: c.Stats().LinksUsedSince(0),
+	}
+	for g := 0; g < groups; g++ {
+		r.AppliedPerGroup = append(r.AppliedPerGroup, appliedByGroup(g))
+	}
+	if elapsed > 0 {
+		r.AppliedPerSec = float64(last) / elapsed.Seconds()
+	}
+	if r.PeakPerSec < r.AppliedPerSec {
+		r.PeakPerSec = r.AppliedPerSec // short runs: the whole run is the window
+	}
+	if last > 0 {
+		r.MsgsPerCmd = float64(msgs) / float64(last)
+		r.BytesPerCmd = float64(wireBytes) / float64(last)
 	}
 	return r, nil
 }

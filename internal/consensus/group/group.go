@@ -1,0 +1,72 @@
+// Package group runs G independent replicated-log state machines in one
+// process — the sharded write engine. Every command belongs to exactly one
+// group (shard), each group runs its own Omega election, its own stable
+// ballot, its own pipeline and its own (optional) WAL directory, and the
+// G event loops run on separate goroutines, so decided-write throughput
+// scales with cores instead of saturating one single-threaded node loop.
+//
+// Crucially, the groups multiplex over the *same* physical links. Engine
+// wraps every outbound protocol message in a Msg carrying a varint GroupID
+// routing tag and hands it to the shared transport Env, so a 4-group
+// cluster still dials one TCP connection per directed peer pair and the
+// per-link senders writev-coalesce frames from all groups into shared
+// batches — more frames per flush, not more sockets. The paper's
+// steady-state link count (n−1 after stabilization, per group all on the
+// same n−1 physical connections) is preserved.
+//
+// Leader spread: inside group g, process identities are rotated —
+// logical id ℓ lives on physical process (ℓ+g) mod n — so the Omega
+// detectors (which break ties toward the lowest id) elect a *different*
+// physical leader per group: group g stabilizes on physical process
+// g mod n. Writes therefore spread across processes as well as cores.
+//
+// Engine implements node.Automaton but is live-transport-only: its group
+// loops call Env.Send, Env.Now and Env.Logf from their own goroutines,
+// which internal/transport's stations support (their send paths are
+// goroutine-safe) and the deterministic simulator does not.
+package group
+
+import (
+	"repro/internal/node"
+	"repro/internal/obs"
+)
+
+// KindGroup tags the group-routing wrapper message.
+const KindGroup = "GROUP"
+
+var kindGroupID = obs.Intern(KindGroup)
+
+// Msg wraps one inner protocol message with its group routing tag — the
+// only message kind a sharded process sends or understands. On the wire
+// it is the group-aware envelope kind: a varint GroupID followed by the
+// inner message's own encoding (see internal/wire).
+type Msg struct {
+	// Group is the shard this message belongs to, 0..Groups-1.
+	Group int
+	// Inner is the wrapped protocol message, addressed in the group's
+	// logical id space on send and translated back on delivery.
+	Inner node.Message
+}
+
+// Kind implements node.Message.
+func (Msg) Kind() string { return KindGroup }
+
+// KindID implements node.KindIDer.
+func (Msg) KindID() obs.Kind { return kindGroupID }
+
+// Wrap tags m with group g.
+func Wrap(g int, m node.Message) Msg { return Msg{Group: g, Inner: m} }
+
+// Physical maps a group-g logical process id to the physical process that
+// hosts it: (logical + g) mod n. Group 0 is the identity; higher groups
+// rotate, so each group's lowest logical id — the Omega tie-break winner —
+// lands on a different physical process.
+func Physical(logical node.ID, g, n int) node.ID {
+	return node.ID((int(logical) + g) % n)
+}
+
+// Logical is Physical's inverse: the group-g logical id of a physical
+// process.
+func Logical(phys node.ID, g, n int) node.ID {
+	return node.ID(((int(phys)-g)%n + n) % n)
+}

@@ -1,0 +1,95 @@
+package group
+
+import "sync"
+
+// gmailbox is an unbounded FIFO ring buffer with a wake-up channel — the
+// per-group twin of the transport station's mailbox. Producers never
+// block (transport receive goroutines, timer callbacks and the station
+// loop all push here); the group loop waits on C and empties the ring
+// with drain, one lock acquisition per batch. Drained slots are zeroed so
+// the mailbox never retains references to consumed events.
+type gmailbox struct {
+	mu     sync.Mutex
+	ring   []gevent // oldest at head, newest at (head+count-1) mod len
+	head   int
+	count  int
+	closed bool
+
+	// C receives a token whenever the mailbox may have items; capacity 1
+	// suffices for the single consumer.
+	C chan struct{}
+}
+
+func newGMailbox() *gmailbox {
+	return &gmailbox{C: make(chan struct{}, 1)}
+}
+
+// push appends an event and wakes the consumer. Events pushed after close
+// are dropped — the group died with its process incarnation.
+func (m *gmailbox) push(e gevent) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if m.count == len(m.ring) {
+		m.grow()
+	}
+	m.ring[(m.head+m.count)%len(m.ring)] = e
+	m.count++
+	m.mu.Unlock()
+	select {
+	case m.C <- struct{}{}:
+	default:
+	}
+}
+
+// grow doubles the ring, unwrapping it so head returns to zero.
+func (m *gmailbox) grow() {
+	newCap := 2 * len(m.ring)
+	if newCap == 0 {
+		newCap = 16
+	}
+	next := make([]gevent, newCap)
+	for i := 0; i < m.count; i++ {
+		next[i] = m.ring[(m.head+i)%len(m.ring)]
+	}
+	m.ring = next
+	m.head = 0
+}
+
+// drain appends all pending events to dst in FIFO order and empties the
+// mailbox, zeroing the vacated slots.
+func (m *gmailbox) drain(dst []gevent) []gevent {
+	m.mu.Lock()
+	for i := 0; i < m.count; i++ {
+		idx := (m.head + i) % len(m.ring)
+		dst = append(dst, m.ring[idx])
+		m.ring[idx] = gevent{}
+	}
+	m.head = 0
+	m.count = 0
+	m.mu.Unlock()
+	return dst
+}
+
+// close marks the mailbox closed and wakes the consumer so it can exit.
+func (m *gmailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.ring = nil
+	m.head = 0
+	m.count = 0
+	m.mu.Unlock()
+	select {
+	case m.C <- struct{}{}:
+	default:
+	}
+}
+
+// isClosed reports whether close was called.
+func (m *gmailbox) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}

@@ -1,0 +1,50 @@
+package group
+
+import "repro/internal/consensus"
+
+// Router hashes command keys to groups: the client-side half of sharding.
+// The hash is FNV-1a over the key bytes, reduced mod G — deterministic
+// across processes and runs, so every ingress point routes the same key
+// to the same group without coordination.
+type Router struct {
+	groups int
+}
+
+// NewRouter returns a router over g groups (g >= 1).
+func NewRouter(g int) *Router {
+	if g < 1 {
+		g = 1
+	}
+	return &Router{groups: g}
+}
+
+// Groups returns the shard count.
+func (r *Router) Groups() int { return r.groups }
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Group returns the shard owning key.
+func (r *Router) Group(key string) int {
+	var h uint64 = fnvOffset
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return int(h % uint64(r.groups))
+}
+
+// Route fans a command batch out per group: out[g] holds the commands
+// whose keys hash to g, in input order. A batch ingress point routes one
+// client envelope into per-group BatchRequests with one pass.
+func (r *Router) Route(cmds []consensus.Value) [][]consensus.Value {
+	out := make([][]consensus.Value, r.groups)
+	for _, c := range cmds {
+		g := r.Group(string(c))
+		out[g] = append(out[g], c)
+	}
+	return out
+}

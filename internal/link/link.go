@@ -140,6 +140,12 @@ type Sender struct {
 	wait      atomic.Int64 // current wait, nanoseconds
 	goal      int          // flush size that counts as "batches arrive full"
 	lastFlush time.Time    // previous successful flush (idle detection)
+
+	// dials counts successful connection establishments over the link's
+	// lifetime — shared-sender accounting for multi-group clusters, where
+	// G groups over one link must still show exactly one dial per
+	// directed pair in the steady state.
+	dials atomic.Uint64
 }
 
 // Adaptive-wait controller constants: the smallest non-zero wait (and the
@@ -185,6 +191,12 @@ func (s *Sender) Wait() time.Duration {
 	}
 	return time.Duration(s.wait.Load())
 }
+
+// Dials returns how many connections this link has established over its
+// lifetime: 1 in the steady state (regardless of how many consensus
+// groups multiplex over the link), more only after redials. Safe from any
+// goroutine.
+func (s *Sender) Dials() uint64 { return s.dials.Load() }
 
 // Enqueue offers a frame to the link without blocking. It reports whether
 // the sender took ownership; on false (queue full or stopping) the caller
@@ -445,6 +457,7 @@ func (s *Sender) redial() bool {
 	s.conn = conn
 	s.backoff = 0
 	s.nextDial = time.Time{}
+	s.dials.Add(1)
 	return true
 }
 

@@ -54,6 +54,11 @@ type Collector struct {
 	// polled at scrape time under mu).
 	leaseProbes []LeaseProbe
 
+	// groups holds per-consensus-group series in sharded clusters,
+	// registered via WatchGroupRecorder/WatchGroupLease (see group.go);
+	// nil until the first registration. Guarded by mu.
+	groups map[int]*groupSeries
+
 	// Election tracker. Leader changes are rare (finitely many, after
 	// GST), so a mutex is fine here; the message path never touches it.
 	mu         sync.Mutex

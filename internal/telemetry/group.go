@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"sort"
+
+	"repro/internal/consensus"
+	"repro/internal/node"
+)
+
+// groupSeries holds one consensus group's telemetry in a sharded cluster
+// (internal/consensus/group): its own decision-latency histogram and its
+// own lease probes, exported with a group label so per-shard health —
+// which shard is slow, which shard lost its lease — stays visible after
+// aggregation would have hidden it.
+type groupSeries struct {
+	g        int
+	decision *Histogram
+	probes   []LeaseProbe
+}
+
+// groupSeriesFor returns (creating on first use) group g's series.
+func (c *Collector) groupSeriesFor(g int) *groupSeries {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.groups == nil {
+		c.groups = make(map[int]*groupSeries)
+	}
+	gs, ok := c.groups[g]
+	if !ok {
+		gs = &groupSeries{g: g, decision: NewHistogram("group_decision_latency", c.n)}
+		c.groups[g] = gs
+	}
+	return gs
+}
+
+// WatchGroupRecorder subscribes the collector to one group's decision
+// stream on process id: decisions count toward the cluster-wide totals
+// exactly as WatchRecorder's do, and additionally feed the group's own
+// latency histogram. Call during setup, before the engine starts. The
+// per-decision path touches no locks — the group's histogram is captured
+// in the closure.
+func (c *Collector) WatchGroupRecorder(g int, id node.ID, r *consensus.Recorder) {
+	gs := c.groupSeriesFor(g)
+	r.SetNotify(func(d consensus.Decision) {
+		c.Decided(d)
+		if d.Elapsed > 0 {
+			gs.decision.Record(int(d.By), d.Elapsed)
+		}
+	})
+}
+
+// WatchGroupLease registers one group's read-path probe on one process;
+// the per-group lease gauges aggregate over processes within the group.
+// Call during setup, before Serve.
+func (c *Collector) WatchGroupLease(g int, probe LeaseProbe) {
+	gs := c.groupSeriesFor(g)
+	c.mu.Lock()
+	gs.probes = append(gs.probes, probe)
+	c.mu.Unlock()
+}
+
+// GroupIDs returns the watched group ids in ascending order (empty in
+// unsharded clusters).
+func (c *Collector) GroupIDs() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]int, 0, len(c.groups))
+	for g := range c.groups {
+		ids = append(ids, g)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// GroupDecisionLatency returns group g's merged decision-latency snapshot.
+func (c *Collector) GroupDecisionLatency(g int) HistSnapshot {
+	c.mu.Lock()
+	gs, ok := c.groups[g]
+	c.mu.Unlock()
+	if !ok {
+		return HistSnapshot{}
+	}
+	return gs.decision.Snapshot()
+}
+
+// GroupLeaseHolders returns how many of group g's watched processes
+// currently claim the group's lease — 0 or 1 when healthy, per group.
+func (c *Collector) GroupLeaseHolders(g int) int {
+	held, _, _ := c.groupLeaseSnapshot(g)
+	return held
+}
+
+// groupLeaseSnapshot polls group g's probes once.
+func (c *Collector) groupLeaseSnapshot(g int) (held int, local, fallback uint64) {
+	c.mu.Lock()
+	gs, ok := c.groups[g]
+	var probes []LeaseProbe
+	if ok {
+		probes = gs.probes
+	}
+	c.mu.Unlock()
+	for _, p := range probes {
+		h, l, f := p()
+		if h {
+			held++
+		}
+		local += l
+		fallback += f
+	}
+	return held, local, fallback
+}

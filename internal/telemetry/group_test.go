@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+)
+
+// TestGroupSeries checks per-group decision histograms and lease gauges
+// land in their own labeled series and still roll up into the cluster-wide
+// totals.
+func TestGroupSeries(t *testing.T) {
+	c := New(3)
+	recs := []*consensus.Recorder{consensus.NewRecorder(), consensus.NewRecorder()}
+	for g, r := range recs {
+		c.WatchGroupRecorder(g, 0, r)
+	}
+	c.WatchGroupLease(0, func() (bool, uint64, uint64) { return true, 7, 1 })
+	c.WatchGroupLease(1, func() (bool, uint64, uint64) { return false, 2, 0 })
+
+	recs[0].Record(consensus.Decision{Instance: 0, Value: "a", By: 0, Elapsed: time.Millisecond})
+	recs[1].Record(consensus.Decision{Instance: 0, Value: "b", By: 1, Elapsed: 2 * time.Millisecond})
+	recs[1].Record(consensus.Decision{Instance: 1, Value: "c", By: 1, Elapsed: 3 * time.Millisecond})
+
+	if got := c.Decides(); got != 3 {
+		t.Fatalf("cluster-wide decides = %d, want 3", got)
+	}
+	if ids := c.GroupIDs(); len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("GroupIDs = %v", ids)
+	}
+	if s := c.GroupDecisionLatency(0); s.Count != 1 {
+		t.Fatalf("group 0 decision count = %d, want 1", s.Count)
+	}
+	if s := c.GroupDecisionLatency(1); s.Count != 2 {
+		t.Fatalf("group 1 decision count = %d, want 2", s.Count)
+	}
+	if s := c.GroupDecisionLatency(9); s.Count != 0 {
+		t.Fatalf("unknown group decision count = %d, want 0", s.Count)
+	}
+	if got := c.GroupLeaseHolders(0); got != 1 {
+		t.Fatalf("group 0 lease holders = %d, want 1", got)
+	}
+	if got := c.GroupLeaseHolders(1); got != 0 {
+		t.Fatalf("group 1 lease holders = %d, want 0", got)
+	}
+
+	var b strings.Builder
+	c.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`rsm_group_decision_latency_seconds_count{group="0"} 1`,
+		`rsm_group_decision_latency_seconds_count{group="1"} 2`,
+		`rsm_group_lease_held{group="0"} 1`,
+		`rsm_group_lease_held{group="1"} 0`,
+		`rsm_group_reads_local_total{group="0"} 7`,
+		`rsm_group_reads_fallback_total{group="1"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGroupSeriesAbsentWhenUnsharded: an unsharded collector must not emit
+// group-labeled families at all.
+func TestGroupSeriesAbsentWhenUnsharded(t *testing.T) {
+	c := New(3)
+	var b strings.Builder
+	c.WritePrometheus(&b)
+	if strings.Contains(b.String(), "rsm_group_") {
+		t.Fatal("unsharded collector emitted group series")
+	}
+}

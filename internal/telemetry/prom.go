@@ -11,6 +11,14 @@ import (
 // le = 2^b ns is precise.
 func promHist(w io.Writer, name string, s HistSnapshot) {
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	promHistSeries(w, name, "", s)
+}
+
+// promHistSeries writes one labeled histogram series (buckets, sum, count)
+// without the TYPE header, so several label sets — one per consensus group
+// — share a single metric family. labels is either empty or a
+// comma-terminated prefix like `group="2",`.
+func promHistSeries(w io.Writer, name, labels string, s HistSnapshot) {
 	var cum uint64
 	top := 0
 	for b, c := range s.Buckets {
@@ -21,11 +29,17 @@ func promHist(w io.Writer, name string, s HistSnapshot) {
 	for b := 0; b <= top; b++ {
 		cum += s.Buckets[b]
 		le := float64(uint64(1)<<uint(b)) / 1e9
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", name, labels, le, cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
-	fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum.Seconds())
-	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, s.Count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum.Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+		return
+	}
+	trimmed := labels[:len(labels)-1] // drop the trailing comma
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, trimmed, s.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, trimmed, s.Count)
 }
 
 // promCountHist writes one count-unit histogram (frames, bytes — values
@@ -126,4 +140,25 @@ func (c *Collector) WritePrometheus(w io.Writer) {
 	promHist(w, "wal_fsync_seconds", c.FsyncLatency())
 	promCountHist(w, "wal_append_bytes", c.WALAppendBytes())
 	promHist(w, "wal_recovery_seconds", c.RecoveryTime())
+
+	// Sharded clusters: per-group decision latency and lease occupancy,
+	// labeled by group so one slow or lease-less shard stays visible.
+	if ids := c.GroupIDs(); len(ids) > 0 {
+		fmt.Fprintf(w, "# TYPE rsm_group_decision_latency_seconds histogram\n")
+		for _, g := range ids {
+			promHistSeries(w, "rsm_group_decision_latency_seconds",
+				fmt.Sprintf("group=\"%d\",", g), c.GroupDecisionLatency(g))
+		}
+		fmt.Fprintf(w, "# HELP rsm_group_lease_held Processes holding each group's lease (0 or 1 per group when healthy).\n# TYPE rsm_group_lease_held gauge\n")
+		for _, g := range ids {
+			held, _, _ := c.groupLeaseSnapshot(g)
+			fmt.Fprintf(w, "rsm_group_lease_held{group=\"%d\"} %d\n", g, held)
+		}
+		fmt.Fprintf(w, "# TYPE rsm_group_reads_local_total counter\n# TYPE rsm_group_reads_fallback_total counter\n")
+		for _, g := range ids {
+			_, local, fallback := c.groupLeaseSnapshot(g)
+			fmt.Fprintf(w, "rsm_group_reads_local_total{group=\"%d\"} %d\n", g, local)
+			fmt.Fprintf(w, "rsm_group_reads_fallback_total{group=\"%d\"} %d\n", g, fallback)
+		}
+	}
 }

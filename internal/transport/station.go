@@ -26,6 +26,28 @@ type sender interface {
 	send(from, to node.ID, m node.Message)
 }
 
+// ConcurrentDeliverer is implemented by automatons that can accept
+// deliveries from arbitrary goroutines — the multi-group sharded engine
+// (internal/consensus/group), which demuxes each message into a per-group
+// mailbox. When a station's automaton implements it, inbound messages are
+// handed over directly from the transport's receive goroutines (TCP read
+// loops, UDP receive loops, mem delivery timers), skipping the station
+// loop's serialization point entirely. DeliverConcurrent reports whether
+// the message was consumed; on false the message takes the ordinary
+// station-loop path.
+type ConcurrentDeliverer interface {
+	DeliverConcurrent(from node.ID, m node.Message) bool
+}
+
+// fastBox wraps the fast-path deliverer for atomic.Value storage (which
+// needs one consistent concrete type across stores).
+type fastBox struct{ d ConcurrentDeliverer }
+
+func boxOf(a node.Automaton) fastBox {
+	d, _ := a.(ConcurrentDeliverer)
+	return fastBox{d: d}
+}
+
 // station runs one process: a single goroutine consumes the mailbox and
 // invokes the automaton, so the node.Env single-threading contract holds.
 type station struct {
@@ -43,6 +65,11 @@ type station struct {
 
 	crashed atomic.Bool
 	done    chan struct{}
+
+	// fast holds the automaton's ConcurrentDeliverer (boxed, nil inside
+	// the box when unsupported). It is read by receive goroutines on
+	// every delivery and swapped on reboot, hence the atomic.
+	fast atomic.Value // of fastBox
 }
 
 var _ node.Env = (*station)(nil)
@@ -53,7 +80,7 @@ func newStation(id node.ID, n int, a node.Automaton, net sender, start time.Time
 			log.Printf("p%d: %s", id, fmt.Sprintf(format, args...))
 		}
 	}
-	return &station{
+	s := &station{
 		id:        id,
 		n:         n,
 		automaton: a,
@@ -64,6 +91,8 @@ func newStation(id node.ID, n int, a node.Automaton, net sender, start time.Time
 		timers:    make(map[string]uint64),
 		done:      make(chan struct{}),
 	}
+	s.fast.Store(boxOf(a))
+	return s
 }
 
 // run is the node loop; it returns when the mailbox closes. Each wake-up
@@ -113,8 +142,21 @@ func (s *station) dispatch(e event) {
 	s.automaton.Deliver(e.from, e.msg)
 }
 
-// deliver enqueues an inbound message.
+// deliver enqueues an inbound message. When the automaton supports
+// concurrent delivery (the sharded group engine), the message is demuxed
+// on this goroutine — the transport's receive path — without waking the
+// station loop; ordering within a (peer, group) pair is preserved because
+// each TCP connection is read by one goroutine. A crashed station drops
+// on the fast path exactly as dispatch would.
 func (s *station) deliver(from node.ID, m node.Message) {
+	if d := s.fast.Load().(fastBox).d; d != nil {
+		if s.crashed.Load() {
+			return
+		}
+		if d.DeliverConcurrent(from, m) {
+			return
+		}
+	}
 	s.mbox.push(event{from: from, msg: m})
 }
 
@@ -139,6 +181,7 @@ func (s *station) rebootNow(a node.Automaton) {
 		s.timers[k]++
 	}
 	s.automaton = a
+	s.fast.Store(boxOf(a)) // receive goroutines route to the new incarnation
 	s.crashed.Store(false)
 	s.automaton.Start(s)
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultline"
@@ -47,6 +48,7 @@ type TCPCluster struct {
 	start     time.Time
 	senders   []*link.Sender // n*n row-major, nil on the diagonal
 	stopCh    chan struct{}
+	conns     atomic.Int64 // receiver-side open connections (accepted - closed)
 
 	mu       sync.Mutex
 	accepted []net.Conn    // receiver-side, for shutdown
@@ -145,6 +147,27 @@ func (c *TCPCluster) closeAll() {
 // Stats returns the cluster's message accounting.
 func (c *TCPCluster) Stats() *metrics.MessageStats { return c.stats }
 
+// OpenConns returns the receiver-side count of currently open inbound
+// connections across the cluster. A quiesced n-process cluster with every
+// directed link in use reads exactly n*(n-1) — one TCP connection per
+// directed peer pair — no matter how many consensus groups multiplex over
+// the links. Safe from any goroutine.
+func (c *TCPCluster) OpenConns() int { return int(c.conns.Load()) }
+
+// Dials returns the lifetime total of successful dials across every
+// directed link: n*(n-1) when no link ever re-dialed. Together with
+// OpenConns this asserts the shared-socket property of multi-group mode
+// from counters, not eyeballs.
+func (c *TCPCluster) Dials() uint64 {
+	var total uint64
+	for _, s := range c.senders {
+		if s != nil {
+			total += s.Dials()
+		}
+	}
+	return total
+}
+
 // Addr returns the TCP address of process id.
 func (c *TCPCluster) Addr(id nodepkg.ID) net.Addr { return c.addrs[id] }
 
@@ -196,6 +219,7 @@ func (c *TCPCluster) acceptLoop(i int) {
 		}
 		c.accepted = append(c.accepted, conn)
 		c.mu.Unlock()
+		c.conns.Add(1)
 		c.wg.Add(1)
 		go c.readLoop(i, conn)
 	}
@@ -213,6 +237,7 @@ func (c *TCPCluster) acceptLoop(i int) {
 // station itself is never affected.
 func (c *TCPCluster) readLoop(i int, conn net.Conn) {
 	defer c.wg.Done()
+	defer c.conns.Add(-1)
 	var header [4]byte
 	body := make([]byte, 4096)
 	br := bufio.NewReaderSize(conn, c.cfg.BatchBytes)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/consensus/ct"
+	"repro/internal/consensus/group"
 	"repro/internal/consensus/rsm"
 	"repro/internal/consensus/synod"
 	"repro/internal/core"
@@ -47,6 +48,7 @@ const (
 	codeRSMLeaseAck
 	codeRSMReadReq
 	codeRSMReadReply
+	codeGroupWrap
 )
 
 // badType builds the error for an encoder handed the wrong concrete type.
@@ -113,7 +115,68 @@ func NewCodec() *Codec {
 	registerSynod(c)
 	registerCT(c)
 	registerRSM(c)
+	registerGroup(c)
 	return c
+}
+
+// registerGroup registers the group-routing wrapper (multi-group sharded
+// consensus, DESIGN.md §16): a varint GroupID followed by the inner
+// message's own encoding — type code and fields — in the same frame
+// version, nested in place with no intermediate buffer. Wrappers do not
+// nest: a GROUP code inside a GROUP body is a decode error, which also
+// bounds decoder recursion at one level.
+//
+// Like the LeaseSeq fields on ACCEPT/ACCEPTED (PR 7), the new kind is not
+// negotiated: a pre-group node that receives a GROUP frame fails strict
+// decoding and (on TCP) drops the connection, so enabling sharded groups
+// is a cluster-wide atomic upgrade. Nodes that never send groups remain
+// wire-compatible in both directions.
+func registerGroup(c *Codec) {
+	c.Register(codeGroupWrap, group.KindGroup,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(group.Msg)
+			if !ok {
+				return badType(group.KindGroup, m)
+			}
+			if err := e.Int(msg.Group); err != nil {
+				return err
+			}
+			if msg.Inner == nil {
+				return fmt.Errorf("wire: group wrapper with nil inner message")
+			}
+			ent, ok := c.byKind[msg.Inner.Kind()]
+			if !ok {
+				return fmt.Errorf("%w: %q inside group wrapper", ErrUnknownKind, msg.Inner.Kind())
+			}
+			if ent.code == codeGroupWrap {
+				return fmt.Errorf("wire: group wrapper cannot nest")
+			}
+			e.buf = append(e.buf, ent.code)
+			return ent.enc(e, msg.Inner)
+		},
+		func(d *Decoder) (node.Message, error) {
+			g, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			if len(d.buf) == 0 {
+				return nil, ErrTruncated
+			}
+			code := d.buf[0]
+			if code == codeGroupWrap {
+				return nil, fmt.Errorf("wire: group wrapper cannot nest")
+			}
+			ent, ok := c.byCode[code]
+			if !ok {
+				return nil, fmt.Errorf("%w: %d inside group wrapper", ErrUnknownCode, code)
+			}
+			d.buf = d.buf[1:]
+			inner, err := ent.dec(d)
+			if err != nil {
+				return nil, fmt.Errorf("decode %q: %w", ent.kind, err)
+			}
+			return group.Msg{Group: g, Inner: inner}, nil
+		})
 }
 
 func registerSynod(c *Codec) {

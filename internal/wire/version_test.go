@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/consensus/group"
 	"repro/internal/consensus/rsm"
 	"repro/internal/consensus/synod"
 	"repro/internal/core"
@@ -27,6 +28,8 @@ func versionSampleMsgs() []node.Message {
 		synod.AcceptMsg{B: 12, V: "value"},
 		rsm.PromiseMsg{B: 9, Entries: []rsm.PromEntry{{Inst: 1, AccB: 2, AccV: "a"}}},
 		rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3, MinDone: 2},
+		group.Msg{Group: 2, Inner: rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3, MinDone: 2}},
+		group.Msg{Group: 0, Inner: rsm.RequestMsg{V: "cmd"}},
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/consensus/ct"
+	"repro/internal/consensus/group"
 	"repro/internal/consensus/rsm"
 	"repro/internal/consensus/synod"
 	"repro/internal/core"
@@ -64,6 +65,7 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 		rsm.LeaseAckMsg{B: 9, Seq: 7},
 		rsm.ReadReqMsg{Seq: 100, Count: 64, Origin: 2},
 		rsm.ReadReplyMsg{Seq: 100, Count: 64, Index: 4242, Local: true},
+		group.Msg{Group: 3, Inner: rsm.AcceptMsg{B: 9, Inst: 4, V: "x", CommitUpTo: 3, MinDone: 2, LeaseSeq: 6}},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, c, m)
@@ -75,7 +77,7 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 
 func TestRoundTripCoversEveryRegisteredKind(t *testing.T) {
 	c := NewCodec()
-	if got := len(c.Kinds()); got != 30 {
+	if got := len(c.Kinds()); got != 31 {
 		t.Fatalf("registered kinds = %d, update the round-trip test when adding messages", got)
 	}
 }
