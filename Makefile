@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race soak recovery-soak telemetry-smoke bench bench-micro bench-json bench-wire bench-consensus bench-consensus-mc bench-durable tables
+.PHONY: all build vet test test-race soak recovery-soak telemetry-smoke trace-smoke bench bench-micro bench-json bench-wire bench-consensus bench-consensus-mc bench-durable tables
 
 all: vet test
 
@@ -74,11 +74,27 @@ bench:
 bench-micro:
 	$(GO) test -run '^$$' -bench 'SinkRecordSend|StatsRecordSendLegacy|Wire' -benchmem .
 
+# End-to-end tracing smoke (DESIGN.md §17): a traced consensus load run
+# and a traced chaossoak leader-crash run, then traceview over both sets
+# of flight-recorder dumps. -require-request gates on at least one
+# complete request→queue→quorum→apply chain; -require-election gates on
+# a captured leader election.
+trace-smoke:
+	$(GO) build -o /tmp/consload-trace ./cmd/consload
+	$(GO) build -o /tmp/chaossoak-trace ./cmd/chaossoak
+	$(GO) build -o /tmp/traceview-smoke ./cmd/traceview
+	rm -rf /tmp/trace-smoke && mkdir -p /tmp/trace-smoke
+	/tmp/consload-trace -n 3 -dur 2s -reps 1 -trace-dir /tmp/trace-smoke/consload
+	/tmp/chaossoak-trace -transport tcp -plan crash -trace-dir /tmp/trace-smoke/soak
+	/tmp/traceview-smoke -require-request /tmp/trace-smoke/consload/batched
+	/tmp/traceview-smoke -require-election -chrome /tmp/trace-smoke/soak.chrome.json /tmp/trace-smoke/soak
+
 # Hot-path benchmarks as machine-readable JSON: the kernel event pool, the
-# fabric send path, and the sweep pool. The kernel and fabric benches must
-# stay at 0 allocs/op.
+# fabric send path, the sweep pool, and the tracing tax (the disabled and
+# sampled-out record paths must stay at 0 allocs/op). The kernel and
+# fabric benches must stay at 0 allocs/op.
 bench-json:
-	$(GO) test -run '^$$' -bench 'KernelScheduleFire|KernelScheduleCancel|FabricSendSteadyState|SweepPool' -benchmem -json ./internal/sim ./internal/network ./internal/sweep > BENCH_sweep.json
+	$(GO) test -run '^$$' -bench 'KernelScheduleFire|KernelScheduleCancel|FabricSendSteadyState|SweepPool|Tracing' -benchmem -json ./internal/sim ./internal/network ./internal/sweep ./internal/tracing > BENCH_sweep.json
 	$(GO) test -run '^$$' -bench 'Envelope|TCPSend|UDPReceiveSteadyState' -benchmem -benchtime 3s -json ./internal/wire ./internal/transport > BENCH_wire.json
 
 # Just the wire + live-transport benchmarks, human-readable. The batched

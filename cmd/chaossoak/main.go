@@ -52,6 +52,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/transport"
 )
 
@@ -87,6 +88,9 @@ func run(args []string) (err error) {
 		metricsAddr   = fs.String("metrics-addr", "", "serve /metrics, /healthz and pprof on this address (e.g. :8080)")
 		snapshotJSON  = fs.String("snapshot-json", "", "write the final merged metrics+histogram snapshot to this path")
 		traceTail     = fs.Int("trace-tail", 0, "record message events in a bounded ring and print the last N at exit")
+		traceTailOut  = fs.String("trace-tail-out", "", "with -trace-tail, also write the tail to this file (parent directories are created)")
+		traceDir      = fs.String("trace-dir", "", "record causal spans and write flight-recorder dumps (plus a final dump) into this directory; feed it to traceview")
+		traceSample   = fs.Int("trace-sample", 1, "with -trace-dir, sample one in this many client requests")
 		lease         = fs.Duration("lease", 0, "leader read lease; 0 disables (leases trade failover latency for local reads, so chaos plans default off)")
 		fsyncName     = fs.String("fsync", "group", "WAL fsync policy for the recovery plan: always, group, off")
 		walDir        = fs.String("wal-dir", "", "WAL root for the recovery plan (default: a fresh temp dir, removed on success)")
@@ -181,6 +185,12 @@ func run(args []string) (err error) {
 
 	tel := telemetry.New(*n, telemetry.WithHeartbeatKinds(core.KindLeader))
 	s.tel = tel
+	if *traceDir != "" {
+		// The flight recorder: spans from every layer land in per-process
+		// rings; anomalies (leader changes, crashes, fallback reads, slow
+		// fsyncs, drops) snapshot them into trace-*.json dumps.
+		s.tset = tracing.New(tracing.Config{Procs: *n, Dir: *traceDir, SampleEvery: *traceSample})
+	}
 	var autos []node.Automaton
 	if s.groups > 0 {
 		autos, err = s.buildGroupReplicas(*n)
@@ -191,11 +201,18 @@ func run(args []string) (err error) {
 		return err
 	}
 	var ring *trace.Log
-	observer := obs.Sink(tel)
+	sinks := []obs.Sink{tel}
 	if *traceTail > 0 {
 		ring = trace.NewRing(*traceTail)
 		ring.SetWallStart(time.Now())
-		observer = obs.Tee(tel, ring.MessageSink())
+		sinks = append(sinks, ring.MessageSink())
+	}
+	if s.tset != nil {
+		sinks = append(sinks, s.tset.Sink())
+	}
+	observer := obs.Sink(tel)
+	if len(sinks) > 1 {
+		observer = obs.Tee(sinks...)
 	}
 	cfg := transport.Config{
 		N: *n, Seed: *seed, Quiet: true, Fault: s.inj,
@@ -220,12 +237,19 @@ func run(args []string) (err error) {
 	if *planName == "recovery" {
 		s.memc = c.(*transport.Cluster)
 	}
+	// Anchor trace timestamps to the cluster clock's zero (set at
+	// construction just above) so span offsets and telemetry wall times
+	// merge on the same axis.
+	s.tset.SetWallStart(time.Now())
 	tel.AttachStats(c.Stats())
 	// Omega watching stays unsharded-only: each group's detectors speak a
 	// rotated logical id space, so the cluster-wide leader gauge would read
 	// garbage. Sharded runs get per-group labeled series instead.
+	// Tracing subscribes after telemetry: WatchOmega installs via
+	// SetNotify, which replaces every hook installed before it.
 	for i, d := range s.dets {
 		tel.WatchOmega(node.ID(i), d.History())
+		d.History().AddNotify(s.tset.WatchLeader(i))
 	}
 	for i, l := range s.logs {
 		tel.WatchRecorder(node.ID(i), l.Recorder())
@@ -239,7 +263,11 @@ func run(args []string) (err error) {
 		}
 	}
 	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, tel)
+		var opts []telemetry.ServeOption
+		if s.tset != nil {
+			opts = append(opts, telemetry.WithTraceSource(s.tset.WriteJSON))
+		}
+		srv, err := telemetry.Serve(*metricsAddr, tel, opts...)
 		if err != nil {
 			return err
 		}
@@ -313,12 +341,43 @@ func run(args []string) (err error) {
 		if _, err := ring.WriteTail(os.Stdout, *traceTail); err != nil {
 			return err
 		}
+		if *traceTailOut != "" {
+			if dir := filepath.Dir(*traceTailOut); dir != "." {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return fmt.Errorf("create -trace-tail-out directory %s: %w", dir, err)
+				}
+			}
+			f, err := os.Create(*traceTailOut)
+			if err != nil {
+				return fmt.Errorf("write -trace-tail-out %s: %w", *traceTailOut, err)
+			}
+			_, werr := ring.WriteTail(f, *traceTail)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("write -trace-tail-out %s: %w", *traceTailOut, werr)
+			}
+			fmt.Printf("trace:     wrote %s\n", *traceTailOut)
+		}
 	}
 	if *snapshotJSON != "" {
+		if dir := filepath.Dir(*snapshotJSON); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fmt.Errorf("create -snapshot-json directory %s: %w", dir, err)
+			}
+		}
 		if err := tel.WriteJSON(*snapshotJSON); err != nil {
-			return err
+			return fmt.Errorf("write -snapshot-json %s: %w", *snapshotJSON, err)
 		}
 		fmt.Printf("snapshot:  wrote %s\n", *snapshotJSON)
+	}
+	if s.tset != nil {
+		path, err := s.tset.Final()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tracing:   %d anomaly dumps; final dump %s\n", s.tset.Triggered(), path)
 	}
 	fmt.Println("verdict:   PASS — single leader converged, consensus safety holds")
 	return nil
@@ -334,6 +393,7 @@ type soak struct {
 	c        cluster
 	memc     *transport.Cluster // recovery plan only: restart needs the mem cluster
 	tel      *telemetry.Collector
+	tset     *tracing.Set // nil without -trace-dir; every method no-ops then
 	dets     []*core.Detector
 	logs     []*rsm.Node
 
@@ -352,11 +412,13 @@ type soak struct {
 	recovered node.ID // the process killed and rebuilt from disk
 }
 
-// crash crash-stops a process and tells the telemetry layer, so the dead
-// process's frozen leader output doesn't wedge agreement tracking.
+// crash crash-stops a process and tells the telemetry and tracing
+// layers, so the dead process's frozen leader output doesn't wedge
+// agreement tracking (in either layer's reconstruction).
 func (s *soak) crash(id node.ID) {
 	s.c.Crash(id)
 	s.tel.MarkDown(id)
+	s.tset.MarkDown(int(id))
 }
 
 // buildReplicas composes one rebuff-hardened detector plus a replicated
@@ -385,11 +447,12 @@ func (s *soak) buildReplicas(n int) ([]node.Automaton, error) {
 // the rebuild path: reopening the same directory recovers everything the
 // previous incarnation persisted.
 func (s *soak) buildReplica(i int) (node.Automaton, error) {
-	cfg := rsm.Config{DriveInterval: 2 * s.eta, Lease: s.lease}
+	cfg := rsm.Config{DriveInterval: 2 * s.eta, Lease: s.lease, Tracer: s.tset.Tracer(i)}
 	var al *appliedLog
 	if s.stores != nil {
 		opts := durable.Options{Sync: s.sync}
 		opts.OnAppend, opts.OnFsync, opts.OnRecover = s.tel.DurableHooks(node.ID(i))
+		opts.OnFsync = chainFsync(opts.OnFsync, s.tset.FsyncThreshold(i, traceFsyncThreshold))
 		w, err := durable.Open(s.walPath(node.ID(i)), opts)
 		if err != nil {
 			return nil, err
@@ -410,6 +473,26 @@ func (s *soak) buildReplica(i int) (node.Automaton, error) {
 		s.logs[i].OnApply(func(inst, cmd int, v consensus.Value) { al.cmds = append(al.cmds, string(v)) })
 	}
 	return node.Compose(s.dets[i], s.logs[i]), nil
+}
+
+// traceFsyncThreshold is the WAL fsync duration past which the flight
+// recorder fires (reason "fsync-slow"): an order of magnitude above a
+// healthy loopback fsync, low enough to catch a stalling disk mid-soak.
+const traceFsyncThreshold = 25 * time.Millisecond
+
+// chainFsync runs the telemetry fsync hook and the tracing threshold
+// watcher off one durable.Options.OnFsync slot. Either side may be nil.
+func chainFsync(tel func(time.Duration), tr func(time.Duration)) func(time.Duration) {
+	if tr == nil {
+		return tel
+	}
+	if tel == nil {
+		return tr
+	}
+	return func(d time.Duration) {
+		tel(d)
+		tr(d)
+	}
 }
 
 // appliedLog is one incarnation's applied command sequence; all methods
@@ -467,9 +550,10 @@ func (s *soak) buildGroupReplica(i int) (node.Automaton, error) {
 	eng := group.New(group.Config{
 		Groups: s.groups,
 		Build: func(g int) node.Automaton {
-			cfg := rsm.Config{DriveInterval: 2 * s.eta, Group: g}
+			cfg := rsm.Config{DriveInterval: 2 * s.eta, Group: g, Tracer: s.tset.Tracer(i)}
 			opts := durable.Options{Sync: s.sync}
 			opts.OnAppend, opts.OnFsync, opts.OnRecover = s.tel.DurableHooks(node.ID(i))
+			opts.OnFsync = chainFsync(opts.OnFsync, s.tset.FsyncThreshold(i, traceFsyncThreshold))
 			al := &appliedLog{}
 			if w, err := durable.Open(s.groupWALPath(node.ID(i), g), opts); err != nil {
 				buildErr = err
@@ -506,6 +590,7 @@ func (s *soak) restartGroup(id node.ID) error {
 		s.tel.WatchGroupRecorder(g, id, s.glogs[id][g].Recorder())
 	}
 	s.tel.MarkUp(id)
+	s.tset.MarkUp(int(id))
 	s.memc.Restart(id, auto)
 	return nil
 }
@@ -519,8 +604,10 @@ func (s *soak) restart(id node.ID) error {
 		return err
 	}
 	s.tel.WatchOmega(id, s.dets[id].History())
+	s.dets[id].History().AddNotify(s.tset.WatchLeader(int(id)))
 	s.tel.WatchRecorder(id, s.logs[id].Recorder())
 	s.tel.MarkUp(id)
+	s.tset.MarkUp(int(id))
 	s.memc.Restart(id, auto)
 	return nil
 }
@@ -565,7 +652,13 @@ func (s *soak) pump(correct []int, prefix string, target int) error {
 			if from == l {
 				from = node.ID(correct[1])
 			}
-			s.c.Inject(from, l, rsm.RequestMsg{V: consensus.Value(fmt.Sprintf("%s-%d", prefix, i))})
+			req := node.Message(rsm.RequestMsg{V: consensus.Value(fmt.Sprintf("%s-%d", prefix, i))})
+			// Client-side trace ingress: a sampled request carries its
+			// context from the injection hop onward.
+			if ctx := s.tset.Tracer(int(from)).StartTrace(s.tset.Stamp(), "request"); ctx.Valid() {
+				req = tracing.Wrap{Ctx: ctx, Inner: req}
+			}
+			s.c.Inject(from, l, req)
 			i++
 		}
 		for _, p := range correct {

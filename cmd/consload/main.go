@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/node"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 	"repro/internal/transport"
 )
 
@@ -56,6 +57,10 @@ var rsmKinds = []string{
 	rsm.KindRequest, rsm.KindPrepare, rsm.KindPromise, rsm.KindNack,
 	rsm.KindAccept, rsm.KindAccepted, rsm.KindDecide, rsm.KindLearn,
 	rsm.KindLeaseGrant, rsm.KindLeaseAck, rsm.KindReadReq, rsm.KindReadReply,
+	// Sampled frames ride inside TRACE wrappers and are counted by the
+	// wrapper kind; heartbeats are never wrapped, so including it keeps
+	// msgs-per-cmd honest with -trace-dir on.
+	tracing.KindTrace,
 }
 
 // readChunk is how many sequence numbers one injected ReadReqMsg covers —
@@ -144,6 +149,8 @@ func run(args []string, out *os.File) error {
 		minspeed = fs.Float64("minspeedup", 0, "fail unless batched/baseline speedup reaches this factor (CI gate; 0 disables)")
 		groups   = fs.Int("groups", 0, "run a sharded arm with this many consensus groups over shared links; 0 disables it")
 		mingroup = fs.Float64("mingroupspeedup", 0, "fail unless sharded/batched speedup reaches this factor (CI gate; skipped with a warning below 4 CPUs; 0 disables)")
+		traceDir = fs.String("trace-dir", "", "record causal request spans and write per-arm flight-recorder dumps under this directory (subdir per arm); feed them to traceview")
+		traceSmp = fs.Int("trace-sample", 1, "with -trace-dir, sample one in this many client requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -190,16 +197,21 @@ func run(args []string, out *os.File) error {
 		for i := 0; i < *reps; i++ {
 			// Profiles are captured on the final rep only, covering just
 			// the sustained load window (probe and lease warmup excluded).
-			cpuP, memP := "", ""
+			cpuP, memP, traceP := "", "", ""
 			if i == *reps-1 {
 				cpuP, memP = profPath(*profile, "cpu", arm.name), profPath(*memprof, "mem", arm.name)
+				if *traceDir != "" {
+					// Dump names restart per Set; a subdir per arm keeps
+					// the arms' flight recorders from clobbering each other.
+					traceP = filepath.Join(*traceDir, arm.name)
+				}
 			}
 			var r result
 			var err error
 			if arm.groups > 0 {
 				r, err = runSharded(arm.name, *n, arm.groups, *seed+int64(i), arm.batch, arm.window, *inflight, *dur, *drive, cpuP, memP)
 			} else {
-				r, err = runOne(arm.name, *n, *seed+int64(i), arm.batch, arm.window, *inflight, *dur, *drive, arm.lease, arm.readFrac, cpuP, memP)
+				r, err = runOne(arm.name, *n, *seed+int64(i), arm.batch, arm.window, *inflight, *dur, *drive, arm.lease, arm.readFrac, cpuP, memP, traceP, *traceSmp)
 			}
 			if err != nil {
 				return err
@@ -419,7 +431,13 @@ func writeHeapProfile(path string) error {
 // closed loop for dur, and measures from first submit to drain. When
 // readFrac > 0 the loop mixes chunked reads with the writes at the given
 // ratio and a trailing pure-read window measures msgs-per-read.
-func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur, driveInterval, lease time.Duration, readFrac float64, cpuProf, memProf string) (result, error) {
+func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur, driveInterval, lease time.Duration, readFrac float64, cpuProf, memProf, traceDir string, traceSample int) (result, error) {
+	// Flight recorder: nil without -trace-dir, and every method on a nil
+	// Set no-ops, so the measured path stays byte-for-byte the untraced one.
+	var tset *tracing.Set
+	if traceDir != "" {
+		tset = tracing.New(tracing.Config{Procs: n, Dir: traceDir, SampleEvery: traceSample})
+	}
 	autos := make([]node.Automaton, n)
 	dets := make([]*core.Detector, n)
 	logs := make([]*rsm.Node, n)
@@ -430,8 +448,10 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 			BatchMax:      batchMax,
 			Window:        window,
 			Lease:         lease,
+			Tracer:        tset.Tracer(i),
 		})
 		autos[i] = node.Compose(dets[i], logs[i])
+		dets[i].History().AddNotify(tset.WatchLeader(i))
 	}
 	var reads *readLoop
 	if readFrac > 0 {
@@ -445,10 +465,14 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 	// can never crowd out protocol traffic.
 	c, err := transport.NewTCPCluster(transport.Config{
 		N: n, Seed: seed, Quiet: true, SendQueue: 2*inflight + 1024,
+		Observer: tset.Sink(),
 	}, autos)
 	if err != nil {
 		return result{}, err
 	}
+	// The cluster clock's zero is its construction instant; anchor span
+	// wall times there so client StartTrace stamps line up with env.Now().
+	tset.SetWallStart(time.Now())
 	c.Start()
 	defer c.Stop()
 
@@ -549,7 +573,14 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 				cmds[k] = consensus.Value(fmt.Sprintf("%s-%d", name, submitted))
 				submitted++
 			}
-			c.Inject(node.ID(follower), leader, rsm.BatchRequest(cmds))
+			// Client-side trace ingress: a sampled request envelope carries
+			// its context on the wire, and the root "request" span's start
+			// is the submit instant.
+			req := node.Message(rsm.BatchRequest(cmds))
+			if ctx := tset.Tracer(follower).StartTrace(tset.Stamp(), "request"); ctx.Valid() {
+				req = tracing.Wrap{Ctx: ctx, Inner: req}
+			}
+			c.Inject(node.ID(follower), leader, req)
 			room -= chunk
 		}
 		runtime.Gosched() // single-core boxes: let the stations work the burst
@@ -645,6 +676,17 @@ func runOne(name string, n int, seed int64, batchMax, window, inflight int, dur,
 		lat := reads.lat.Snapshot()
 		r.ReadP50NS = int64(lat.Quantile(0.50))
 		r.ReadP99NS = int64(lat.Quantile(0.99))
+	}
+	if tset != nil {
+		// Stop before the final dump (idempotent with the deferred Stop):
+		// connection teardown drops in-flight frames, and those triggers
+		// must not write dumps after the "final" one.
+		c.Stop()
+		path, err := tset.Final()
+		if err != nil {
+			return result{}, err
+		}
+		fmt.Printf("consload: %-8s %d anomaly dumps; final trace dump %s\n", name, tset.Triggered(), path)
 	}
 	return r, nil
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 func main() {
@@ -37,20 +38,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("omegasim", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", 5, "number of processes")
-		seed    = fs.Int64("seed", 1, "random seed")
-		algo    = fs.String("algo", "core", "algorithm: core, core-nogrowth, core-noguard, core-noaccuse, alltoall, source")
-		regime  = fs.String("regime", "all-timely", "link regime: all-timely, all-et, source-reliable, source-fairlossy, lossy")
-		gst     = fs.Duration("gst", 0, "global stabilization time")
-		eta     = fs.Duration("eta", 10*time.Millisecond, "heartbeat period η")
-		drop    = fs.Float64("drop", 0.3, "drop probability for lossy regimes")
-		source  = fs.Int("source", 0, "◊-source process id (default n-1)")
-		runFor  = fs.Duration("run", 3*time.Second, "virtual time to simulate")
-		crashes = fs.String("crash", "", "crash plan, e.g. 0@300ms,2@1s")
-		trace   = fs.Bool("trace", false, "print the full event trace")
-		sweepN  = fs.Int("sweep", 0, "run this many seeds and report aggregate verdicts")
-		jobs    = fs.Int("j", 0, "sweep workers (0 = one per core; output is identical for any value)")
-		metrics = fs.String("metrics-addr", "", "serve the run's telemetry (/metrics, /healthz, pprof) on this address and keep serving after the run until interrupted")
+		n        = fs.Int("n", 5, "number of processes")
+		seed     = fs.Int64("seed", 1, "random seed")
+		algo     = fs.String("algo", "core", "algorithm: core, core-nogrowth, core-noguard, core-noaccuse, alltoall, source")
+		regime   = fs.String("regime", "all-timely", "link regime: all-timely, all-et, source-reliable, source-fairlossy, lossy")
+		gst      = fs.Duration("gst", 0, "global stabilization time")
+		eta      = fs.Duration("eta", 10*time.Millisecond, "heartbeat period η")
+		drop     = fs.Float64("drop", 0.3, "drop probability for lossy regimes")
+		source   = fs.Int("source", 0, "◊-source process id (default n-1)")
+		runFor   = fs.Duration("run", 3*time.Second, "virtual time to simulate")
+		crashes  = fs.String("crash", "", "crash plan, e.g. 0@300ms,2@1s")
+		trace    = fs.Bool("trace", false, "print the full event trace")
+		sweepN   = fs.Int("sweep", 0, "run this many seeds and report aggregate verdicts")
+		jobs     = fs.Int("j", 0, "sweep workers (0 = one per core; output is identical for any value)")
+		metrics  = fs.String("metrics-addr", "", "serve the run's telemetry (/metrics, /healthz, pprof) on this address and keep serving after the run until interrupted")
+		traceDir = fs.String("trace-dir", "", "record leader-election spans and write a flight-recorder dump into this directory; feed it to traceview")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +63,9 @@ func run(args []string) error {
 		return err
 	}
 	if *sweepN > 0 {
+		if *traceDir != "" {
+			return fmt.Errorf("omegasim: -trace-dir records a single run; it cannot be combined with -sweep")
+		}
 		return runSweep(sweepParams{
 			n: *n, algo: *algo, regime: *regime, gst: *gst, eta: *eta,
 			drop: *drop, source: *source, runFor: *runFor, plan: plan,
@@ -96,6 +101,21 @@ func run(args []string) error {
 		tel.SetClock(sys.World.Kernel.Now)
 		for i, om := range sys.Omegas {
 			tel.WatchOmega(node.ID(i), om.History())
+		}
+	}
+	var tset *tracing.Set
+	if *traceDir != "" {
+		// Leader-output transitions become "leader-change" marks stamped
+		// with virtual time; crashes from the plan are marked at their
+		// scheduled instants so traceview's agreement replay can exclude
+		// dead processes. AddNotify rides alongside telemetry's hook
+		// (WatchOmega's SetNotify replaces, so it must come first).
+		tset = tracing.New(tracing.Config{Procs: *n, Dir: *traceDir})
+		for i, om := range sys.Omegas {
+			om.History().AddNotify(tset.WatchLeader(i))
+		}
+		for _, cr := range plan {
+			tset.Tracer(int(cr.ID)).Mark(cr.At, "down", -1)
 		}
 	}
 	sys.Run(*runFor)
@@ -135,8 +155,19 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if tset != nil {
+		path, err := tset.Final()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tracing:  %d anomaly dumps; final dump %s\n", tset.Triggered(), path)
+	}
 	if tel != nil {
-		srv, err := telemetry.Serve(*metrics, tel)
+		var srvOpts []telemetry.ServeOption
+		if tset != nil {
+			srvOpts = append(srvOpts, telemetry.WithTraceSource(tset.WriteJSON))
+		}
+		srv, err := telemetry.Serve(*metrics, tel, srvOpts...)
 		if err != nil {
 			return err
 		}

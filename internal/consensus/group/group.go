@@ -54,6 +54,17 @@ func (Msg) Kind() string { return KindGroup }
 // KindID implements node.KindIDer.
 func (Msg) KindID() obs.Kind { return kindGroupID }
 
+// TraceContext implements node.Traced by delegating to the inner
+// message: a trace wrapper rides *inside* the group envelope (the demux
+// must see its own tag first), so the transports reach through one
+// level to find the context. Untraced inner messages report zero.
+func (m Msg) TraceContext() (trace, span uint64) {
+	if t, ok := m.Inner.(node.Traced); ok {
+		return t.TraceContext()
+	}
+	return 0, 0
+}
+
 // Wrap tags m with group g.
 func Wrap(g int, m node.Message) Msg { return Msg{Group: g, Inner: m} }
 

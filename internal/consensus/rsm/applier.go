@@ -7,6 +7,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/durable"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 // This file is the applier layer: it walks the contiguous decided prefix
@@ -20,6 +21,11 @@ import (
 type proposal struct {
 	env consensus.Value
 	enq []sim.Time
+	// reqs are the per-command trace contexts (nil when no command in
+	// the batch is traced) and decidedAt the quorum-completion instant,
+	// so apply can record the final stage span under each trace.
+	reqs      []tracing.Context
+	decidedAt sim.Time
 }
 
 // applier tracks apply progress and decision fan-out.
@@ -33,8 +39,8 @@ type applier struct {
 func newApplier() applier { return applier{props: make(map[int]proposal)} }
 
 // track remembers a proposal for latency stamping at apply time.
-func (a *applier) track(inst int, env consensus.Value, enq []sim.Time) {
-	a.props[inst] = proposal{env: env, enq: enq}
+func (a *applier) track(inst int, env consensus.Value, enq []sim.Time, reqs []tracing.Context) {
+	a.props[inst] = proposal{env: env, enq: enq, reqs: reqs}
 }
 
 // apply runs the applier over every newly contiguous decided instance:
@@ -60,6 +66,16 @@ func (r *Node) apply() {
 			var elapsed time.Duration
 			if tracked && k < len(prop.enq) {
 				elapsed = now.Sub(prop.enq[k])
+			}
+			if tracked && k < len(prop.reqs) && prop.reqs[k].Valid() {
+				// Stage three, closing the trace: decide to apply. An
+				// instance decided without our own quorum (learned via
+				// DecideMsg) has no decidedAt; its apply span is a point.
+				start := prop.decidedAt
+				if start == 0 {
+					start = now
+				}
+				r.cfg.Tracer.Record(start, now, prop.reqs[k], "apply", -1, "")
 			}
 			r.rec.Record(consensus.Decision{
 				Instance: inst, Cmd: k, Value: cmd,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 // This file is the batching layer: queued client commands and the
@@ -77,6 +78,9 @@ type pendingCmd struct {
 	enq        sim.Time
 	lastSentTo node.ID
 	lastSentAt sim.Time
+	// tctx is the command's trace context (zero when unsampled), carried
+	// from ingress through forwarding, batching and apply.
+	tctx tracing.Context
 }
 
 // batcher is the client-command queue. On a leader, commands wait here
@@ -87,8 +91,8 @@ type batcher struct {
 }
 
 // add queues a command.
-func (b *batcher) add(v consensus.Value, now sim.Time) {
-	b.pending = append(b.pending, &pendingCmd{v: v, enq: now, lastSentTo: node.None})
+func (b *batcher) add(v consensus.Value, now sim.Time, tctx tracing.Context) {
+	b.pending = append(b.pending, &pendingCmd{v: v, enq: now, lastSentTo: node.None, tctx: tctx})
 }
 
 // take collects up to max commands not yet assigned by leader me,
@@ -96,7 +100,7 @@ func (b *batcher) add(v consensus.Value, now sim.Time) {
 // — the caller allows it when the pipeline is empty (nothing to overlap
 // with, so waiting buys nothing) or on the drive tick (bounding queue
 // latency at one tick).
-func (b *batcher) take(me node.ID, max int, allowPartial bool, now sim.Time) ([]consensus.Value, []sim.Time) {
+func (b *batcher) take(me node.ID, max int, allowPartial bool, now sim.Time) ([]consensus.Value, []sim.Time, []tracing.Context) {
 	var picked []*pendingCmd
 	for _, p := range b.pending {
 		if p.lastSentTo == me {
@@ -108,17 +112,24 @@ func (b *batcher) take(me node.ID, max int, allowPartial bool, now sim.Time) ([]
 		}
 	}
 	if len(picked) == 0 || (len(picked) < max && !allowPartial) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	cmds := make([]consensus.Value, len(picked))
 	enqs := make([]sim.Time, len(picked))
+	var tctxs []tracing.Context // allocated only when a picked command is traced
 	for i, p := range picked {
 		p.lastSentTo = me
 		p.lastSentAt = now
 		cmds[i] = p.v
 		enqs[i] = p.enq
+		if p.tctx.Valid() {
+			if tctxs == nil {
+				tctxs = make([]tracing.Context, len(picked))
+			}
+			tctxs[i] = p.tctx
+		}
 	}
-	return cmds, enqs
+	return cmds, enqs, tctxs
 }
 
 // retire drops the first pending command matching an applied value.
@@ -144,11 +155,17 @@ func (r *Node) pumpBatches(force bool) {
 	}
 	for r.pipe.hasRoom(r.cfg.Window) {
 		allowPartial := force || len(r.pipe.inflights) == 0
-		cmds, enqs := r.bat.take(r.me, r.cfg.BatchMax, allowPartial, r.env.Now())
+		now := r.env.Now()
+		cmds, enqs, tctxs := r.bat.take(r.me, r.cfg.BatchMax, allowPartial, now)
 		if len(cmds) == 0 {
 			return
 		}
-		r.propose(encodeBatch(cmds), enqs)
+		for i, ctx := range tctxs {
+			// Stage one of a traced command's life: the queue wait,
+			// enqueue to batch formation.
+			r.cfg.Tracer.Record(enqs[i], now, ctx, "queue", -1, "")
+		}
+		r.propose(encodeBatch(cmds), enqs, tctxs)
 	}
 }
 
@@ -164,7 +181,7 @@ func (r *Node) forwardPending(leader node.ID) {
 		}
 		p.lastSentTo = leader
 		p.lastSentAt = now
-		r.env.Send(leader, RequestMsg{V: p.v})
+		r.env.Send(leader, r.traced(p.tctx, RequestMsg{V: p.v}))
 	}
 }
 
@@ -187,8 +204,11 @@ func (r *Node) onRequest(m RequestMsg) {
 		return // the client will re-forward to the real leader
 	}
 	now := r.env.Now()
+	// A traced request (wrapped by the client or a forwarding replica)
+	// hands its context to every command it carries; the sampling
+	// decision stays with the trace originator.
 	for _, v := range decodeBatch(m.V) {
-		r.bat.add(v, now)
+		r.bat.add(v, now, r.curCtx)
 	}
 	r.pump()
 }

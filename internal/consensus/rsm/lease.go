@@ -240,6 +240,11 @@ func (r *Node) leaseBlocks(b consensus.Ballot, now sim.Time) bool {
 // retry against the new leader); the gauge clears before any competing
 // ballot gets our promise.
 func (r *Node) abdicateLeader() {
+	if r.prop.prepared || r.prop.preparing {
+		// Only an actual demotion is an election transition worth a span;
+		// the follower housekeeping path calls this every tick.
+		r.cfg.Tracer.Mark(r.env.Now(), "abdicate", -1)
+	}
 	r.prop.abdicate()
 	if r.lease.heldUntil.Load() != 0 {
 		r.lease.heldUntil.Store(0)

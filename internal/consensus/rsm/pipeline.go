@@ -6,6 +6,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 // This file is the pipeline layer: windowed multi-instance phase 2. The
@@ -23,6 +24,10 @@ type inflight struct {
 	acks    map[node.ID]bool
 	started sim.Time
 	timeout time.Duration // per-instance retry backoff
+	// tctx is the instance's open "quorum" span (zero when untraced):
+	// ACCEPTs broadcast under it, ACCEPTED arrivals are events on it,
+	// and the majority closes it.
+	tctx tracing.Context
 }
 
 // pipeline is the leader-side phase-2 state.
@@ -45,18 +50,31 @@ func (p *pipeline) open(v consensus.Value, now sim.Time) int {
 // propose drives value v in a fresh instance of the pipeline. enqs, when
 // non-nil, are the enqueue times of the envelope's commands, registered
 // with the applier for latency stamping before any message can decide
-// the instance.
-func (r *Node) propose(v consensus.Value, enqs []sim.Time) int {
-	inst := r.pipe.open(v, r.env.Now())
-	r.pipe.inflights[inst].acks[r.me] = true
+// the instance. tctxs, when non-nil, are the commands' trace contexts:
+// the instance opens a "quorum" span under the first traced command and
+// the applier later closes out every command's trace.
+func (r *Node) propose(v consensus.Value, enqs []sim.Time, tctxs []tracing.Context) int {
+	now := r.env.Now()
+	inst := r.pipe.open(v, now)
+	fl := r.pipe.inflights[inst]
+	fl.acks[r.me] = true
+	for _, ctx := range tctxs {
+		if ctx.Valid() {
+			// Stage two: the quorum wait, open until a majority accepts.
+			// One span per instance — a batch shares its first traced
+			// command's trace.
+			fl.tctx = r.cfg.Tracer.Start(now, ctx, "quorum")
+			break
+		}
+	}
 	if enqs != nil {
-		r.app.track(inst, v, enqs)
+		r.app.track(inst, v, enqs, tctxs)
 	}
 	r.acc.accepted[inst] = acceptedEntry{b: r.prop.ballot, v: v}
 	// The leader's self-accept is a vote like any other: durable before
 	// the ACCEPT broadcast makes it visible.
 	r.cfg.Store.Accept(uint64(inst), uint64(r.prop.ballot), string(v))
-	r.env.Broadcast(r.acceptMsg(inst, v))
+	r.env.Broadcast(r.traced(fl.tctx, r.acceptMsg(inst, v)))
 	r.maybeDecide(inst)
 	return inst
 }
@@ -82,7 +100,7 @@ func (r *Node) redrive(now sim.Time) {
 			if fl.timeout < maxRetryTimeout {
 				fl.timeout *= 2
 			}
-			r.env.Broadcast(r.acceptMsg(inst, fl.v))
+			r.env.Broadcast(r.traced(fl.tctx, r.acceptMsg(inst, fl.v)))
 		}
 	}
 }
@@ -107,7 +125,11 @@ func (r *Node) onAccept(from node.ID, m AcceptMsg) {
 		r.cfg.Store.Accept(uint64(m.Inst), uint64(m.B), string(m.V))
 		// The ACCEPTED doubles as the lease ack for a piggybacked grant.
 		ack := r.noteGrant(m.B, m.LeaseSeq, now)
-		r.env.Send(from, AcceptedMsg{B: m.B, Inst: m.Inst, Done: r.log.firstGap, LeaseSeq: ack})
+		// A traced ACCEPT earns a synchronous "accept" span here and the
+		// reply carries that span's context back, closing the round trip
+		// in the trace tree. Untraced (or tracing off): plain send.
+		actx := r.cfg.Tracer.Record(now, now, r.curCtx, "accept", int(from), "")
+		r.env.Send(from, r.traced(actx, AcceptedMsg{B: m.B, Inst: m.Inst, Done: r.log.firstGap, LeaseSeq: ack}))
 		// Piggybacked commit information: everything below CommitUpTo
 		// that we accepted at this very ballot carries the decided
 		// value (a ballot binds one value per instance).
@@ -133,6 +155,7 @@ func (r *Node) onAccepted(from node.ID, m AcceptedMsg) {
 		return
 	}
 	fl.acks[from] = true
+	r.cfg.Tracer.Event(r.env.Now(), fl.tctx, "accepted", int(from))
 	r.maybeDecide(m.Inst)
 }
 
@@ -142,6 +165,14 @@ func (r *Node) maybeDecide(inst int) {
 		return
 	}
 	delete(r.pipe.inflights, inst)
+	if fl.tctx.Valid() {
+		now := r.env.Now()
+		r.cfg.Tracer.End(now, fl.tctx) // quorum complete
+		if p, ok := r.app.props[inst]; ok {
+			p.decidedAt = now // start of the apply stage for this batch
+			r.app.props[inst] = p
+		}
+	}
 	if inst == r.reads.barrier {
 		// Our own ack quorum at our own ballot decided the read barrier —
 		// the completion proof completeFallbackReads requires.

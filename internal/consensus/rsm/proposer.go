@@ -53,6 +53,7 @@ func (r *Node) startPrepare() {
 	r.cfg.Store.Ballot(uint64(r.prop.ballot))
 	r.cfg.Store.Promise(uint64(r.prop.ballot))
 	r.prop.promises[r.me] = PromiseMsg{B: r.prop.ballot, Entries: r.undecidedAccepted()}
+	r.cfg.Tracer.Mark(r.prop.prepStarted, "prepare", -1)
 	r.env.Logf("rsm: preparing ballot %v", r.prop.ballot)
 	r.env.Broadcast(PrepareMsg{B: r.prop.ballot})
 	r.maybeFinishPrepare()
@@ -157,6 +158,7 @@ func (r *Node) maybeFinishPrepare() {
 		}
 		r.reopen(inst, consensus.Noop)
 	}
+	r.cfg.Tracer.Mark(r.env.Now(), "prepared", -1)
 	r.env.Logf("rsm: ballot %v prepared (%d constrained)", r.prop.ballot, len(insts))
 	// A freshly prepared ballot may find commands already queued.
 	r.pump()

@@ -101,6 +101,11 @@ func (r *Node) onReadReq(from node.ID, m ReadReqMsg) {
 	}
 	r.reads.pending = append(r.reads.pending, m)
 	if r.reads.barrier < 0 {
+		// A barrier opening is the read-path anomaly the flight recorder
+		// watches for: the lease did not hold, so reads are paying a full
+		// phase-2 round. Marked once per barrier, not per read.
+		r.cfg.Tracer.Mark(now, "fallback-read", -1)
+		r.cfg.Tracer.Trigger(now, "fallback-read")
 		r.openBarrier()
 	}
 }
@@ -112,7 +117,7 @@ func (r *Node) onReadReq(from node.ID, m ReadReqMsg) {
 func (r *Node) openBarrier() {
 	r.reads.barrierOwn = false
 	r.reads.barrier = r.pipe.nextInst
-	r.propose(consensus.Noop, nil)
+	r.propose(consensus.Noop, nil, nil)
 }
 
 // completeFallbackReads answers pending reads once the applier has

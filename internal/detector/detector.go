@@ -39,20 +39,36 @@ type Change struct {
 type History struct {
 	mu      sync.Mutex
 	changes []Change
-	notify  func(t sim.Time, leader node.ID)
+	notify  []func(t sim.Time, leader node.ID)
 }
 
 // NewHistory returns an empty history.
 func NewHistory() *History { return &History{} }
 
 // SetNotify installs a hook invoked after every recorded transition (the
-// telemetry layer's feed for election tracking). The hook runs on the
-// recording goroutine, outside the history's lock; it must not block and
-// must be safe for concurrent use if several histories share it.
+// telemetry layer's feed for election tracking), replacing any hooks
+// already installed. The hook runs on the recording goroutine, outside
+// the history's lock; it must not block and must be safe for concurrent
+// use if several histories share it.
 func (h *History) SetNotify(fn func(t sim.Time, leader node.ID)) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.notify = fn
+	h.notify = h.notify[:0]
+	if fn != nil {
+		h.notify = append(h.notify, fn)
+	}
+}
+
+// AddNotify appends a transition hook without disturbing those already
+// installed — so the tracing layer can watch elections alongside
+// telemetry. Same contract as SetNotify.
+func (h *History) AddNotify(fn func(t sim.Time, leader node.ID)) {
+	if fn == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.notify = append(h.notify, fn)
 }
 
 // Record appends a change if the leader differs from the current output.
@@ -63,10 +79,10 @@ func (h *History) Record(t sim.Time, leader node.ID) {
 		return
 	}
 	h.changes = append(h.changes, Change{At: t, Leader: leader})
-	notify := h.notify
+	notify := h.notify[:len(h.notify):len(h.notify)]
 	h.mu.Unlock()
-	if notify != nil {
-		notify(t, leader)
+	for _, fn := range notify {
+		fn(t, leader)
 	}
 }
 

@@ -45,6 +45,15 @@ func MessageKind(m Message) obs.Kind {
 	return obs.Intern(m.Kind())
 }
 
+// Traced is optionally implemented by wrapper messages carrying a causal
+// trace context (internal/tracing's Wrap, and envelopes like the group
+// wrapper that may hold one inside). Transports read the context off
+// outbound messages to report per-link send events to the tracing layer.
+// A zero trace id means "no context"; implementations must not allocate.
+type Traced interface {
+	TraceContext() (trace, span uint64)
+}
+
 // Env is the runtime handle an Automaton uses to interact with the world.
 // All methods must be called only from within the automaton's callbacks
 // (Start, Deliver, Tick); the runtimes guarantee those never run

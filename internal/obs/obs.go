@@ -125,6 +125,28 @@ func Bytes(s Sink) ByteSink {
 	return nil
 }
 
+// CtxSink is an optional extension of Sink for observers that consume
+// causal trace contexts (internal/tracing). Transports report each send
+// of a context-carrying message (node.Traced with a nonzero trace id)
+// through OnSendCtx alongside the ordinary OnSend event. Implementations
+// must be safe for concurrent use, like Sink.
+type CtxSink interface {
+	// OnSendCtx reports that from handed a traced message of the given
+	// kind to the from→to link at t, under the (trace, span) context.
+	OnSendCtx(t sim.Time, from, to int, kind Kind, trace, span uint64)
+}
+
+// Ctx returns s's trace-context extension, or nil when s does not
+// implement it — same holding pattern as Bytes: one nil check per
+// message on the hot path, and a nil result makes the per-send type
+// assertion on the message itself unnecessary too.
+func Ctx(s Sink) CtxSink {
+	if cs, ok := s.(CtxSink); ok {
+		return cs
+	}
+	return nil
+}
+
 // Nop is a Sink that discards everything.
 type Nop struct{}
 
@@ -165,6 +187,17 @@ func (m multi) OnWireBytes(t sim.Time, from, to int, kind Kind, n int) {
 	for _, s := range m {
 		if bs, ok := s.(ByteSink); ok {
 			bs.OnWireBytes(t, from, to, kind, n)
+		}
+	}
+}
+
+// OnSendCtx implements CtxSink, forwarding to every member that consumes
+// trace contexts. Like OnWireBytes, a multi always presents the
+// extension and skips members that lack it.
+func (m multi) OnSendCtx(t sim.Time, from, to int, kind Kind, trace, span uint64) {
+	for _, s := range m {
+		if cs, ok := s.(CtxSink); ok {
+			cs.OnSendCtx(t, from, to, kind, trace, span)
 		}
 	}
 }

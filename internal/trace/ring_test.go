@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -127,5 +128,41 @@ func TestStamp(t *testing.T) {
 	l.SetWallStart(time.Now().Add(-time.Second))
 	if s := l.Stamp(); s < sim.At(900*time.Millisecond) || s > sim.At(10*time.Second) {
 		t.Fatalf("Stamp = %v, want ~1s", s)
+	}
+}
+
+// TestRingWrapConcurrentWriters exercises ring wrap-around with many
+// goroutines appending at once — the live-transport shape, where every
+// station's receive loop feeds one shared ring through MessageSink. Run
+// with -race; the invariant is conservation: every Add is either retained
+// or counted by Dropped, and the ring never exceeds its limit.
+func TestRingWrapConcurrentWriters(t *testing.T) {
+	const (
+		limit   = 32
+		writers = 8
+		each    = 1000
+	)
+	l := NewRing(limit)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Add(Entry{T: sim.Time(i), Kind: KindNote, Node: w, Peer: -1, Note: "c"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.Len(); got != limit {
+		t.Fatalf("len = %d, want full ring of %d", got, limit)
+	}
+	if got, want := l.Dropped(), uint64(writers*each-limit); got != want {
+		t.Fatalf("dropped = %d, want %d (conservation: adds - retained)", got, want)
+	}
+	// The snapshot is taken under the same lock as Add, so it must be
+	// internally consistent even right after heavy contention.
+	if got := len(l.Tail(limit)); got != limit {
+		t.Fatalf("tail = %d entries, want %d", got, limit)
 	}
 }

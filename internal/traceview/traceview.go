@@ -1,0 +1,729 @@
+// Package traceview turns flight-recorder dumps (internal/tracing) from
+// one or many processes into a single causally ordered timeline. It is
+// the analysis half of the tracing layer: cmd/traceview is a thin CLI
+// over this package.
+//
+// The pipeline is Load → (skew-correct) → BuildTraces / Requests /
+// Elections:
+//
+//   - Load reads every dump, re-anchors each on its wall_start so dumps
+//     from separate OS processes merge on absolute time, and dedupes
+//     spans (ids embed the recording process, so a span evicted from one
+//     dump survives via an earlier one).
+//   - Skew correction uses the happens-before edges the dumps carry:
+//     a wire "send" span on the sender and the receiver-side span it
+//     caused share a parent, and the receive cannot precede the send.
+//     Per-process offsets are relaxed until every such edge is causally
+//     ordered; dumps from a single tracing.Set share one clock and get
+//     zero offsets.
+//   - Requests reconstructs request→queue→quorum→send/accept→apply
+//     chains and their per-stage latency breakdown; Elections replays
+//     leader-change/down/up marks through the same agreement state
+//     machine telemetry.Collector uses, so the reconstructed downtime
+//     intervals land in the same histogram buckets the live /metrics
+//     endpoint reports.
+package traceview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/tracing"
+)
+
+// Merged is the deduped union of every loaded dump. All span times are
+// nanoseconds since Base (the earliest wall anchor seen), after skew
+// correction.
+type Merged struct {
+	Base    time.Time
+	Procs   int
+	Spans   []tracing.SpanJSON
+	Dropped map[int]uint64 // per proc: spans evicted before any dump caught them
+	Files   []string
+	Offsets []int64 // per-proc skew correction applied, ns
+}
+
+// Load reads flight-recorder dumps from the given paths — directories
+// are scanned for trace-*.json — and merges them.
+func Load(paths ...string) (*Merged, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("traceview: %w", err)
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		found, err := filepath.Glob(filepath.Join(p, "trace-*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(found) == 0 {
+			return nil, fmt.Errorf("traceview: no trace-*.json dumps under %s", p)
+		}
+		sort.Strings(found)
+		files = append(files, found...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("traceview: no dump files given")
+	}
+
+	type stamped struct {
+		dump tracing.Dump
+		wall time.Time
+	}
+	dumps := make([]stamped, 0, len(files))
+	base := time.Time{}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("traceview: %w", err)
+		}
+		var d tracing.Dump
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("traceview: %s: %w", f, err)
+		}
+		wall, err := time.Parse(time.RFC3339Nano, d.WallStart)
+		if err != nil {
+			return nil, fmt.Errorf("traceview: %s: wall_start %q: %w", f, d.WallStart, err)
+		}
+		if base.IsZero() || wall.Before(base) {
+			base = wall
+		}
+		dumps = append(dumps, stamped{d, wall})
+	}
+
+	m := &Merged{Base: base, Dropped: make(map[int]uint64), Files: files}
+	// Dedupe on span id (ids embed the recording process, so they are
+	// unique across the whole set). A closed record wins over an open
+	// snapshot of the same span; among open snapshots the later dump —
+	// more events — wins.
+	best := make(map[uint64]tracing.SpanJSON)
+	for _, st := range dumps {
+		shift := st.wall.Sub(base).Nanoseconds()
+		for _, pd := range st.dump.Procs {
+			if pd.Proc+1 > m.Procs {
+				m.Procs = pd.Proc + 1
+			}
+			if pd.Dropped > m.Dropped[pd.Proc] {
+				m.Dropped[pd.Proc] = pd.Dropped
+			}
+			for _, sp := range pd.Spans {
+				sp.StartNS += shift
+				sp.EndNS += shift
+				for i := range sp.Events {
+					sp.Events[i].TNS += shift
+				}
+				cur, seen := best[sp.ID]
+				switch {
+				case !seen:
+					best[sp.ID] = sp
+				case cur.Open && !sp.Open:
+					best[sp.ID] = sp
+				case cur.Open && sp.Open && len(sp.Events) >= len(cur.Events):
+					best[sp.ID] = sp
+				}
+			}
+		}
+	}
+	m.Spans = make([]tracing.SpanJSON, 0, len(best))
+	for _, sp := range best {
+		m.Spans = append(m.Spans, sp)
+	}
+	m.correctSkew()
+	sort.Slice(m.Spans, func(i, j int) bool {
+		a, b := m.Spans[i], m.Spans[j]
+		if a.StartNS != b.StartNS {
+			return a.StartNS < b.StartNS
+		}
+		return a.ID < b.ID
+	})
+	return m, nil
+}
+
+// correctSkew derives per-process clock offsets from send/receive
+// happens-before edges and applies them. A "send" span (on the sender,
+// zero-length, Peer = receiver) and the receiver-side span it caused
+// share a Parent; the receive must not precede the send. Offsets are
+// relaxed to the smallest values satisfying every edge, then normalized
+// so the minimum is zero. Dumps from one tracing.Set share a clock and
+// come out with all-zero offsets.
+func (m *Merged) correctSkew() {
+	m.Offsets = make([]int64, m.Procs)
+	if m.Procs < 2 {
+		return
+	}
+	byID := make(map[uint64]*tracing.SpanJSON, len(m.Spans))
+	for i := range m.Spans {
+		byID[m.Spans[i].ID] = &m.Spans[i]
+	}
+	type edge struct {
+		from, to int
+		lag      int64 // t_send - t_recv; recv'+off[to] >= send+off[from]
+	}
+	var edges []edge
+	// Group receiver-side spans by parent, then match each send span to
+	// the earliest span its peer recorded under the same parent.
+	recv := make(map[uint64]map[int]int64) // parent -> proc -> earliest start
+	for i := range m.Spans {
+		sp := &m.Spans[i]
+		if sp.Parent == 0 || sp.Name == "send" {
+			continue
+		}
+		par, ok := byID[sp.Parent]
+		if !ok || par.Proc == sp.Proc {
+			continue
+		}
+		procs, ok := recv[sp.Parent]
+		if !ok {
+			procs = make(map[int]int64)
+			recv[sp.Parent] = procs
+		}
+		if cur, ok := procs[sp.Proc]; !ok || sp.StartNS < cur {
+			procs[sp.Proc] = sp.StartNS
+		}
+	}
+	for i := range m.Spans {
+		sp := &m.Spans[i]
+		if sp.Name != "send" || sp.Peer < 0 || sp.Peer >= m.Procs {
+			continue
+		}
+		if t, ok := recv[sp.Parent][sp.Peer]; ok {
+			edges = append(edges, edge{from: sp.Proc, to: sp.Peer, lag: sp.StartNS - t})
+		}
+	}
+	if len(edges) == 0 {
+		return
+	}
+	// Bellman-Ford-style relaxation; procs is small, edges modest.
+	for iter := 0; iter < m.Procs+1; iter++ {
+		changed := false
+		for _, e := range edges {
+			if need := m.Offsets[e.from] + e.lag; need > m.Offsets[e.to] {
+				m.Offsets[e.to] = need
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	min := m.Offsets[0]
+	for _, o := range m.Offsets {
+		if o < min {
+			min = o
+		}
+	}
+	any := false
+	for i := range m.Offsets {
+		m.Offsets[i] -= min
+		if m.Offsets[i] != 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	for i := range m.Spans {
+		sp := &m.Spans[i]
+		off := m.Offsets[sp.Proc]
+		sp.StartNS += off
+		sp.EndNS += off
+		for j := range sp.Events {
+			sp.Events[j].TNS += off
+		}
+	}
+}
+
+// Trace is one causal tree: every span sharing a trace id, ordered by
+// corrected start time.
+type Trace struct {
+	ID    uint64
+	Root  *tracing.SpanJSON // nil when the root span was evicted
+	Spans []tracing.SpanJSON
+}
+
+// BuildTraces groups spans into traces. Marks (parentless zero-length
+// spans whose trace id is their own id and that have no children) are
+// excluded — they are cluster events, not traces; see Elections.
+func BuildTraces(m *Merged) []Trace {
+	byTrace := make(map[uint64][]tracing.SpanJSON)
+	for _, sp := range m.Spans {
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	traces := make([]Trace, 0, len(byTrace))
+	for id, spans := range byTrace {
+		if len(spans) == 1 && isMark(spans[0]) {
+			continue
+		}
+		tr := Trace{ID: id, Spans: spans}
+		for i := range spans {
+			if spans[i].ID == id && spans[i].Parent == 0 {
+				tr.Root = &tr.Spans[i]
+				break
+			}
+		}
+		traces = append(traces, tr)
+	}
+	sort.Slice(traces, func(i, j int) bool {
+		return traces[i].Spans[0].StartNS < traces[j].Spans[0].StartNS
+	})
+	return traces
+}
+
+func isMark(sp tracing.SpanJSON) bool {
+	switch sp.Name {
+	case "leader-change", "down", "up", "prepare", "prepared", "abdicate",
+		"fallback-read", "fsync-slow":
+		return true
+	}
+	return false
+}
+
+// Stages is the per-stage latency breakdown of one request: where the
+// end-to-end time went.
+type Stages struct {
+	Queue  time.Duration // client batch enqueued → proposed
+	Quorum time.Duration // ACCEPT broadcast → majority ACCEPTED (decide)
+	Wire   time.Duration // leader send → follower accept, fastest link
+	Apply  time.Duration // decide → state-machine apply
+	Total  time.Duration // request ingress → last apply
+}
+
+// Request is one reconstructed request trace.
+type Request struct {
+	Trace    uint64
+	Start    int64 // ns since Merged.Base
+	Complete bool  // full request→queue→quorum→apply chain present
+	Spans    int
+	Stages   Stages
+}
+
+// Requests reconstructs every trace rooted at a "request" span. A
+// request is Complete when the whole chain survived in the dumps: the
+// root, at least one queue span, a closed quorum span, and an apply
+// span.
+func Requests(traces []Trace) []Request {
+	var out []Request
+	for _, tr := range traces {
+		if tr.Root == nil || tr.Root.Name != "request" {
+			continue
+		}
+		r := Request{Trace: tr.ID, Start: tr.Root.StartNS, Spans: len(tr.Spans)}
+		var qFirst, qLast, quorumStart, quorumEnd, applyFirst, applyEnd int64 = -1, -1, -1, -1, -1, -1
+		var quorumClosed bool
+		sends := map[uint64][]tracing.SpanJSON{} // parent -> send spans
+		recvs := map[uint64]map[int]int64{}      // parent -> proc -> earliest receiver span
+		for _, sp := range tr.Spans {
+			switch sp.Name {
+			case "queue":
+				if qFirst < 0 || sp.StartNS < qFirst {
+					qFirst = sp.StartNS
+				}
+				if sp.EndNS > qLast {
+					qLast = sp.EndNS
+				}
+			case "quorum":
+				if quorumStart < 0 || sp.StartNS < quorumStart {
+					quorumStart = sp.StartNS
+				}
+				if !sp.Open {
+					quorumClosed = true
+					if sp.EndNS > quorumEnd {
+						quorumEnd = sp.EndNS
+					}
+				}
+			case "apply":
+				if applyFirst < 0 || sp.StartNS < applyFirst {
+					applyFirst = sp.StartNS
+				}
+				if sp.EndNS > applyEnd {
+					applyEnd = sp.EndNS
+				}
+			case "send":
+				sends[sp.Parent] = append(sends[sp.Parent], sp)
+			default:
+			}
+			if sp.Parent != 0 && sp.Name != "send" {
+				procs, ok := recvs[sp.Parent]
+				if !ok {
+					procs = map[int]int64{}
+					recvs[sp.Parent] = procs
+				}
+				if cur, ok := procs[sp.Proc]; !ok || sp.StartNS < cur {
+					procs[sp.Proc] = sp.StartNS
+				}
+			}
+		}
+		if qFirst >= 0 && qLast > qFirst {
+			r.Stages.Queue = time.Duration(qLast - qFirst)
+		}
+		if quorumClosed && quorumEnd > quorumStart {
+			r.Stages.Quorum = time.Duration(quorumEnd - quorumStart)
+		}
+		wire := int64(-1)
+		for parent, ss := range sends {
+			for _, s := range ss {
+				if t, ok := recvs[parent][s.Peer]; ok {
+					if d := t - s.StartNS; d >= 0 && (wire < 0 || d < wire) {
+						wire = d
+					}
+				}
+			}
+		}
+		if wire >= 0 {
+			r.Stages.Wire = time.Duration(wire)
+		}
+		if applyEnd > 0 {
+			if applyFirst >= 0 && applyEnd > applyFirst {
+				r.Stages.Apply = time.Duration(applyEnd - applyFirst)
+			}
+			r.Stages.Total = time.Duration(applyEnd - tr.Root.StartNS)
+		}
+		r.Complete = qFirst >= 0 && quorumClosed && applyEnd > 0
+		out = append(out, r)
+	}
+	return out
+}
+
+// Interval is one downtime span: agreement broke (or the run started) at
+// Start and re-formed at End, ns since Merged.Base. An open interval
+// (End < 0) means agreement never re-formed before the dumps end.
+type Interval struct {
+	Start, End int64
+	Leader     int // agreed leader once re-formed, -1 while open
+}
+
+// Duration returns the interval's length; open intervals measure to the
+// given horizon.
+func (iv Interval) Duration(horizon int64) time.Duration {
+	if iv.End < 0 {
+		return time.Duration(horizon - iv.Start)
+	}
+	return time.Duration(iv.End - iv.Start)
+}
+
+// Election is the reconstructed leader-election history.
+type Election struct {
+	Changes   int        // leader-change marks seen
+	Elections int        // agreement formations (telemetry's elections counter)
+	Intervals []Interval // downtime intervals, in time order
+	Horizon   int64      // last mark's time, ns since Base
+}
+
+// Downtimes lists the interval durations — the values telemetry records
+// into its election_downtime histogram.
+func (e Election) Downtimes() []time.Duration {
+	out := make([]time.Duration, 0, len(e.Intervals))
+	for _, iv := range e.Intervals {
+		if iv.End >= 0 {
+			out = append(out, iv.Duration(e.Horizon))
+		}
+	}
+	return out
+}
+
+// Elections replays the leader-change, down, and up marks through the
+// agreement state machine telemetry.Collector.recomputeLocked implements:
+// cluster-wide agreement holds when every live process outputs the same
+// live leader; the run starts in downtime (the initial election counts,
+// from time zero); a downtime interval runs from the instant agreement
+// breaks to the instant it re-forms; an agreement that moves atomically
+// between leaders is a zero-downtime election.
+func Elections(m *Merged) Election {
+	type mark struct {
+		t    int64
+		proc int
+		name string
+		peer int
+	}
+	var marks []mark
+	for _, sp := range m.Spans {
+		switch sp.Name {
+		case "leader-change", "down", "up":
+			marks = append(marks, mark{sp.StartNS, sp.Proc, sp.Name, sp.Peer})
+		}
+	}
+	sort.Slice(marks, func(i, j int) bool {
+		if marks[i].t != marks[j].t {
+			return marks[i].t < marks[j].t
+		}
+		return marks[i].proc < marks[j].proc
+	})
+
+	el := Election{}
+	leaders := make([]int, m.Procs)
+	down := make([]bool, m.Procs)
+	for i := range leaders {
+		leaders[i] = -1
+	}
+	inDowntime := true
+	var downSince int64
+	stable := -1
+	recompute := func(t int64) {
+		leader, agreed := -1, true
+		for p := 0; p < m.Procs; p++ {
+			if down[p] {
+				continue
+			}
+			if leaders[p] < 0 {
+				agreed = false
+				break
+			}
+			if leader < 0 {
+				leader = leaders[p]
+			} else if leaders[p] != leader {
+				agreed = false
+				break
+			}
+		}
+		if leader < 0 || leader < m.Procs && down[leader] {
+			agreed = false
+		}
+		switch {
+		case agreed && inDowntime:
+			inDowntime = false
+			el.Intervals = append(el.Intervals, Interval{Start: downSince, End: t, Leader: leader})
+			el.Elections++
+			stable = leader
+		case agreed && stable != leader:
+			el.Intervals = append(el.Intervals, Interval{Start: t, End: t, Leader: leader})
+			el.Elections++
+			stable = leader
+		case !agreed && !inDowntime:
+			inDowntime = true
+			downSince = t
+			stable = -1
+		}
+	}
+	for _, mk := range marks {
+		if mk.proc < 0 || mk.proc >= m.Procs {
+			continue
+		}
+		switch mk.name {
+		case "leader-change":
+			el.Changes++
+			leaders[mk.proc] = mk.peer
+		case "down":
+			down[mk.proc] = true
+		case "up":
+			down[mk.proc] = false
+			leaders[mk.proc] = -1
+		}
+		recompute(mk.t)
+		if mk.t > el.Horizon {
+			el.Horizon = mk.t
+		}
+	}
+	if inDowntime {
+		el.Intervals = append(el.Intervals, Interval{Start: downSince, End: -1, Leader: -1})
+	}
+	return el
+}
+
+// quantile returns the q-quantile of ds (nearest-rank), 0 when empty.
+func quantile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// WriteSummary prints the merged view: request latency percentiles with
+// per-stage breakdown, and the reconstructed election history.
+func WriteSummary(w io.Writer, m *Merged, traces []Trace, reqs []Request, el Election) {
+	fmt.Fprintf(w, "traceview: %d dumps, %d spans, %d procs", len(m.Files), len(m.Spans), m.Procs)
+	var dropped uint64
+	for _, d := range m.Dropped {
+		dropped += d
+	}
+	if dropped > 0 {
+		fmt.Fprintf(w, " (%d spans evicted before capture)", dropped)
+	}
+	maxOff := int64(0)
+	for _, o := range m.Offsets {
+		if o > maxOff {
+			maxOff = o
+		}
+	}
+	if maxOff > 0 {
+		fmt.Fprintf(w, " skew<=%v", time.Duration(maxOff))
+	}
+	fmt.Fprintln(w)
+
+	complete := 0
+	var totals, queues, quorums, wires, applies []time.Duration
+	for _, r := range reqs {
+		if !r.Complete {
+			continue
+		}
+		complete++
+		totals = append(totals, r.Stages.Total)
+		queues = append(queues, r.Stages.Queue)
+		quorums = append(quorums, r.Stages.Quorum)
+		wires = append(wires, r.Stages.Wire)
+		applies = append(applies, r.Stages.Apply)
+	}
+	fmt.Fprintf(w, "requests:  %d traced, %d complete\n", len(reqs), complete)
+	if complete > 0 {
+		fmt.Fprintf(w, "latency:   total p50 %v p99 %v\n", quantile(totals, 0.50), quantile(totals, 0.99))
+		fmt.Fprintf(w, "stages:    queue p50 %v p99 %v | quorum p50 %v p99 %v | wire p50 %v p99 %v | apply p50 %v p99 %v\n",
+			quantile(queues, 0.50), quantile(queues, 0.99),
+			quantile(quorums, 0.50), quantile(quorums, 0.99),
+			quantile(wires, 0.50), quantile(wires, 0.99),
+			quantile(applies, 0.50), quantile(applies, 0.99))
+	}
+
+	fmt.Fprintf(w, "election:  %d leader-change marks, %d agreements\n", el.Changes, el.Elections)
+	for _, iv := range el.Intervals {
+		if iv.End < 0 {
+			fmt.Fprintf(w, "downtime:  [%v, …) OPEN — no agreement by the dumps' end\n", time.Duration(iv.Start))
+			continue
+		}
+		fmt.Fprintf(w, "downtime:  [%v, %v] %v → leader p%d\n",
+			time.Duration(iv.Start), time.Duration(iv.End), iv.Duration(el.Horizon), iv.Leader)
+	}
+}
+
+// WriteTraceTree prints one trace as an indented, causally ordered tree.
+func WriteTraceTree(w io.Writer, tr Trace) {
+	children := make(map[uint64][]tracing.SpanJSON)
+	var roots []tracing.SpanJSON
+	byID := make(map[uint64]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		byID[sp.ID] = true
+	}
+	for _, sp := range tr.Spans {
+		if sp.Parent != 0 && byID[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	order := func(ss []tracing.SpanJSON) {
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].StartNS != ss[j].StartNS {
+				return ss[i].StartNS < ss[j].StartNS
+			}
+			return ss[i].ID < ss[j].ID
+		})
+	}
+	order(roots)
+	fmt.Fprintf(w, "trace %016x (%d spans)\n", tr.ID, len(tr.Spans))
+	var walk func(sp tracing.SpanJSON, depth int)
+	walk = func(sp tracing.SpanJSON, depth int) {
+		indent := ""
+		for i := 0; i < depth; i++ {
+			indent += "  "
+		}
+		state := ""
+		if sp.Open {
+			state = " OPEN"
+		}
+		note := ""
+		if sp.Note != "" {
+			note = " " + sp.Note
+		}
+		peer := ""
+		if sp.Peer >= 0 {
+			peer = fmt.Sprintf(" →p%d", sp.Peer)
+		}
+		fmt.Fprintf(w, "  %s%-9s p%d%s  +%v %v%s%s\n",
+			indent, sp.Name, sp.Proc, peer,
+			time.Duration(sp.StartNS), time.Duration(sp.EndNS-sp.StartNS), note, state)
+		for _, e := range sp.Events {
+			ep := ""
+			if e.Peer >= 0 {
+				ep = fmt.Sprintf(" p%d", e.Peer)
+			}
+			fmt.Fprintf(w, "  %s  · %s%s +%v\n", indent, e.Name, ep, time.Duration(e.TNS))
+		}
+		cs := children[sp.ID]
+		order(cs)
+		for _, c := range cs {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// WriteChrome emits the merged spans as Chrome trace_event JSON
+// (chrome://tracing, Perfetto). Completed spans become "X" events,
+// zero-length marks and span events become instants; pid/tid is the
+// recording process.
+func WriteChrome(w io.Writer, m *Merged) error {
+	type chromeEvent struct {
+		Name  string         `json:"name"`
+		Cat   string         `json:"cat"`
+		Phase string         `json:"ph"`
+		TS    float64        `json:"ts"` // microseconds
+		Dur   float64        `json:"dur,omitempty"`
+		PID   int            `json:"pid"`
+		TID   int            `json:"tid"`
+		Scope string         `json:"s,omitempty"`
+		Args  map[string]any `json:"args,omitempty"`
+	}
+	var events []chromeEvent
+	for _, sp := range m.Spans {
+		args := map[string]any{"trace": fmt.Sprintf("%016x", sp.Trace)}
+		if sp.Note != "" {
+			args["note"] = sp.Note
+		}
+		if sp.Peer >= 0 {
+			args["peer"] = sp.Peer
+		}
+		cat := "span"
+		if isMark(sp) {
+			cat = "mark"
+		}
+		if sp.EndNS > sp.StartNS {
+			events = append(events, chromeEvent{
+				Name: sp.Name, Cat: cat, Phase: "X",
+				TS: float64(sp.StartNS) / 1e3, Dur: float64(sp.EndNS-sp.StartNS) / 1e3,
+				PID: sp.Proc, TID: sp.Proc, Args: args,
+			})
+		} else {
+			events = append(events, chromeEvent{
+				Name: sp.Name, Cat: cat, Phase: "i", Scope: "p",
+				TS: float64(sp.StartNS) / 1e3, PID: sp.Proc, TID: sp.Proc, Args: args,
+			})
+		}
+		for _, e := range sp.Events {
+			events = append(events, chromeEvent{
+				Name: sp.Name + ":" + e.Name, Cat: "event", Phase: "i", Scope: "t",
+				TS: float64(e.TNS) / 1e3, PID: sp.Proc, TID: sp.Proc,
+				Args: map[string]any{"peer": e.Peer},
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents []chromeEvent  `json:"traceEvents"`
+		Metadata    map[string]any `json:"metadata"`
+	}{
+		TraceEvents: events,
+		Metadata: map[string]any{
+			"wall_start": m.Base.UTC().Format(time.RFC3339Nano),
+			"dumps":      len(m.Files),
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}

@@ -1,0 +1,386 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a tracing Set. Zero values select defaults.
+type Config struct {
+	// Procs is the number of processes (required, > 0).
+	Procs int
+	// Limit bounds each process's completed-span ring (default 4096).
+	Limit int
+	// SampleEvery samples one in this many StartTrace calls (<= 1 traces
+	// every call). Sampling is decided once at ingress; everything under
+	// a sampled-out context is free.
+	SampleEvery int
+	// Dir is where flight-recorder dumps are written ("" disables
+	// dumps; spans are still recorded and readable via WriteJSON).
+	Dir string
+	// MaxDumps caps dumps per trigger reason (default 4) so a repeating
+	// anomaly cannot flood the directory. Final dumps are exempt.
+	MaxDumps int
+}
+
+func (c *Config) fill() {
+	if c.Limit <= 0 {
+		c.Limit = 4096
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 1
+	}
+	if c.MaxDumps <= 0 {
+		c.MaxDumps = 4
+	}
+}
+
+// Set is the cluster-wide tracing state: one Tracer per process, the
+// sampling counter they share, and the flight recorder. A nil *Set
+// (tracing.Nop) is the disabled layer; all methods no-op.
+type Set struct {
+	cfg     Config
+	tracers []*Tracer
+
+	wallMu    sync.Mutex
+	wallStart time.Time
+
+	sampleCtr atomic.Uint64
+
+	dumpMu    sync.Mutex
+	dumpSeq   int
+	dumpsBy   map[string]int
+	triggered atomic.Uint64 // total triggers accepted (capped ones excluded)
+}
+
+// Nop is the disabled tracing layer: a nil Set. Every method on a nil
+// Set or the nil Tracers it hands out is a no-op costing one nil check,
+// which is what keeps the sim and live hot paths at 0 allocs/op with
+// tracing off.
+var Nop *Set
+
+// New returns an enabled tracing set for cfg.Procs processes, anchored
+// at the current wall instant (see SetWallStart).
+func New(cfg Config) *Set {
+	cfg.fill()
+	s := &Set{cfg: cfg, dumpsBy: make(map[string]int), wallStart: time.Now()}
+	s.tracers = make([]*Tracer, cfg.Procs)
+	for i := range s.tracers {
+		s.tracers[i] = &Tracer{set: s, proc: i}
+	}
+	return s
+}
+
+// Tracer returns process proc's tracer, or nil when the set is nil or
+// proc is out of range — callers hold the result and never re-check.
+func (s *Set) Tracer(proc int) *Tracer {
+	if s == nil || proc < 0 || proc >= len(s.tracers) {
+		return nil
+	}
+	return s.tracers[proc]
+}
+
+// SetWallStart re-anchors span times to an absolute wall instant — the
+// same contract as trace.Log.SetWallStart. Live clusters pass their
+// start time so dumps from separate runs (or separate OS processes)
+// merge on real timestamps; simulator harnesses leave the New anchor,
+// where virtual time zero maps to the moment the set was built.
+func (s *Set) SetWallStart(start time.Time) {
+	if s == nil {
+		return
+	}
+	s.wallMu.Lock()
+	s.wallStart = start
+	s.wallMu.Unlock()
+}
+
+// Stamp returns the current trace timestamp — wall time since the
+// anchor — for harness code recording events (crashes, verdicts) on the
+// same clock as the spans.
+func (s *Set) Stamp() sim.Time {
+	if s == nil {
+		return 0
+	}
+	s.wallMu.Lock()
+	start := s.wallStart
+	s.wallMu.Unlock()
+	return sim.Time(time.Since(start).Nanoseconds())
+}
+
+// sample makes one sampling decision.
+func (s *Set) sample() bool {
+	if s == nil {
+		return false
+	}
+	if s.cfg.SampleEvery <= 1 {
+		return true
+	}
+	return s.sampleCtr.Add(1)%uint64(s.cfg.SampleEvery) == 1
+}
+
+// WatchLeader returns a notify hook for process proc's detector.History:
+// every leader-output transition is recorded as a "leader-change" mark
+// (Peer = new leader) and fires the flight recorder. Install with
+// History.AddNotify so telemetry's own subscription is undisturbed.
+func (s *Set) WatchLeader(proc int) func(t sim.Time, leader node.ID) {
+	tr := s.Tracer(proc)
+	return func(t sim.Time, leader node.ID) {
+		tr.Mark(t, "leader-change", int(leader))
+		tr.Trigger(t, "leader-change")
+	}
+}
+
+// MarkDown records process proc crashing at the set's current stamp —
+// traceview excludes a down process from election agreement, exactly as
+// telemetry.Collector.MarkDown does.
+func (s *Set) MarkDown(proc int) {
+	if s == nil {
+		return
+	}
+	now := s.Stamp()
+	s.Tracer(proc).Mark(now, "down", -1)
+	s.Tracer(proc).Trigger(now, "crash")
+}
+
+// MarkUp records process proc rejoining at the set's current stamp.
+func (s *Set) MarkUp(proc int) {
+	if s == nil {
+		return
+	}
+	s.Tracer(proc).Mark(s.Stamp(), "up", -1)
+}
+
+// FsyncThreshold returns an observer for WAL fsync durations that fires
+// the flight recorder when one exceeds the threshold. Chain it with the
+// telemetry hook on durable.Options.OnFsync.
+func (s *Set) FsyncThreshold(proc int, threshold time.Duration) func(d time.Duration) {
+	if s == nil || threshold <= 0 {
+		return nil
+	}
+	tr := s.Tracer(proc)
+	return func(d time.Duration) {
+		if d >= threshold {
+			now := s.Stamp()
+			tr.Mark(now, "fsync-slow", -1)
+			tr.Trigger(now, "fsync-slow")
+		}
+	}
+}
+
+// Triggered returns how many flight-recorder dumps have been accepted.
+func (s *Set) Triggered() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.triggered.Load()
+}
+
+// Trigger fires the flight recorder: the current span history of every
+// process is dumped to Config.Dir as one JSON file named
+// trace-<seq>-<reason>.json. Recording continues afterwards — the ring
+// is snapshotted, not frozen — so the anomaly's aftermath lands in the
+// next dump or the final one. Dumps are capped per reason; a capped
+// trigger (or a dirless set) returns immediately.
+func (s *Set) Trigger(now sim.Time, proc int, reason string) {
+	if s == nil || s.cfg.Dir == "" {
+		return
+	}
+	s.dumpMu.Lock()
+	if s.dumpsBy[reason] >= s.cfg.MaxDumps {
+		s.dumpMu.Unlock()
+		return
+	}
+	s.dumpsBy[reason]++
+	s.dumpSeq++
+	seq := s.dumpSeq
+	s.dumpMu.Unlock()
+	s.triggered.Add(1)
+	if err := s.dumpFile(seq, reason, now, proc); err != nil {
+		fmt.Fprintf(os.Stderr, "tracing: flight dump %q: %v\n", reason, err)
+	}
+}
+
+// Final writes the end-of-run dump (reason "final", exempt from the
+// per-reason cap) and returns its path. Harnesses call it before exit
+// so traceview always has the complete tail even when nothing anomalous
+// fired.
+func (s *Set) Final() (string, error) {
+	if s == nil || s.cfg.Dir == "" {
+		return "", nil
+	}
+	s.dumpMu.Lock()
+	s.dumpSeq++
+	seq := s.dumpSeq
+	s.dumpMu.Unlock()
+	path := s.dumpPath(seq, "final")
+	return path, s.writeDump(path, "final", s.Stamp(), -1)
+}
+
+func (s *Set) dumpPath(seq int, reason string) string {
+	return filepath.Join(s.cfg.Dir, fmt.Sprintf("trace-%03d-%s.json", seq, reason))
+}
+
+func (s *Set) dumpFile(seq int, reason string, now sim.Time, proc int) error {
+	return s.writeDump(s.dumpPath(seq, reason), reason, now, proc)
+}
+
+func (s *Set) writeDump(path, reason string, now sim.Time, proc int) error {
+	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("create -trace-dir %s: %w", s.cfg.Dir, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create dump under -trace-dir: %w", err)
+	}
+	werr := s.encodeDump(f, reason, now, proc)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// WriteJSON writes the current span history of every process as one
+// dump document — the /trace endpoint's payload, same schema as the
+// flight-recorder files.
+func (s *Set) WriteJSON(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	return s.encodeDump(w, "snapshot", s.Stamp(), -1)
+}
+
+// Dump is the on-disk flight-recorder document: one snapshot of every
+// process's span history, wall-anchored so separate dumps (and separate
+// runs' telemetry) merge on absolute time.
+type Dump struct {
+	Reason    string     `json:"reason"`
+	WallStart string     `json:"wall_start"` // RFC3339Nano anchor for all *_ns offsets
+	AtNS      int64      `json:"at_ns"`      // trigger instant, ns since WallStart
+	Proc      int        `json:"proc"`       // triggering process, -1 for whole-set dumps
+	Procs     []ProcDump `json:"procs"`
+}
+
+// ProcDump is one process's slice of a Dump.
+type ProcDump struct {
+	Proc    int        `json:"proc"`
+	Dropped uint64     `json:"dropped"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// SpanJSON is the serialized span record.
+type SpanJSON struct {
+	Trace   uint64      `json:"trace"`
+	ID      uint64      `json:"id"`
+	Parent  uint64      `json:"parent,omitempty"`
+	Name    string      `json:"name"`
+	Proc    int         `json:"proc"`
+	Peer    int         `json:"peer"`
+	StartNS int64       `json:"start_ns"`
+	EndNS   int64       `json:"end_ns"`
+	Note    string      `json:"note,omitempty"`
+	Open    bool        `json:"open,omitempty"`
+	Events  []EventJSON `json:"events,omitempty"`
+}
+
+// EventJSON is the serialized span event.
+type EventJSON struct {
+	TNS  int64  `json:"t_ns"`
+	Name string `json:"name"`
+	Peer int    `json:"peer"`
+}
+
+func (s *Set) encodeDump(w io.Writer, reason string, now sim.Time, proc int) error {
+	s.wallMu.Lock()
+	wall := s.wallStart
+	s.wallMu.Unlock()
+	d := Dump{
+		Reason:    reason,
+		WallStart: wall.UTC().Format(time.RFC3339Nano),
+		AtNS:      int64(now),
+		Proc:      proc,
+		Procs:     make([]ProcDump, 0, len(s.tracers)),
+	}
+	for _, t := range s.tracers {
+		t.mu.Lock()
+		spans := t.snapshotLocked()
+		dropped := t.dropped
+		t.mu.Unlock()
+		pd := ProcDump{Proc: t.proc, Dropped: dropped, Spans: make([]SpanJSON, len(spans))}
+		for i := range spans {
+			pd.Spans[i] = spanToJSON(&spans[i])
+		}
+		d.Procs = append(d.Procs, pd)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&d)
+}
+
+func spanToJSON(sp *Span) SpanJSON {
+	j := SpanJSON{
+		Trace:   uint64(sp.Trace),
+		ID:      uint64(sp.ID),
+		Parent:  uint64(sp.Parent),
+		Name:    sp.Name,
+		Proc:    sp.Proc,
+		Peer:    sp.Peer,
+		StartNS: int64(sp.Start),
+		EndNS:   int64(sp.End),
+		Note:    sp.Note,
+		Open:    sp.Open,
+	}
+	if len(sp.Events) > 0 {
+		j.Events = make([]EventJSON, len(sp.Events))
+		for i, e := range sp.Events {
+			j.Events[i] = EventJSON{TNS: int64(e.T), Name: e.Name, Peer: e.Peer}
+		}
+	}
+	return j
+}
+
+// Sink adapts the set to the observer pipeline. Wire-level send events
+// for traced messages arrive through the OnSendCtx extension (the
+// transports read the context off node.Traced messages); each becomes a
+// completed zero-length "send" span under the carried parent — the
+// per-directed-link children of a quorum span. Message drops fire the
+// flight recorder (reason "message-drop", capped like any trigger).
+func (s *Set) Sink() obs.Sink {
+	if s == nil {
+		return nil
+	}
+	return setSink{s}
+}
+
+type setSink struct{ s *Set }
+
+var _ obs.Sink = setSink{}
+var _ obs.CtxSink = setSink{}
+
+func (k setSink) OnSend(t sim.Time, from, to int, kind obs.Kind) {}
+
+func (k setSink) OnDeliver(t sim.Time, from, to int, kind obs.Kind) {}
+
+func (k setSink) OnDrop(t sim.Time, from, to int, kind obs.Kind) {
+	k.s.Trigger(t, from, "message-drop")
+}
+
+// OnSendCtx implements obs.CtxSink.
+func (k setSink) OnSendCtx(t sim.Time, from, to int, kind obs.Kind, trace, span uint64) {
+	tr := k.s.Tracer(from)
+	if tr == nil {
+		return
+	}
+	parent := Context{Trace: TraceID(trace), Span: SpanID(span)}
+	tr.Record(t, t, parent, "send", to, obs.KindName(kind))
+}

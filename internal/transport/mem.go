@@ -135,6 +135,7 @@ type Cluster struct {
 	stats    *metrics.MessageStats
 	sink     obs.Sink
 	bytes    obs.ByteSink // byte-accounting view of sink, nil if unsupported
+	ctx      obs.CtxSink  // trace-context view of sink, nil if unsupported
 	start    time.Time
 
 	mu       sync.Mutex
@@ -163,6 +164,7 @@ func NewCluster(cfg Config, automatons []node.Automaton) (*Cluster, error) {
 	}
 	c.sink = obs.Tee(c.stats, cfg.Observer)
 	c.bytes = obs.Bytes(c.sink)
+	c.ctx = obs.Ctx(c.sink)
 	logf := func(string, ...any) {}
 	c.stations = make([]*station, cfg.N)
 	for i := range c.stations {
@@ -248,6 +250,7 @@ func (m *memNet) send(from, to node.ID, msg node.Message) {
 	now := c.stations[from].Now()
 	k := node.MessageKind(msg)
 	c.sink.OnSend(now, int(from), int(to), k)
+	reportSendCtx(c.ctx, now, int(from), int(to), k, msg)
 	// Serialize immediately: the receiver must observe an independent
 	// copy, exactly as over a socket. The buffer is pooled and returned
 	// once the receiver has decoded (or the message is dropped).

@@ -1,0 +1,28 @@
+package transport
+
+import (
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// reportSendCtx feeds one outbound message's trace context to the
+// sink's CtxSink extension, shared by all three transports' send paths.
+// The common case — no trace-consuming observer — is one nil check;
+// with an observer attached, untraced messages cost one type assertion
+// and traced wrappers (node.Traced with a nonzero trace id) report a
+// per-link send event to the tracing layer.
+func reportSendCtx(cs obs.CtxSink, t sim.Time, from, to int, kind obs.Kind, msg node.Message) {
+	if cs == nil {
+		return
+	}
+	tm, ok := msg.(node.Traced)
+	if !ok {
+		return
+	}
+	trace, span := tm.TraceContext()
+	if trace == 0 {
+		return
+	}
+	cs.OnSendCtx(t, from, to, kind, trace, span)
+}

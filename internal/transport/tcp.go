@@ -45,6 +45,7 @@ type TCPCluster struct {
 	stats     *metrics.MessageStats
 	sink      obs.Sink
 	bytes     obs.ByteSink // byte-accounting view of sink, nil if unsupported
+	ctx       obs.CtxSink  // trace-context view of sink, nil if unsupported
 	start     time.Time
 	senders   []*link.Sender // n*n row-major, nil on the diagonal
 	stopCh    chan struct{}
@@ -79,6 +80,7 @@ func NewTCPCluster(cfg Config, automatons []nodepkg.Automaton) (*TCPCluster, err
 	}
 	c.sink = obs.Tee(c.stats, cfg.Observer)
 	c.bytes = obs.Bytes(c.sink)
+	c.ctx = obs.Ctx(c.sink)
 	for i := 0; i < cfg.N; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -316,6 +318,7 @@ func (t *tcpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	k := nodepkg.MessageKind(msg)
 	now := c.stations[from].Now()
 	c.sink.OnSend(now, int(from), int(to), k)
+	reportSendCtx(c.ctx, now, int(from), int(to), k, msg)
 	select {
 	case <-c.stopCh:
 		c.sink.OnDrop(now, int(from), int(to), k)

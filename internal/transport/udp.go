@@ -25,6 +25,7 @@ type UDPCluster struct {
 	stats    *metrics.MessageStats
 	sink     obs.Sink
 	bytes    obs.ByteSink // byte-accounting view of sink, nil if unsupported
+	ctx      obs.CtxSink  // trace-context view of sink, nil if unsupported
 	start    time.Time
 
 	mu       sync.Mutex
@@ -53,6 +54,7 @@ func NewUDPCluster(cfg Config, automatons []nodepkg.Automaton) (*UDPCluster, err
 	}
 	c.sink = obs.Tee(c.stats, cfg.Observer)
 	c.bytes = obs.Bytes(c.sink)
+	c.ctx = obs.Ctx(c.sink)
 	for i := 0; i < cfg.N; i++ {
 		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
 		if err != nil {
@@ -183,6 +185,7 @@ func (u *udpNet) send(from, to nodepkg.ID, msg nodepkg.Message) {
 	k := nodepkg.MessageKind(msg)
 	now := c.stations[from].Now()
 	c.sink.OnSend(now, int(from), int(to), k)
+	reportSendCtx(c.ctx, now, int(from), int(to), k, msg)
 	var delay time.Duration
 	if c.cfg.Fault != nil {
 		d, ok := c.cfg.Fault.Transmit(from, to, time.Since(c.start))

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector/source"
 	"repro/internal/node"
+	"repro/internal/tracing"
 )
 
 // FuzzEnvelopeRoundTrip drives arbitrary bytes through UnmarshalEnvelope
@@ -44,6 +45,9 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 		{0, group.Msg{Group: 0, Inner: rsm.RequestMsg{V: "k=v"}}},
 		{2, group.Msg{Group: 3, Inner: rsm.AcceptMsg{B: 5, Inst: 7, V: "cmd", CommitUpTo: 6, LeaseSeq: 3}}},
 		{1, group.Msg{Group: 1, Inner: core.LeaderMsg{Epoch: 9}}},
+		{0, tracing.Wrap{Ctx: tracing.Context{Trace: 1 << 48, Span: 1<<48 | 2}, Inner: rsm.RequestMsg{V: "k=v"}}},
+		{3, tracing.Wrap{Ctx: tracing.Context{Trace: 7, Span: 8}, Inner: rsm.AcceptMsg{B: 5, Inst: 7, V: "cmd", CommitUpTo: 6, LeaseSeq: 3}}},
+		{2, group.Msg{Group: 2, Inner: tracing.Wrap{Ctx: tracing.Context{Trace: 9, Span: 10}, Inner: rsm.AcceptedMsg{B: 5, Inst: 7, Done: 6, LeaseSeq: 3}}}},
 	}
 	for _, s := range seedMsgs {
 		for _, c := range []*Codec{seed, seedFixed} {

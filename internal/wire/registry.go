@@ -12,6 +12,7 @@ import (
 	"repro/internal/detector/alltoall"
 	"repro/internal/detector/source"
 	"repro/internal/node"
+	"repro/internal/tracing"
 )
 
 // Type codes. Codes are part of the wire format: append only, never
@@ -49,6 +50,7 @@ const (
 	codeRSMReadReq
 	codeRSMReadReply
 	codeGroupWrap
+	codeTraceWrap
 )
 
 // badType builds the error for an encoder handed the wrong concrete type.
@@ -116,6 +118,7 @@ func NewCodec() *Codec {
 	registerCT(c)
 	registerRSM(c)
 	registerGroup(c)
+	registerTrace(c)
 	return c
 }
 
@@ -176,6 +179,82 @@ func registerGroup(c *Codec) {
 				return nil, fmt.Errorf("decode %q: %w", ent.kind, err)
 			}
 			return group.Msg{Group: g, Inner: inner}, nil
+		})
+}
+
+// registerTrace registers the trace-context wrapper (causal tracing,
+// DESIGN.md §17): the trace id and parent span id as varint/fixed u64
+// fields, followed by the inner message's own encoding — type code and
+// fields — nested in place, exactly the group wrapper's shape. A TRACE
+// wrapper may not nest itself, and may not carry a GROUP wrapper: the
+// group envelope is always outermost (the demux fast path must see its
+// own tag first), so a traced sharded message is GROUP(TRACE(inner)).
+// Both rules are encode and decode errors, bounding decoder recursion at
+// two levels (GROUP then TRACE) by construction.
+//
+// Like the GROUP kind and the LeaseSeq fields before it, TRACE is not
+// negotiated: a pre-tracing node that receives a TRACE frame fails
+// strict decoding and (on TCP) drops the connection, so enabling tracing
+// is a cluster-wide atomic upgrade. Clusters that never sample remain
+// wire-compatible in both directions — untraced messages encode exactly
+// as before.
+func registerTrace(c *Codec) {
+	c.Register(codeTraceWrap, tracing.KindTrace,
+		func(e *Encoder, m node.Message) error {
+			msg, ok := m.(tracing.Wrap)
+			if !ok {
+				return badType(tracing.KindTrace, m)
+			}
+			e.U64(uint64(msg.Ctx.Trace))
+			e.U64(uint64(msg.Ctx.Span))
+			if msg.Inner == nil {
+				return fmt.Errorf("wire: trace wrapper with nil inner message")
+			}
+			ent, ok := c.byKind[msg.Inner.Kind()]
+			if !ok {
+				return fmt.Errorf("%w: %q inside trace wrapper", ErrUnknownKind, msg.Inner.Kind())
+			}
+			if ent.code == codeTraceWrap {
+				return fmt.Errorf("wire: trace wrapper cannot nest")
+			}
+			if ent.code == codeGroupWrap {
+				return fmt.Errorf("wire: trace wrapper cannot carry a group wrapper (wrap the trace inside the group)")
+			}
+			e.buf = append(e.buf, ent.code)
+			return ent.enc(e, msg.Inner)
+		},
+		func(d *Decoder) (node.Message, error) {
+			trace, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			span, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			if len(d.buf) == 0 {
+				return nil, ErrTruncated
+			}
+			code := d.buf[0]
+			if code == codeTraceWrap {
+				return nil, fmt.Errorf("wire: trace wrapper cannot nest")
+			}
+			if code == codeGroupWrap {
+				return nil, fmt.Errorf("wire: trace wrapper cannot carry a group wrapper")
+			}
+			ent, ok := c.byCode[code]
+			if !ok {
+				return nil, fmt.Errorf("%w: %d inside trace wrapper", ErrUnknownCode, code)
+			}
+			d.buf = d.buf[1:]
+			inner, err := ent.dec(d)
+			if err != nil {
+				return nil, fmt.Errorf("decode %q: %w", ent.kind, err)
+			}
+			return tracing.Wrap{
+				Ctx:   tracing.Context{Trace: tracing.TraceID(trace), Span: tracing.SpanID(span)},
+				Inner: inner,
+			}, nil
 		})
 }
 

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/group"
+	"repro/internal/consensus/rsm"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/tracing"
+)
+
+// TestTraceFixedWireFrozen pins the exact fixed-encoding bytes of a trace
+// wrapper: the TRACE code, trace id and parent span id as fixed u64s, then
+// the inner message's own code and fields nested in place. Like the GROUP
+// layout, frames in flight across a rolling restart must decode forever,
+// so this can never drift.
+func TestTraceFixedWireFrozen(t *testing.T) {
+	c := NewCodec()
+	c.SetEncodeVersion(VersionFixed)
+	b, err := c.MarshalEnvelope(7, tracing.Wrap{
+		Ctx:   tracing.Context{Trace: 2, Span: 3},
+		Inner: rsm.RequestMsg{V: "ab"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0, 0, 0, 7, // sender id, big-endian u32
+		codeTraceWrap,
+		0, 0, 0, 0, 0, 0, 0, 2, // trace id, big-endian u64
+		0, 0, 0, 0, 0, 0, 0, 3, // parent span id, big-endian u64
+		codeRSMRequest,
+		0, 0, 0, 2, 'a', 'b', // value, length-prefixed
+	}
+	if !reflect.DeepEqual(b, want) {
+		t.Fatalf("fixed trace envelope = % x, want % x", b, want)
+	}
+}
+
+// TestTraceVarintWireFrozen pins the varint layout the same way: marker,
+// varint sender, TRACE code, varint trace id and span id, inner code,
+// inner fields.
+func TestTraceVarintWireFrozen(t *testing.T) {
+	c := NewCodec()
+	b, err := c.MarshalEnvelope(7, tracing.Wrap{
+		Ctx:   tracing.Context{Trace: 2, Span: 3},
+		Inner: core.LeaderMsg{Epoch: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		verVarintByte,
+		7, // sender id, uvarint
+		codeTraceWrap,
+		2, // trace id, uvarint
+		3, // parent span id, uvarint
+		codeCoreLeader,
+		5, // epoch, uvarint
+	}
+	if !reflect.DeepEqual(b, want) {
+		t.Fatalf("varint trace envelope = % x, want % x", b, want)
+	}
+}
+
+// TestTraceRoundTrip exercises the wrapper around a spread of inner kinds
+// and context values — including full-width 64-bit ids — in both
+// versions, plus the sharded composition GROUP(TRACE(inner)).
+func TestTraceRoundTrip(t *testing.T) {
+	fixed := NewCodec()
+	fixed.SetEncodeVersion(VersionFixed)
+	varint := NewCodec()
+	msgs := []node.Message{
+		tracing.Wrap{Ctx: tracing.Context{Trace: 1, Span: 2}, Inner: rsm.RequestMsg{V: "k=v"}},
+		tracing.Wrap{Ctx: tracing.Context{Trace: 1 << 48, Span: 1<<48 | 9}, Inner: rsm.AcceptMsg{B: 2, Inst: 40, V: "x", CommitUpTo: 39, MinDone: 12, LeaseSeq: 4}},
+		tracing.Wrap{Ctx: tracing.Context{Trace: ^tracing.TraceID(0), Span: ^tracing.SpanID(0)}, Inner: rsm.AcceptedMsg{B: 2, Inst: 40, Done: 39, LeaseSeq: 4}},
+		tracing.Wrap{Ctx: tracing.Context{Trace: 5, Span: 0}, Inner: rsm.DecideMsg{Inst: 9, V: consensus.Value("v")}},
+		group.Msg{Group: 3, Inner: tracing.Wrap{Ctx: tracing.Context{Trace: 6, Span: 7}, Inner: rsm.RequestMsg{V: "sharded"}}},
+	}
+	for _, m := range msgs {
+		for name, c := range map[string]*Codec{"fixed": fixed, "varint": varint} {
+			b, err := c.Marshal(m)
+			if err != nil {
+				t.Fatalf("%s Marshal(%+v): %v", name, m, err)
+			}
+			got, err := c.Unmarshal(b)
+			if err != nil {
+				t.Fatalf("%s Unmarshal(%+v): %v", name, m, err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("%s round trip changed value: %+v → %+v", name, m, got)
+			}
+		}
+	}
+}
+
+// TestTraceNestRejected proves the nesting rules in both directions: a
+// trace wrapper inside a trace wrapper fails to encode and decode, and a
+// group wrapper inside a trace wrapper fails both ways too — the group
+// envelope must be outermost, so GROUP(TRACE(x)) is legal (covered by
+// TestTraceRoundTrip) and TRACE(GROUP(x)) is not.
+func TestTraceNestRejected(t *testing.T) {
+	c := NewCodec()
+	inner := rsm.RequestMsg{V: "x"}
+	ctx := tracing.Context{Trace: 1, Span: 2}
+	if _, err := c.Marshal(tracing.Wrap{Ctx: ctx, Inner: tracing.Wrap{Ctx: ctx, Inner: inner}}); err == nil {
+		t.Fatal("nested trace wrapper encoded")
+	}
+	if _, err := c.Marshal(tracing.Wrap{Ctx: ctx, Inner: group.Msg{Group: 1, Inner: inner}}); err == nil {
+		t.Fatal("group wrapper inside trace wrapper encoded")
+	}
+	// Fixed-version frames: TRACE, trace id, span id, then the banned code.
+	head := []byte{
+		codeTraceWrap,
+		0, 0, 0, 0, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 2,
+	}
+	if _, err := c.Unmarshal(append(append([]byte{}, head...), codeTraceWrap)); err == nil {
+		t.Fatal("nested trace frame decoded")
+	}
+	if _, err := c.Unmarshal(append(append([]byte{}, head...), codeGroupWrap)); err == nil {
+		t.Fatal("trace frame carrying a group wrapper decoded")
+	}
+}
+
+// TestTraceEncodeRejects covers the remaining encoder guards: nil inner
+// message and an inner kind the codec has never heard of.
+func TestTraceEncodeRejects(t *testing.T) {
+	c := NewCodec()
+	ctx := tracing.Context{Trace: 1, Span: 2}
+	if _, err := c.Marshal(tracing.Wrap{Ctx: ctx}); err == nil {
+		t.Fatal("nil inner message encoded")
+	}
+	if _, err := c.Marshal(tracing.Wrap{Ctx: ctx, Inner: unknownMsg{}}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown inner kind: err = %v, want ErrUnknownKind", err)
+	}
+}
+
+// TestTraceDecodeRejects covers the decoder guards: frames that end
+// mid-context or right after it, and an unknown inner code.
+func TestTraceDecodeRejects(t *testing.T) {
+	c := NewCodec()
+	full := []byte{
+		codeTraceWrap,
+		0, 0, 0, 0, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 2,
+	}
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := c.Unmarshal(full[:cut]); err == nil {
+			t.Fatalf("frame cut at %d accepted", cut)
+		}
+	}
+	if _, err := c.Unmarshal(append(append([]byte{}, full...), 0xEF)); !errors.Is(err, ErrUnknownCode) {
+		t.Fatalf("unknown inner code: err = %v, want ErrUnknownCode", err)
+	}
+}
+
+// TestTraceStrictTrailing confirms the top-level strict-decode contract
+// through the wrapper — what makes TRACE a clean wire break for
+// pre-tracing peers (they fail decoding, not misinterpret).
+func TestTraceStrictTrailing(t *testing.T) {
+	c := NewCodec()
+	b, err := c.Marshal(tracing.Wrap{
+		Ctx:   tracing.Context{Trace: 4, Span: 5},
+		Inner: rsm.DecideMsg{Inst: 4, V: consensus.Value("v")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Unmarshal(append(b, 0)); err == nil {
+		t.Fatal("trace frame with trailing byte accepted")
+	}
+	if _, err := c.Unmarshal(b[:len(b)-1]); err == nil {
+		t.Fatal("trace frame truncated by one byte accepted")
+	}
+}
